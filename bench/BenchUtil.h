@@ -1,0 +1,120 @@
+//===- bench/BenchUtil.h - Shared benchmark harness -------------*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the per-experiment benchmark binaries: compile with a
+/// named configuration, run on the simulator, and collect the machine
+/// counters EXPERIMENTS.md reports. Each binary prints its reproduction
+/// table first (the paper-shape data), then runs google-benchmark timing
+/// loops for wall-clock numbers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_BENCH_BENCHUTIL_H
+#define S1LISP_BENCH_BENCHUTIL_H
+
+#include "driver/Compiler.h"
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "sexpr/Printer.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace s1lisp {
+namespace bench {
+
+/// Named compiler configurations for the ablation tables.
+inline driver::CompilerOptions fullConfig() { return {}; }
+
+inline driver::CompilerOptions noOptConfig() {
+  driver::CompilerOptions O;
+  O.Optimize = false;
+  return O;
+}
+
+inline driver::CompilerOptions naiveTnConfig() {
+  driver::CompilerOptions O;
+  O.Codegen.TnBind.UseRegisters = false;
+  O.Codegen.RegisterTemps = false;
+  return O;
+}
+
+inline driver::CompilerOptions noRepConfig() {
+  driver::CompilerOptions O;
+  O.Codegen.Annotate.RepAnalysis = false;
+  return O;
+}
+
+inline driver::CompilerOptions noPdlConfig() {
+  driver::CompilerOptions O;
+  O.Codegen.Annotate.PdlNumbers = false;
+  return O;
+}
+
+inline driver::CompilerOptions noSpecialCacheConfig() {
+  driver::CompilerOptions O;
+  O.Codegen.SpecialCache = false;
+  return O;
+}
+
+inline driver::CompilerOptions noTailConfig() {
+  driver::CompilerOptions O;
+  O.Codegen.TailCalls = false;
+  return O;
+}
+
+/// One compiled program ready to execute.
+struct Compiled {
+  std::unique_ptr<ir::Module> M;
+  s1::Program Program;
+  std::unique_ptr<vm::Machine> VM;
+};
+
+inline Compiled compileOrDie(const std::string &Src,
+                             const driver::CompilerOptions &Opts = {}) {
+  Compiled C;
+  C.M = std::make_unique<ir::Module>();
+  auto Out = driver::compileSource(*C.M, Src, Opts);
+  if (!Out.Ok) {
+    fprintf(stderr, "benchmark program failed to compile: %s\n",
+            Out.Error.c_str());
+    abort();
+  }
+  C.Program = std::move(Out.Program);
+  C.VM = std::make_unique<vm::Machine>(C.Program, C.M->Syms, C.M->DataHeap);
+  return C;
+}
+
+inline sexpr::Value fx(int64_t N) { return sexpr::Value::fixnum(N); }
+inline sexpr::Value fl(double D) { return sexpr::Value::flonum(D); }
+
+/// Runs a compiled function and asserts success.
+inline vm::Machine::RunResult runOrDie(Compiled &C, const std::string &Fn,
+                                       const std::vector<sexpr::Value> &Args) {
+  auto R = C.VM->call(Fn, Args);
+  if (!R.Ok) {
+    fprintf(stderr, "benchmark run failed: %s\n", R.Error.c_str());
+    abort();
+  }
+  return R;
+}
+
+/// Static MOV count across all functions of a program.
+inline unsigned staticMovs(const s1::Program &P) {
+  unsigned N = 0;
+  for (const auto &F : P.Functions)
+    N += F.countOpcode(s1::Opcode::MOV);
+  return N;
+}
+
+inline void tableHeader(const char *Title) {
+  printf("\n=== %s ===\n", Title);
+}
+
+} // namespace bench
+} // namespace s1lisp
+
+#endif // S1LISP_BENCH_BENCHUTIL_H

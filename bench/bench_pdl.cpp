@@ -1,0 +1,86 @@
+//===- bench/bench_pdl.cpp - Experiment F7: §6.3 pdl numbers --------------===//
+//
+// Boxed floats whose lifetimes the PDLOKP/PDLNUMP analysis can bound are
+// allocated in the stack frame instead of the heap. We count heap objects
+// per call of a testfn-shaped function (float LET temporaries passed to a
+// user procedure) with pdl numbers on and off, and verify that returning
+// a float still heap-allocates (returning is unsafe — the Table 4
+// SQ-SINGLE-FLONUM-CONS call).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace s1lisp;
+using namespace s1lisp::bench;
+
+namespace {
+
+const char *Source =
+    "(defun frotz (a b c) (if (eql a b) c a))"
+    "(defun testfn-shape (a b c)"
+    "  (let ((d (+$f a b c)) (e (*$f a b c)))"
+    "    (frotz d e (max$f d e))"
+    "    (+$f d e)))"
+    "(defun drive (n)"
+    "  (dotimes (i n) (testfn-shape 1.0 2.0 3.0))"
+    "  'done)";
+
+void printTable() {
+  tableHeader("F7 / §6.3: pdl numbers (stack allocation of boxed floats)");
+  printf("%-24s %18s %18s\n", "configuration", "heap allocs/call",
+         "stack high-water");
+  struct Cfg {
+    const char *Name;
+    driver::CompilerOptions Opts;
+  } Cfgs[] = {
+      {"pdl numbers (paper)", fullConfig()},
+      {"heap-only", noPdlConfig()},
+  };
+  const int N = 2000;
+  for (const Cfg &C : Cfgs) {
+    Compiled P = compileOrDie(Source, C.Opts);
+    P.VM->resetStats();
+    runOrDie(P, "drive", {fx(N)});
+    printf("%-24s %18.2f %18llu\n", C.Name,
+           static_cast<double>(P.VM->stats().HeapObjects) / N,
+           static_cast<unsigned long long>(P.VM->stats().StackHighWater));
+  }
+
+  // Returning a float is an unsafe position: the result must be certified
+  // into the heap even with pdl numbers enabled.
+  Compiled P = compileOrDie("(defun ret-float (x) (+$f x 1.0))", fullConfig());
+  P.VM->resetStats();
+  auto R = runOrDie(P, "ret-float", {fl(2.0)});
+  printf("return path: result=%s heap allocs=%llu (>=1: returning is "
+         "unsafe, §6.3)\n",
+         sexpr::toString(*R.Result).c_str(),
+         static_cast<unsigned long long>(P.VM->stats().HeapObjects));
+  printf("Shape check (paper): pdl numbers take the per-call heap boxes of\n"
+         "the LET temporaries to zero; the returned value still conses.\n");
+}
+
+void BM_PdlOn(benchmark::State &State) {
+  Compiled P = compileOrDie(Source, fullConfig());
+  for (auto _ : State)
+    runOrDie(P, "drive", {fx(500)});
+}
+BENCHMARK(BM_PdlOn);
+
+void BM_PdlOff(benchmark::State &State) {
+  Compiled P = compileOrDie(Source, noPdlConfig());
+  for (auto _ : State)
+    runOrDie(P, "drive", {fx(500)});
+}
+BENCHMARK(BM_PdlOff);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,152 @@
+//===- bench/bench_phases.cpp - Experiment T1: the Table 1 pipeline -------===//
+//
+// Table 1 is the phase structure of the compiler. This harness walks a
+// program corpus through the pipeline phase by phase, timing each one and
+// reporting per-phase tree statistics — the architectural table, with
+// measurements attached.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/Analysis.h"
+#include "annotate/Annotate.h"
+#include "opt/MetaEval.h"
+#include "tnbind/TnBind.h"
+
+#include <benchmark/benchmark.h>
+#include <chrono>
+
+using namespace s1lisp;
+using namespace s1lisp::bench;
+
+namespace {
+
+const char *Corpus =
+    "(defun quadratic (a b c)"
+    "  (let ((d (- (* b b) (* 4.0 a c))))"
+    "    (cond ((< d 0) '()) ((= d 0) (list (/ (- b) (* 2.0 a))))"
+    "          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))"
+    "               (list (/ (+ (- b) sd) two-a) (/ (- (- b) sd) two-a)))))))"
+    "(defun exptl (x n a)"
+    "  (cond ((zerop n) a) ((oddp n) (exptl (* x x) (floor n 2) (* a x)))"
+    "        (t (exptl (* x x) (floor n 2) a))))"
+    "(defun testfn (a &optional (b 3.0) (c a))"
+    "  (let ((d (+$f a b c)) (e (*$f a b c)))"
+    "    (let ((q (sin$f e))) (exptl 2 3 1) q)))"
+    "(defun walk (l acc)"
+    "  (cond ((null l) acc) ((consp (car l)) (walk (cdr l) (walk (car l) acc)))"
+    "        (t (walk (cdr l) (cons (car l) acc)))))";
+
+template <typename Fn> double timeMs(Fn &&F) {
+  auto T0 = std::chrono::steady_clock::now();
+  F();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(T1 - T0).count();
+}
+
+void printTable() {
+  tableHeader("T1: phase structure with per-phase cost (corpus of 4 defuns)");
+
+  ir::Module M;
+  DiagEngine Diags;
+  double TConvert = timeMs([&] { frontend::convertSource(M, Corpus, Diags); });
+
+  size_t NodesBefore = 0;
+  for (const auto &F : M.functions())
+    NodesBefore += ir::treeSize(F->Root);
+
+  double TAnalyze = timeMs([&] {
+    for (const auto &F : M.functions())
+      analysis::analyze(*F);
+  });
+
+  unsigned Rewrites = 0;
+  double TOptimize = timeMs([&] {
+    for (const auto &F : M.functions())
+      Rewrites += opt::metaEvaluate(*F);
+  });
+  size_t NodesAfter = 0;
+  for (const auto &F : M.functions())
+    NodesAfter += ir::treeSize(F->Root);
+
+  annotate::AnnotateStats Ann{};
+  double TAnnotate = timeMs([&] {
+    for (const auto &F : M.functions()) {
+      auto S = annotate::annotate(*F);
+      Ann.OpenLambdas += S.OpenLambdas;
+      Ann.JumpLambdas += S.JumpLambdas;
+      Ann.FullClosures += S.FullClosures;
+      Ann.RawFloatVariables += S.RawFloatVariables;
+      Ann.PdlSites += S.PdlSites;
+    }
+  });
+
+  double TTnBind = timeMs([&] {
+    for (const auto &F : M.functions())
+      tnbind::allocateVariables(F->Root);
+  });
+
+  s1::Program Prog;
+  double TCodegen = timeMs([&] {
+    auto Out = driver::compileModule(M, driver::CompilerOptions{false, {}, {}});
+    Prog = std::move(Out.Program);
+  });
+
+  size_t Instrs = 0;
+  for (const auto &F : Prog.Functions)
+    Instrs += F.Code.size();
+
+  printf("  %-38s %8.3f ms   (%zu tree nodes)\n",
+         "Preliminary conversion", TConvert, NodesBefore);
+  printf("  %-38s %8.3f ms\n", "Source-program analysis", TAnalyze);
+  printf("  %-38s %8.3f ms   (%u rewrites, %zu nodes after)\n",
+         "Source-level optimization", TOptimize, Rewrites, NodesAfter);
+  printf("  %-38s %8.3f ms   (open=%u jump=%u closures=%u rawflo=%u pdl=%u)\n",
+         "Machine-dependent annotation", TAnnotate, Ann.OpenLambdas,
+         Ann.JumpLambdas, Ann.FullClosures, Ann.RawFloatVariables, Ann.PdlSites);
+  printf("  %-38s %8.3f ms\n", "TNBIND storage allocation", TTnBind);
+  printf("  %-38s %8.3f ms   (%zu instructions emitted)\n",
+         "Code generation", TCodegen, Instrs);
+}
+
+void BM_WholePipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    ir::Module M;
+    auto Out = driver::compileSource(M, Corpus);
+    benchmark::DoNotOptimize(Out.Ok);
+  }
+}
+BENCHMARK(BM_WholePipeline);
+
+void BM_ConvertOnly(benchmark::State &State) {
+  for (auto _ : State) {
+    ir::Module M;
+    DiagEngine Diags;
+    frontend::convertSource(M, Corpus, Diags);
+    benchmark::DoNotOptimize(M.functions().size());
+  }
+}
+BENCHMARK(BM_ConvertOnly);
+
+void BM_OptimizeOnly(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    ir::Module M;
+    DiagEngine Diags;
+    frontend::convertSource(M, Corpus, Diags);
+    State.ResumeTiming();
+    for (const auto &F : M.functions())
+      opt::metaEvaluate(*F);
+  }
+}
+BENCHMARK(BM_OptimizeOnly);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/bench_shortcircuit.cpp - Experiment F3: §5 short-circuiting --===//
+//
+// The §5 derivation claims boolean short-circuiting "falls out" of the
+// general lambda transformations and yields code "identical to what you
+// would expect from a good compiler". We measure instructions executed
+// per evaluation of (if (and a (or b c)) e1 e2) with the source-level
+// optimizer on and off, plus closure counts (the thunks must be compiled
+// as jumps, not heap closures).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace s1lisp;
+using namespace s1lisp::bench;
+
+namespace {
+
+const char *Source =
+    "(defun sc (a b c) (if (and a (or b c)) 'e1 'e2))"
+    "(defun drive (n)"
+    "  (let ((hits 0))"
+    "    (dotimes (i n)"
+    "      (when (eq (sc (oddp i) (zerop (mod i 3)) (zerop (mod i 5))) 'e1)"
+    "        (setq hits (+ hits 1))))"
+    "    hits))";
+
+void printTable() {
+  tableHeader("F3 / §5: boolean short-circuiting via lambda transformations");
+  printf("%-24s %16s %16s %14s\n", "configuration", "instrs/eval",
+         "heap allocs/eval", "result");
+  struct Cfg {
+    const char *Name;
+    driver::CompilerOptions Opts;
+  } Cfgs[] = {
+      {"optimized (paper)", fullConfig()},
+      {"unoptimized", noOptConfig()},
+  };
+  const int N = 3000;
+  for (const Cfg &C : Cfgs) {
+    Compiled P = compileOrDie(Source, C.Opts);
+    P.VM->resetStats();
+    auto R = runOrDie(P, "drive", {fx(N)});
+    printf("%-24s %16.1f %16.2f %14s\n", C.Name,
+           static_cast<double>(P.VM->stats().Instructions) / N,
+           static_cast<double>(P.VM->stats().HeapObjects) / N,
+           sexpr::toString(*R.Result).c_str());
+  }
+  printf("Shape check (paper): both versions avoid closures (binding\n"
+         "annotation compiles the thunks as jumps even unoptimized), and the\n"
+         "lambda transformations shave the remaining dispatch overhead.\n");
+}
+
+void runConfig(benchmark::State &State, const driver::CompilerOptions &Opts) {
+  Compiled P = compileOrDie(Source, Opts);
+  for (auto _ : State)
+    runOrDie(P, "drive", {fx(1000)});
+  State.counters["instr/eval"] =
+      static_cast<double>(P.VM->stats().Instructions) /
+      static_cast<double>(State.iterations() * 1000);
+}
+
+void BM_ShortCircuitOptimized(benchmark::State &State) {
+  runConfig(State, fullConfig());
+}
+BENCHMARK(BM_ShortCircuitOptimized);
+
+void BM_ShortCircuitUnoptimized(benchmark::State &State) {
+  runConfig(State, noOptConfig());
+}
+BENCHMARK(BM_ShortCircuitUnoptimized);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- examples/quadratic.cpp - The §4.1 back-translation demo ------------===//
+//
+// Reproduces the paper's first worked artifact: the quadratic-formula
+// defun is converted to the internal tree (twelve basic constructs,
+// Table 2) and back-translated into source — LETs as explicit lambda
+// calls, COND as nested IFs — exactly the §4.1 listing. Then it runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Convert.h"
+#include "ir/BackTranslate.h"
+#include "sexpr/Printer.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace s1lisp;
+using sexpr::Value;
+
+int main() {
+  const char *Source =
+      "(defun quadratic (a b c)"
+      "  (let ((d (- (* b b) (* 4.0 a c))))"
+      "    (cond ((< d 0) '())"
+      "          ((= d 0) (list (/ (- b) (* 2.0 a))))"
+      "          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))"
+      "               (list (/ (+ (- b) sd) two-a)"
+      "                     (/ (- (- b) sd) two-a)))))))";
+
+  ir::Module M;
+  DiagEngine Diags;
+  if (!frontend::convertSource(M, Source, Diags)) {
+    fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  ir::Function *F = M.lookup("quadratic");
+
+  printf("=== Internal tree, back-translated (the paper's §4.1 listing) ===\n");
+  printf("%s\n\n",
+         sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
+
+  printf("=== With explicit quoting of constants ===\n");
+  ir::BackTranslateOptions Quoted;
+  Quoted.QuoteNumbers = true;
+  printf("%s\n\n",
+         sexpr::toPrettyString(ir::backTranslateFunction(*F, Quoted)).c_str());
+
+  printf("=== Node inventory (Table 2 constructs used) ===\n");
+  unsigned Counts[16] = {};
+  ir::forEachNode(static_cast<ir::Node *>(F->Root), [&Counts](ir::Node *N) {
+    Counts[static_cast<int>(N->kind())]++;
+  });
+  for (int K = 0; K < 12; ++K)
+    if (Counts[K])
+      printf("  %-10s %u\n", ir::nodeKindName(static_cast<ir::NodeKind>(K)),
+             Counts[K]);
+
+  // Compile and solve x^2 - 3x + 2 = 0.
+  auto Out = driver::compileModule(M);
+  if (!Out.Ok) {
+    fprintf(stderr, "compile error: %s\n", Out.Error.c_str());
+    return 1;
+  }
+  vm::Machine VM(Out.Program, M.Syms, M.DataHeap);
+  for (auto [A, B, C] : {std::tuple{1.0, -3.0, 2.0}, {1.0, 2.0, 1.0},
+                         {1.0, 0.0, 1.0}}) {
+    auto R = VM.call("quadratic",
+                     {Value::flonum(A), Value::flonum(B), Value::flonum(C)});
+    printf("\n(quadratic %.1f %.1f %.1f) => %s", A, B, C,
+           R.Ok ? sexpr::toString(*R.Result).c_str() : R.Error.c_str());
+  }
+  printf("\n");
+  return 0;
+}

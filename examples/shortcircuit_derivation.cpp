@@ -1,0 +1,74 @@
+//===- examples/shortcircuit_derivation.cpp - The §5 derivation -----------===//
+//
+// §5's centerpiece: boolean short-circuiting "falls out" of general
+// lambda-calculus transformations. This example shows the full journey
+// for (if (and a (or b c)) expression1 expression2): the macro expansion
+// into the basic construct set, every optimizer rewrite, the final goto
+// structure, and the generated jump code.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Convert.h"
+#include "ir/BackTranslate.h"
+#include "opt/MetaEval.h"
+#include "sexpr/Printer.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace s1lisp;
+using sexpr::Value;
+
+int main() {
+  const char *Source = "(defun sc (a b c)"
+                       "  (if (and a (or b c)) (expression1) (expression2)))"
+                       "(defun expression1 () 'e1)"
+                       "(defun expression2 () 'e2)";
+
+  ir::Module M;
+  DiagEngine Diags;
+  if (!frontend::convertSource(M, Source, Diags)) {
+    fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  ir::Function *F = M.lookup("sc");
+
+  printf("=== After preliminary conversion (AND/OR expanded per §5) ===\n%s\n\n",
+         sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
+
+  opt::OptLog Log;
+  opt::metaEvaluate(*F, {}, &Log);
+  printf("=== Derivation (every rewrite, in the paper's style) ===\n%s\n",
+         Log.str().c_str());
+
+  printf("=== Final form: pure conditional structure, thunks shared ===\n%s\n\n",
+         sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
+
+  for (const auto &Fn : M.functions())
+    if (Fn->name() != "sc")
+      opt::metaEvaluate(*Fn);
+  auto Out = driver::compileModule(M, driver::CompilerOptions{false, {}, {}});
+  if (!Out.Ok) {
+    fprintf(stderr, "compile error: %s\n", Out.Error.c_str());
+    return 1;
+  }
+  printf("=== Generated jump code (calls to the thunks are JMPAs) ===\n");
+  for (const s1::AsmFunction &Fn : Out.Program.Functions)
+    if (Fn.Name == "sc")
+      printf("%s\n", s1::printListing(Fn).c_str());
+
+  vm::Machine VM(Out.Program, M.Syms, M.DataHeap);
+  Value T = Value::symbol(M.Syms.t());
+  Value Nil = Value::nil();
+  printf("=== Truth table ===\n");
+  for (Value A : {T, Nil})
+    for (Value B : {T, Nil})
+      for (Value C : {T, Nil}) {
+        auto R = VM.call("sc", {A, B, C});
+        printf("(sc %s %s %s) => %s\n", sexpr::toString(A).c_str(),
+               sexpr::toString(B).c_str(), sexpr::toString(C).c_str(),
+               R.Ok ? sexpr::toString(*R.Result).c_str() : R.Error.c_str());
+      }
+  return 0;
+}

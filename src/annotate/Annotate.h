@@ -1,0 +1,61 @@
+//===- annotate/Annotate.h - Machine-dependent annotation -------*- C++ -*-===//
+///
+/// \file
+/// The machine-dependent annotation phases of Table 1:
+///
+///  * Binding annotation (§4.4): how is each lambda-expression compiled —
+///    open (a manifest LET call), jump (a shared thunk whose calls become
+///    parameter-passing gotos), or a full run-time closure — and which
+///    variables need heap-allocated binding cells because closures
+///    reference them.
+///
+///  * Representation annotation (§6.2): the WANTREP/ISREP analysis that
+///    decides which quantities live as raw machine numbers and which as
+///    LISP pointers; variables whose every use wants SWFLO/SWFIX are kept
+///    raw (the paper's heuristic: disagreement means POINTER).
+///
+///  * Pdl-number annotation (§6.3): the PDLOKP/PDLNUMP flags marking raw
+///    numbers whose pointer form may be allocated in the stack frame
+///    instead of the heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_ANNOTATE_ANNOTATE_H
+#define S1LISP_ANNOTATE_ANNOTATE_H
+
+#include "ir/Ir.h"
+
+namespace s1lisp {
+namespace annotate {
+
+struct AnnotateOptions {
+  /// Allow raw (unboxed) representations for variables (§6.2 ablation).
+  bool RepAnalysis = true;
+  /// Allow stack allocation of boxed numbers (§6.3 ablation).
+  bool PdlNumbers = true;
+};
+
+/// Statistics for EXPERIMENTS.md.
+struct AnnotateStats {
+  unsigned OpenLambdas = 0;
+  unsigned JumpLambdas = 0;
+  unsigned FullClosures = 0;
+  unsigned HeapVariables = 0;
+  unsigned RawFloatVariables = 0;
+  unsigned RawFixnumVariables = 0;
+  unsigned PdlSites = 0; ///< coercion sites authorized to stack-allocate
+};
+
+/// Runs all three annotation phases. Requires analysis::analyze(F) first
+/// (tail flags and effects must be current).
+AnnotateStats annotate(ir::Function &F, const AnnotateOptions &Opts = {});
+
+/// True when \p Site's value flows only through if/caseq arms and progn
+/// tails into the value of \p Body (i.e. every consumer shares the body's
+/// continuation) — the condition for jump-compiling thunk calls.
+bool isLocalTailPosition(const ir::Node *Body, const ir::Node *Site);
+
+} // namespace annotate
+} // namespace s1lisp
+
+#endif // S1LISP_ANNOTATE_ANNOTATE_H

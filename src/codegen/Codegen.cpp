@@ -1,0 +1,943 @@
+//===- codegen/Codegen.cpp ------------------------------------------------===//
+
+#include "codegen/Codegen.h"
+
+#include "analysis/Analysis.h"
+#include "ir/Primitives.h"
+#include "sexpr/Numbers.h"
+#include "sexpr/Printer.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace s1lisp;
+using namespace s1lisp::codegen;
+using namespace s1lisp::ir;
+using namespace s1lisp::s1;
+using sexpr::Value;
+using tnbind::Location;
+
+namespace {
+
+/// Compile-time shape of one heap environment frame.
+struct EnvLayout {
+  int Parent = -1;
+  std::vector<const Variable *> Slots;
+};
+
+struct LiftedLambda {
+  const LambdaNode *Lambda;
+  ir::Function *IrFunction;
+  int EnvLayoutId; ///< layout of the environment the closure captures
+  int FuncIndex;
+  std::string Name;
+};
+
+class ModuleCompiler {
+public:
+  ModuleCompiler(ir::Module &M, const CodegenOptions &Opts) : M(M), Opts(Opts) {}
+
+  bool run(CompileResult &Result);
+
+  /// Encodes a literal into the static image; returns its word.
+  uint64_t encodeStatic(Value V);
+  uint64_t symbolCell(const sexpr::Symbol *S);
+  uint64_t tWord() { return encodeStatic(Value::symbol(M.Syms.t())); }
+
+  int functionIndexFor(const std::string &Name) const {
+    auto It = FuncIndex.find(Name);
+    return It == FuncIndex.end() ? -1 : It->second;
+  }
+
+  int addEnvLayout(int Parent, std::vector<const Variable *> Slots) {
+    Layouts.push_back({Parent, std::move(Slots)});
+    return static_cast<int>(Layouts.size()) - 1;
+  }
+  const EnvLayout &layout(int Id) const { return Layouts[Id]; }
+
+  /// Queues a closure body for compilation; returns its function index.
+  int liftClosure(const LambdaNode *L, ir::Function *IrF, int EnvLayoutId);
+
+  ir::Module &M;
+  const CodegenOptions &Opts;
+  s1::Program Program;
+  std::string Error;
+
+private:
+  std::unordered_map<std::string, int> FuncIndex;
+  std::vector<EnvLayout> Layouts;
+  std::deque<LiftedLambda> LiftQueue;
+  unsigned LiftCounter = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Function compilation
+//===----------------------------------------------------------------------===//
+
+/// A value being carried between emissions: where it is, what rep it has,
+/// and which resource (if any) must be released after use.
+struct TempVal {
+  Operand Op;
+  Rep R = Rep::POINTER;
+  enum class Res : uint8_t { None, RtA, RtB, Reg, Frame, Literal } Owned = Res::None;
+  Value Lit; ///< set when Owned == Literal (unmaterialized constant)
+  /// A second held resource (e.g. the array base register of a fused
+  /// indexed operand, whose index register is the first resource).
+  Operand Op2;
+  Res Owned2 = Res::None;
+
+  static TempVal literal(Value V) {
+    TempVal T;
+    T.Owned = Res::Literal;
+    T.Lit = V;
+    return T;
+  }
+  bool isLiteral() const { return Owned == Res::Literal; }
+  bool ownsRt() const {
+    return Owned == Res::RtA || Owned == Res::RtB || Owned2 == Res::RtA ||
+           Owned2 == Res::RtB;
+  }
+};
+
+class FunctionCompiler {
+public:
+  FunctionCompiler(ModuleCompiler &MC, ir::Function &IrF, const LambdaNode *Entry,
+                   int IncomingLayout, std::string Name)
+      : MC(MC), IrF(IrF), Entry(Entry), IncomingLayout(IncomingLayout) {
+    Out.Name = std::move(Name);
+  }
+
+  bool compile(AsmFunction &Result);
+
+private:
+  //===--- infrastructure -------------------------------------------------===//
+  ModuleCompiler &MC;
+  ir::Function &IrF;
+  const LambdaNode *Entry;
+  int IncomingLayout;
+  AsmFunction Out;
+  std::string Err;
+  bool Failed = false;
+
+  tnbind::TnBindResult Tns;
+  int FrameBase = 2; ///< slots 0/1 hold saved ENV and argc
+  int NextSlot = 0;  ///< next free frame slot (relative)
+  std::vector<int> FreeSlots;
+  std::vector<uint8_t> ScratchRegs;
+  std::unordered_set<uint8_t> ScratchInUse;
+  bool RtBusy[2] = {false, false};
+  int EpilogueLabel = -1;
+  int FramePatchIndex = -1;
+  unsigned SpecialBindCount = 0; ///< dynamic bindings made by the prologue
+  std::unordered_map<const sexpr::Symbol *, int> SpecialCacheSlot;
+  std::unordered_set<const Node *> ContainsCallCache;
+  bool ContainsCallComputed = false;
+
+  /// Active local heap-environment scopes, innermost last.
+  struct EnvScope {
+    int LayoutId;
+    int FrameSlot;
+  };
+  std::vector<EnvScope> EnvScopes;
+
+  /// Jump-strategy thunks awaiting emission.
+  struct ThunkInfo {
+    int Label = -1;
+    const Node *Body = nullptr;
+    bool Tail = false;
+    Operand Dest;
+    Rep DestRep = Rep::POINTER;
+    int JoinLabel = -1;
+  };
+  std::unordered_map<const Variable *, ThunkInfo *> ActiveThunks;
+  std::deque<ThunkInfo> ThunkStorage;
+
+  /// Progbody contexts.
+  struct ProgCtx {
+    const ProgBodyNode *Body;
+    std::unordered_map<const sexpr::Symbol *, int> TagLabels;
+    int ExitLabel;
+    Operand Dest;
+    Rep DestRep;
+    bool Tail;
+  };
+  std::vector<ProgCtx> ProgCtxs;
+
+  void fail(const std::string &Msg) {
+    if (!Failed)
+      Err = Out.Name + ": " + Msg;
+    Failed = true;
+  }
+
+  void emit(Opcode Op, Operand A = {}, Operand B = {}, Operand X = {},
+            std::string Comment = "") {
+    Instruction I;
+    I.Op = Op;
+    I.A = A;
+    I.B = B;
+    I.X = X;
+    I.Comment = std::move(Comment);
+    Out.emit(std::move(I));
+  }
+  void emitJcc(Cond C, Operand A, Operand B, int Label, std::string Comment = "",
+               bool FloatCmp = false) {
+    Instruction I;
+    I.Op = FloatCmp ? Opcode::FJMPZ : Opcode::JMPZ;
+    I.C = C;
+    I.A = A;
+    I.B = B;
+    I.X = Operand::label(Label);
+    I.Comment = std::move(Comment);
+    Out.emit(std::move(I));
+  }
+  void emitSyscall(Syscall S, int64_t Sub = 0, int64_t Extra = 0,
+                   std::string Comment = "") {
+    emit(Opcode::SYSCALL, Operand::imm(static_cast<int64_t>(S)),
+         Operand::imm(Sub), Operand::imm(Extra), std::move(Comment));
+  }
+
+  //===--- resources ------------------------------------------------------===//
+  int acquireSlot() {
+    if (!FreeSlots.empty()) {
+      int S = FreeSlots.back();
+      FreeSlots.pop_back();
+      return S;
+    }
+    return NextSlot++;
+  }
+  void releaseSlot(int S) { FreeSlots.push_back(S); }
+  int permanentSlot() { return NextSlot++; } // never recycled (pdl, caches)
+
+  Operand frameOp(int Slot) { return Operand::mem(FP, FrameBase + Slot); }
+
+  int acquireReg() {
+    if (MC.Opts.RegisterTemps)
+      for (uint8_t R : ScratchRegs)
+        if (!ScratchInUse.count(R)) {
+          ScratchInUse.insert(R);
+          return R;
+        }
+    return -1;
+  }
+
+  /// A writable destination for a fresh temporary; frame slot when the
+  /// value must survive calls or no register is free.
+  TempVal acquireTemp(Rep R, bool SurvivesCalls) {
+    if (!SurvivesCalls) {
+      int Reg = acquireReg();
+      if (Reg >= 0) {
+        TempVal T;
+        T.Op = Operand::reg(static_cast<uint8_t>(Reg));
+        T.R = R;
+        T.Owned = TempVal::Res::Reg;
+        return T;
+      }
+    }
+    TempVal T;
+    T.Op = frameOp(acquireSlot());
+    T.R = R;
+    T.Owned = TempVal::Res::Frame;
+    return T;
+  }
+
+  TempVal rtTemp(uint8_t Which, Rep R) {
+    RtBusy[Which == RTB] = true;
+    TempVal T;
+    T.Op = Operand::reg(Which);
+    T.R = R;
+    T.Owned = Which == RTA ? TempVal::Res::RtA : TempVal::Res::RtB;
+    return T;
+  }
+
+  void releaseOne(TempVal::Res Kind, const Operand &Op) {
+    switch (Kind) {
+    case TempVal::Res::RtA:
+      RtBusy[0] = false;
+      break;
+    case TempVal::Res::RtB:
+      RtBusy[1] = false;
+      break;
+    case TempVal::Res::Reg:
+      ScratchInUse.erase(Op.R);
+      break;
+    case TempVal::Res::Frame:
+      releaseSlot(static_cast<int>(Op.Imm) - FrameBase);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void release(TempVal &T) {
+    releaseOne(T.Owned, T.Op);
+    releaseOne(T.Owned2, T.Op2);
+    T.Owned = TempVal::Res::None;
+    T.Owned2 = TempVal::Res::None;
+  }
+
+  /// Does evaluating \p N potentially clobber registers (calls, closures,
+  /// catch unwinding)? Computed once per subtree.
+  bool containsCall(const Node *N) {
+    bool Found = false;
+    forEachNode(N, [&Found](const Node *C) {
+      if (Found)
+        return;
+      if (C->kind() == NodeKind::Catcher || C->kind() == NodeKind::Lambda) {
+        Found = true;
+        return;
+      }
+      if (const auto *Call = dyn_cast<CallNode>(C)) {
+        if (Call->CalleeExpr && !Call->isLetLike()) {
+          Found = true;
+          return;
+        }
+        if (Call->Name) {
+          const PrimInfo *P = lookupPrim(Call->Name);
+          if (!P || P->Op == Prim::Funcall || P->Op == Prim::Apply)
+            Found = true;
+        }
+      }
+    });
+    return Found;
+  }
+
+  /// Guards a held temporary against clobbering by \p Upcoming: volatile
+  /// registers (RV) and scratch registers are spilled to the frame.
+  void protectAcross(TempVal &T, const Node *Upcoming) {
+    if (!Upcoming || !containsCall(Upcoming))
+      return;
+    bool Volatile = T.Op.M == Operand::Mode::Reg &&
+                    (T.Op.R == RV || T.Op.R == 1 || T.Owned == TempVal::Res::RtA ||
+                     T.Owned == TempVal::Res::RtB || T.Owned == TempVal::Res::Reg);
+    // Variables allocated to registers by TNBIND were already forced to
+    // the frame when live across calls, so only temps need saving.
+    if (T.Op.M == Operand::Mode::Reg && T.Owned == TempVal::Res::None &&
+        T.Op.R != FP && T.Op.R != SP && T.Op.R != ENV)
+      Volatile = true;
+    if (!Volatile)
+      return;
+    TempVal Saved;
+    Saved.Op = frameOp(acquireSlot());
+    Saved.R = T.R;
+    Saved.Owned = TempVal::Res::Frame;
+    emit(Opcode::MOV, Saved.Op, T.Op, {}, "Save across call");
+    release(T);
+    T = Saved;
+  }
+
+  //===--- variables ------------------------------------------------------===//
+  struct VarAccess {
+    enum class Kind { Direct, Heap, Special, Thunk } K;
+    Operand Op;      ///< Direct
+    int Depth = 0;   ///< Heap: hops from the innermost scope/incoming ENV
+    int Index = 0;   ///< Heap: slot index
+    bool Local = false; ///< Heap: starts from a local scope slot
+    int ScopeSlot = 0;  ///< Heap/Local: frame slot holding the env pointer
+  };
+
+  VarAccess accessOf(const Variable *V);
+  TempVal readVar(const Variable *V);
+  void writeVar(const Variable *V, TempVal &Val);
+
+  //===--- compilation ----------------------------------------------------===//
+  bool prologue();
+  void epilogue();
+
+  TempVal compileValue(const Node *N);
+  void compileInto(const Node *N, Operand Dest, Rep DestRep);
+  void compileEffect(const Node *N);
+  void compileJump(const Node *N, int TrueLabel, int FalseLabel);
+  void compileTail(const Node *N);
+
+  TempVal compileCallValue(const CallNode *C);
+  TempVal compilePrimValue(const CallNode *C, const PrimInfo &P);
+  TempVal compileLet(const CallNode *C, int Mode, Operand Dest, Rep DestRep);
+  void setupLet(const CallNode *C, std::vector<const Variable *> &SpecialParams,
+                bool &PushedEnvScope, std::vector<ThunkInfo *> &Thunks);
+  void finishLet(const std::vector<const Variable *> &SpecialParams,
+                 bool PushedEnvScope, const std::vector<ThunkInfo *> &Thunks,
+                 int JoinLabel, Operand Dest, Rep DestRep, bool Tail);
+  void compileUserCall(const CallNode *C, bool Tail, TempVal *Result);
+  void compileFuncall(const CallNode *C, bool Tail, TempVal *Result,
+                      bool IsApply);
+  TempVal emitArithChain(const CallNode *C, Opcode Op, Rep R);
+  TempVal compileArithOperand(const Node *N, Rep R);
+  TempVal compileArefOperand(const CallNode *C);
+  TempVal emitCarCdr(const CallNode *C, const PrimInfo &P);
+  void emitJumpForPrim(const CallNode *C, const PrimInfo &P, int TrueLabel,
+                       int FalseLabel);
+  TempVal resultFromRv(Rep R);
+  TempVal emitGenericBinary(Syscall S, int64_t Sub, const Node *A, const Node *B);
+  int DynBinds = 0; ///< active dynamic bindings (disable tail calls)
+  TempVal materialize(TempVal V, Rep Want, const Node *Origin);
+  void moveInto(TempVal &V, Operand Dest, Rep DestRep, const Node *Origin);
+  TempVal makeClosureValue(const LambdaNode *L);
+  Operand currentEnvOperand();
+  TempVal boolFromJump(const Node *N);
+  void pushPointerArgs(const std::vector<Node *> &Args);
+  TempVal ensureInReg(TempVal V);
+
+  uint64_t litWord(Value V) { return MC.encodeStatic(V); }
+};
+
+//===----------------------------------------------------------------------===//
+// ModuleCompiler
+//===----------------------------------------------------------------------===//
+
+uint64_t ModuleCompiler::symbolCell(const sexpr::Symbol *S) {
+  auto It = Program.SymbolAddr.find(S);
+  if (It != Program.SymbolAddr.end())
+    return It->second;
+  uint64_t Addr = /*StaticBase*/ 16 + Program.Static.size();
+  Program.Static.push_back(~0ull); // globally unbound
+  Program.SymbolAddr[S] = Addr;
+  return Addr;
+}
+
+uint64_t ModuleCompiler::encodeStatic(Value V) {
+  switch (V.kind()) {
+  case sexpr::ValueKind::Nil:
+    return NilWord;
+  case sexpr::ValueKind::Fixnum:
+    if (V.fixnum() < INT32_MIN || V.fixnum() > INT32_MAX) {
+      Error = "literal fixnum out of the compiled 32-bit range";
+      return NilWord;
+    }
+    return makeFixnum(V.fixnum());
+  case sexpr::ValueKind::Symbol:
+    return makePointer(Tag::Symbol, symbolCell(V.symbol()));
+  case sexpr::ValueKind::Flonum: {
+    uint64_t Addr = 16 + Program.Static.size();
+    uint64_t Bits;
+    double D = V.flonum();
+    static_assert(sizeof(Bits) == sizeof(D));
+    __builtin_memcpy(&Bits, &D, sizeof(Bits));
+    Program.Static.push_back(Bits);
+    return makePointer(Tag::SingleFlonum, Addr);
+  }
+  case sexpr::ValueKind::Ratio: {
+    uint64_t Addr = 16 + Program.Static.size();
+    Program.Static.push_back(static_cast<uint64_t>(V.ratio().Num));
+    Program.Static.push_back(static_cast<uint64_t>(V.ratio().Den));
+    return makePointer(Tag::Ratio, Addr);
+  }
+  case sexpr::ValueKind::String: {
+    uint64_t Addr = 16 + Program.Static.size();
+    Program.Static.push_back(V.stringValue().size());
+    Program.StringAddr.push_back({Addr, V.stringValue()});
+    return makePointer(Tag::String, Addr);
+  }
+  case sexpr::ValueKind::Cons: {
+    uint64_t Car = encodeStatic(V.car());
+    uint64_t Cdr = encodeStatic(V.cdr());
+    uint64_t Addr = 16 + Program.Static.size();
+    Program.Static.push_back(Car);
+    Program.Static.push_back(Cdr);
+    return makePointer(Tag::Cons, Addr);
+  }
+  }
+  return NilWord;
+}
+
+int ModuleCompiler::liftClosure(const LambdaNode *L, ir::Function *IrF,
+                                int EnvLayoutId) {
+  // Module functions occupy indices [0, N); lifted closures follow in the
+  // order they are queued, regardless of how many module functions have
+  // been *compiled* so far.
+  int Index = static_cast<int>(M.functions().size()) +
+              static_cast<int>(LiftCounter);
+  std::string Name = IrF->name() + "$lambda-" + std::to_string(++LiftCounter);
+  LiftQueue.push_back({L, IrF, EnvLayoutId, Index, Name});
+  return Index;
+}
+
+bool ModuleCompiler::run(CompileResult &Result) {
+  // Pre-assign indices so mutually recursive calls resolve.
+  for (const auto &F : M.functions())
+    FuncIndex[F->name()] = static_cast<int>(FuncIndex.size());
+
+  // Annotate and compile each module function.
+  for (const auto &F : M.functions()) {
+    annotate::annotate(*F, Opts.Annotate);
+    FunctionCompiler FC(*this, *F, F->Root, /*IncomingLayout=*/-1, F->name());
+    AsmFunction Asm;
+    if (!FC.compile(Asm)) {
+      Result.Error = Error;
+      return false;
+    }
+    Program.Functions.push_back(std::move(Asm));
+  }
+
+  // Compile lifted closures (the queue may grow while we drain it).
+  while (!LiftQueue.empty()) {
+    LiftedLambda L = LiftQueue.front();
+    LiftQueue.pop_front();
+    assert(static_cast<int>(Program.Functions.size()) == L.FuncIndex &&
+           "lift queue out of order");
+    FunctionCompiler FC(*this, *L.IrFunction, L.Lambda, L.EnvLayoutId, L.Name);
+    AsmFunction Asm;
+    if (!FC.compile(Asm)) {
+      Result.Error = Error;
+      return false;
+    }
+    Program.Functions.push_back(std::move(Asm));
+  }
+
+  if (!Error.empty()) {
+    Result.Error = Error;
+    return false;
+  }
+  Result.Program = std::move(Program);
+  Result.Ok = true;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionCompiler: frame, variables
+//===----------------------------------------------------------------------===//
+
+FunctionCompiler::VarAccess FunctionCompiler::accessOf(const Variable *V) {
+  VarAccess A;
+  if (ActiveThunks.count(V)) {
+    A.K = VarAccess::Kind::Thunk;
+    return A;
+  }
+  if (V->isSpecial()) {
+    A.K = VarAccess::Kind::Special;
+    return A;
+  }
+  if (V->HeapAllocated) {
+    A.K = VarAccess::Kind::Heap;
+    // Search local scopes innermost-first.
+    int Hops = 0;
+    for (size_t J = EnvScopes.size(); J > 0; --J, ++Hops) {
+      const EnvLayout &L = MC.layout(EnvScopes[J - 1].LayoutId);
+      for (size_t K = 0; K < L.Slots.size(); ++K)
+        if (L.Slots[K] == V) {
+          A.Local = true;
+          A.ScopeSlot = EnvScopes[J - 1].FrameSlot;
+          A.Depth = 0;
+          A.Index = static_cast<int>(K);
+          return A;
+        }
+    }
+    // Then the captured chain.
+    int Depth = 0;
+    for (int Id = IncomingLayout; Id >= 0; Id = MC.layout(Id).Parent, ++Depth) {
+      const EnvLayout &L = MC.layout(Id);
+      for (size_t K = 0; K < L.Slots.size(); ++K)
+        if (L.Slots[K] == V) {
+          A.Local = false;
+          A.Depth = Depth;
+          A.Index = static_cast<int>(K);
+          return A;
+        }
+    }
+    fail("heap variable " + V->debugName() + " not found in any environment");
+    return A;
+  }
+  A.K = VarAccess::Kind::Direct;
+  auto It = Tns.VarLocs.find(V);
+  if (It == Tns.VarLocs.end()) {
+    fail("variable " + V->debugName() + " has no TN location");
+    A.Op = Operand::reg(0);
+    return A;
+  }
+  A.Op = It->second.isRegister() ? Operand::reg(It->second.Reg)
+                                 : frameOp(It->second.Slot);
+  return A;
+}
+
+TempVal FunctionCompiler::readVar(const Variable *V) {
+  VarAccess A = accessOf(V);
+  switch (A.K) {
+  case VarAccess::Kind::Direct: {
+    TempVal T;
+    T.Op = A.Op;
+    T.R = V->VarRep;
+    return T;
+  }
+  case VarAccess::Kind::Heap: {
+    int R = acquireReg();
+    TempVal T;
+    if (R < 0) {
+      // Walk through R0 scratch, land in a frame temp.
+      emit(Opcode::MOV, Operand::reg(0),
+           A.Local ? frameOp(A.ScopeSlot) : Operand::reg(ENV), {}, "Env chain");
+      for (int J = 0; J < A.Depth; ++J)
+        emit(Opcode::MOV, Operand::reg(0), Operand::mem(0, 0), {}, "Outer env");
+      T = acquireTemp(Rep::POINTER, false);
+      emit(Opcode::MOV, T.Op, Operand::mem(0, 1 + A.Index), {},
+           "Heap variable " + V->debugName());
+      return T;
+    }
+    T.Op = Operand::reg(static_cast<uint8_t>(R));
+    T.Owned = TempVal::Res::Reg;
+    T.R = Rep::POINTER;
+    emit(Opcode::MOV, T.Op,
+         A.Local ? frameOp(A.ScopeSlot) : Operand::reg(ENV), {}, "Env chain");
+    for (int J = 0; J < A.Depth; ++J)
+      emit(Opcode::MOV, T.Op, Operand::mem(T.Op.R, 0), {}, "Outer env");
+    emit(Opcode::MOV, T.Op, Operand::mem(T.Op.R, 1 + A.Index), {},
+         "Heap variable " + V->debugName());
+    return T;
+  }
+  case VarAccess::Kind::Special: {
+    int Slot;
+    auto It = SpecialCacheSlot.find(V->name());
+    if (It != SpecialCacheSlot.end()) {
+      Slot = It->second;
+    } else {
+      // Uncached (ablation): look it up right here, every time.
+      emit(Opcode::PUSH, Operand::imm(static_cast<int64_t>(
+                             litWord(Value::symbol(V->name())))));
+      emitSyscall(Syscall::SpecLookup, 0, 0,
+                  "Deep search for " + V->name()->name());
+      Slot = -1;
+    }
+    TempVal Addr = acquireTemp(Rep::POINTER, false);
+    if (Slot >= 0)
+      emit(Opcode::MOV, Addr.Op, frameOp(Slot), {},
+           "Cached binding address of " + V->name()->name());
+    else
+      emit(Opcode::MOV, Addr.Op, Operand::reg(RV));
+    TempVal ValueT = Addr; // reuse the register for the value
+    Operand Cell = Addr.Op.M == Operand::Mode::Reg
+                       ? Operand::mem(Addr.Op.R, 0)
+                       : Operand();
+    if (Addr.Op.M != Operand::Mode::Reg) {
+      // Frame temp: bounce through R0.
+      emit(Opcode::MOV, Operand::reg(0), Addr.Op);
+      Cell = Operand::mem(0, 0);
+    }
+    emit(Opcode::MOV, ValueT.Op, Cell, {}, "Special value " + V->name()->name());
+    int LOk = Out.newLabel();
+    emitJcc(Cond::NEQ, ValueT.Op, Operand::imm(static_cast<int64_t>(~0ull)), LOk);
+    emitSyscall(Syscall::Error, static_cast<int64_t>(RtError::UnboundVariable));
+    Out.placeLabel(LOk);
+    ValueT.R = Rep::POINTER;
+    return ValueT;
+  }
+  case VarAccess::Kind::Thunk:
+    fail("jump thunk variable used as a value");
+    return TempVal();
+  }
+  return TempVal();
+}
+
+void FunctionCompiler::writeVar(const Variable *V, TempVal &Val) {
+  VarAccess A = accessOf(V);
+  switch (A.K) {
+  case VarAccess::Kind::Direct: {
+    moveInto(Val, A.Op, V->VarRep, nullptr);
+    return;
+  }
+  case VarAccess::Kind::Heap: {
+    TempVal P = materialize(std::move(Val), Rep::POINTER, nullptr);
+    Val = P;
+    emit(Opcode::MOV, Operand::reg(0),
+         A.Local ? frameOp(A.ScopeSlot) : Operand::reg(ENV), {}, "Env chain");
+    for (int J = 0; J < A.Depth; ++J)
+      emit(Opcode::MOV, Operand::reg(0), Operand::mem(0, 0));
+    TempVal M = materialize(std::move(Val), Rep::POINTER, nullptr);
+    Val = M;
+    emit(Opcode::MOV, Operand::mem(0, 1 + A.Index), Val.Op, {},
+         "Store heap variable " + V->debugName());
+    return;
+  }
+  case VarAccess::Kind::Special: {
+    TempVal P = materialize(std::move(Val), Rep::POINTER, nullptr);
+    Val = P;
+    auto It = SpecialCacheSlot.find(V->name());
+    if (It != SpecialCacheSlot.end()) {
+      emit(Opcode::MOV, Operand::reg(0), frameOp(It->second));
+    } else {
+      emit(Opcode::PUSH, Operand::imm(static_cast<int64_t>(
+                             litWord(Value::symbol(V->name())))));
+      emitSyscall(Syscall::SpecLookup);
+      emit(Opcode::MOV, Operand::reg(0), Operand::reg(RV));
+    }
+    emit(Opcode::MOV, Operand::mem(0, 0), Val.Op, {},
+         "Set special " + V->name()->name());
+    return;
+  }
+  case VarAccess::Kind::Thunk:
+    fail("setq of a jump thunk variable");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionCompiler: prologue / epilogue
+//===----------------------------------------------------------------------===//
+
+bool FunctionCompiler::compile(AsmFunction &Result) {
+  analysis::analyzeTails(IrF);
+  Tns = tnbind::allocateVariables(Entry, MC.Opts.TnBind);
+  NextSlot = static_cast<int>(Tns.FrameSlots);
+  for (uint8_t R = 7; R <= 26; ++R) {
+    bool Taken = false;
+    for (uint8_t Used : Tns.RegistersUsed)
+      Taken |= Used == R;
+    if (!Taken && isAllocatableReg(R))
+      ScratchRegs.push_back(R);
+  }
+
+  if (prologue()) {
+    EpilogueLabel = Out.newLabel();
+    compileTail(Entry->Body);
+    epilogue();
+  }
+  if (Failed) {
+    MC.Error = Err;
+    return false;
+  }
+  Out.FrameSize = static_cast<unsigned>(FrameBase + NextSlot);
+  // Patch the frame allocation in the prologue.
+  Out.Code[FramePatchIndex].B.Imm = NextSlot;
+  std::string FinalizeError;
+  if (!Out.finalize(FinalizeError)) {
+    MC.Error = FinalizeError;
+    return false;
+  }
+  Result = std::move(Out);
+  return true;
+}
+
+bool FunctionCompiler::prologue() {
+  const LambdaNode *L = Entry;
+  size_t MinA = L->minArgs(), MaxA = L->maxFixedArgs();
+  Out.MinArgs = static_cast<unsigned>(MinA);
+  Out.MaxArgs = static_cast<unsigned>(MaxA);
+  Out.HasRest = L->Rest != nullptr;
+  if (L->Rest && !L->Optionals.empty()) {
+    fail("&optional together with &rest is not supported by the compiler");
+    return false;
+  }
+
+  emit(Opcode::PUSH, Operand::reg(FP), {}, {}, "Prologue: save FP");
+  emit(Opcode::MOV, Operand::reg(FP), Operand::reg(SP));
+  emit(Opcode::PUSH, Operand::reg(ENV), {}, {}, "Save caller environment");
+  emit(Opcode::PUSH, Operand::reg(RTA), {}, {}, "Save argument count");
+  if (IncomingLayout >= 0)
+    emit(Opcode::MOV, Operand::reg(ENV), Operand::reg(1), {},
+         "Closure environment from %CALLPTR");
+  FramePatchIndex = static_cast<int>(Out.Code.size());
+  emit(Opcode::ADD, Operand::reg(SP), Operand::imm(0), {}, "Allocate frame");
+
+  // Arity checking (Table 4's first two instructions).
+  int LArityOk = Out.newLabel();
+  int LArityBad = Out.newLabel();
+  emitJcc(Cond::LT, Operand::reg(RTA), Operand::imm(static_cast<int64_t>(MinA)),
+          LArityBad, "Jump if too few arguments");
+  if (!L->Rest)
+    emitJcc(Cond::GT, Operand::reg(RTA), Operand::imm(static_cast<int64_t>(MaxA)),
+            LArityBad, "Jump if too many arguments");
+  emitJcc(Cond::GE, Operand::reg(RTA), Operand::imm(0), LArityOk);
+  Out.placeLabel(LArityBad);
+  emitSyscall(Syscall::Error, static_cast<int64_t>(RtError::WrongNumberOfArguments));
+  Out.placeLabel(LArityOk);
+
+  // Allocate a local heap environment when parameters are captured.
+  std::vector<const Variable *> HeapParams;
+  for (const Variable *P : L->allParams())
+    if (P->HeapAllocated && !P->isSpecial())
+      HeapParams.push_back(P);
+  // Parameters land in a temp slot first when they need heap/special homes.
+  std::unordered_map<const Variable *, int> StageSlot;
+  for (const Variable *P : L->allParams())
+    if (P->HeapAllocated || P->isSpecial())
+      StageSlot[P] = permanentSlot();
+
+  if (!HeapParams.empty()) {
+    emit(Opcode::PUSH, currentEnvOperand(), {}, {}, "Parent environment");
+    emitSyscall(Syscall::MakeEnv, static_cast<int64_t>(HeapParams.size()), 0,
+                "Heap-allocate parameter environment");
+    int Slot = permanentSlot();
+    emit(Opcode::MOV, frameOp(Slot), Operand::reg(RV));
+    EnvScopes.push_back({MC.addEnvLayout(IncomingLayout, HeapParams), Slot});
+  }
+
+  auto StoreParam = [&](const Variable *P, Operand Src) {
+    auto It = StageSlot.find(P);
+    if (It != StageSlot.end()) {
+      if (Src.M != Operand::Mode::None) {
+        emit(Opcode::MOV, Operand::reg(0), Src);
+        emit(Opcode::MOV, frameOp(It->second), Operand::reg(0), {},
+             "Stage parameter " + P->name()->name());
+      }
+      return;
+    }
+    TempVal V;
+    V.Op = Src;
+    V.R = Rep::POINTER;
+    moveInto(V, accessOf(P).Op, P->VarRep, nullptr);
+  };
+  auto StoreParamValue = [&](const Variable *P, TempVal V) {
+    auto It = StageSlot.find(P);
+    if (It != StageSlot.end()) {
+      moveInto(V, frameOp(It->second), Rep::POINTER, nullptr);
+      release(V);
+      return;
+    }
+    moveInto(V, accessOf(P).Op, P->VarRep, nullptr);
+    release(V);
+  };
+
+  std::vector<Variable *> Params = L->allParams();
+  size_t NFixed = L->Rest ? Params.size() - 1 : Params.size();
+
+  if (L->Rest) {
+    // Compute the argument base: FP - 2 - argc.
+    emit(Opcode::MOV, Operand::reg(0), Operand::reg(FP));
+    emit(Opcode::SUB, Operand::reg(0), Operand::mem(FP, 1), {},
+         "FP - argc");
+    emit(Opcode::SUB, Operand::reg(0), Operand::imm(2), {}, "Argument base");
+    for (size_t I = 0; I < NFixed; ++I)
+      StoreParam(Params[I], Operand::mem(0, static_cast<int64_t>(I)));
+    emit(Opcode::MOV, Operand::reg(1), Operand::reg(0));
+    emit(Opcode::ADD, Operand::reg(1), Operand::imm(static_cast<int64_t>(NFixed)));
+    emit(Opcode::PUSH, Operand::reg(1), {}, {}, "&rest base");
+    emit(Opcode::MOV, Operand::reg(1), Operand::mem(FP, 1));
+    emit(Opcode::SUB, Operand::reg(1), Operand::imm(static_cast<int64_t>(NFixed)));
+    emit(Opcode::PUSH, Operand::reg(1), {}, {}, "&rest count");
+    emitSyscall(Syscall::MakeRestList, 0, 0, "Collect &rest arguments");
+    TempVal RestV;
+    RestV.Op = Operand::reg(RV);
+    RestV.R = Rep::POINTER;
+    StoreParamValue(L->Rest, RestV);
+  } else if (L->Optionals.empty()) {
+    // Exactly MaxA arguments.
+    for (size_t I = 0; I < Params.size(); ++I)
+      StoreParam(Params[I],
+                 Operand::mem(FP, -2 - static_cast<int64_t>(Params.size()) +
+                                      static_cast<int64_t>(I)));
+  } else {
+    // Table 4's dispatch on the number of arguments: one customized case
+    // per supplied-argument count, each initializing the defaulted
+    // parameters with arbitrary computations.
+    int LBody = Out.newLabel();
+    std::vector<int> CaseLabels;
+    for (size_t K = MinA; K <= MaxA; ++K)
+      CaseLabels.push_back(Out.newLabel());
+    for (size_t K = MinA; K < MaxA; ++K)
+      emitJcc(Cond::EQ, Operand::reg(RTA), Operand::imm(static_cast<int64_t>(K)),
+              CaseLabels[K - MinA], "Dispatch on number of arguments");
+    emitJcc(Cond::GE, Operand::reg(RTA), Operand::imm(0),
+            CaseLabels[MaxA - MinA]);
+    for (size_t K = MinA; K <= MaxA; ++K) {
+      Out.placeLabel(CaseLabels[K - MinA],
+                     "Come here if " + std::to_string(K) + " arguments");
+      for (size_t I = 0; I < K; ++I)
+        StoreParam(Params[I], Operand::mem(FP, -2 - static_cast<int64_t>(K) +
+                                                   static_cast<int64_t>(I)));
+      for (size_t I = K; I < MaxA; ++I) {
+        const auto &O = L->Optionals[I - MinA];
+        TempVal D = compileValue(O.Default);
+        StoreParamValue(O.Var, D);
+      }
+      emitJcc(Cond::GE, Operand::reg(RTA), Operand::imm(0), LBody);
+    }
+    Out.placeLabel(LBody);
+  }
+
+  // Move heap-allocated parameters into the environment and push dynamic
+  // bindings for special parameters, in parameter order.
+  for (const Variable *P : Params) {
+    auto It = StageSlot.find(P);
+    if (It == StageSlot.end())
+      continue;
+    if (P->isSpecial()) {
+      emit(Opcode::PUSH, Operand::imm(static_cast<int64_t>(
+                             litWord(Value::symbol(P->name())))));
+      emit(Opcode::PUSH, frameOp(It->second));
+      emitSyscall(Syscall::SpecBind, 0, 0, "Bind special " + P->name()->name());
+      ++SpecialBindCount;
+    } else {
+      TempVal V;
+      V.Op = frameOp(It->second);
+      V.R = Rep::POINTER;
+      writeVar(P, V);
+    }
+  }
+
+  // Special-variable lookup caching (§4.4): one search per special on
+  // entry, after our own bindings are in place.
+  if (MC.Opts.SpecialCache) {
+    // Symbols this unit dynamically binds anywhere below the entry (LET
+    // special params) cannot use the entry-time cache: the binding they
+    // must see does not exist yet. The paper's smallest-subtree refinement
+    // would cache those at the inner binding; we fall back to per-access
+    // lookups for them.
+    std::unordered_set<const sexpr::Symbol *> BoundBelow;
+    forEachNode(static_cast<const Node *>(Entry), [&](const Node *N) {
+      const auto *IL = dyn_cast<LambdaNode>(N);
+      if (!IL || IL == Entry)
+        return;
+      for (const Variable *P : IL->allParams())
+        if (P->isSpecial())
+          BoundBelow.insert(P->name());
+    });
+    std::vector<const sexpr::Symbol *> Specials;
+    forEachNode(static_cast<const Node *>(Entry), [&](const Node *N) {
+      const Variable *V = nullptr;
+      if (const auto *VR = dyn_cast<VarRefNode>(N))
+        V = VR->Var;
+      else if (const auto *SQ = dyn_cast<SetqNode>(N))
+        V = SQ->Var;
+      if (V && V->isSpecial() && !BoundBelow.count(V->name())) {
+        for (const sexpr::Symbol *S : Specials)
+          if (S == V->name())
+            return;
+        Specials.push_back(V->name());
+      }
+    });
+    for (const sexpr::Symbol *S : Specials) {
+      int Slot = permanentSlot();
+      emit(Opcode::PUSH,
+           Operand::imm(static_cast<int64_t>(litWord(Value::symbol(S)))));
+      emitSyscall(Syscall::SpecLookup, 0, 0,
+                  "Cache binding address of " + S->name());
+      emit(Opcode::MOV, frameOp(Slot), Operand::reg(RV));
+      SpecialCacheSlot[S] = Slot;
+    }
+  }
+  return !Failed;
+}
+
+void FunctionCompiler::epilogue() {
+  Out.placeLabel(EpilogueLabel, "Function exit");
+  if (SpecialBindCount > 0)
+    emitSyscall(Syscall::SpecUnbind, static_cast<int64_t>(SpecialBindCount), 0,
+                "Unwind dynamic bindings");
+  emit(Opcode::MOV, Operand::reg(ENV), Operand::mem(FP, 0), {},
+       "Restore caller environment");
+  emit(Opcode::MOV, Operand::reg(SP), Operand::reg(FP));
+  emit(Opcode::POP, Operand::reg(FP), {}, {}, "Restore FP");
+  emit(Opcode::RET, {}, {}, {}, "Return");
+}
+
+Operand FunctionCompiler::currentEnvOperand() {
+  if (!EnvScopes.empty())
+    return frameOp(EnvScopes.back().FrameSlot);
+  if (IncomingLayout >= 0)
+    return Operand::reg(ENV);
+  return Operand::imm(0); // NIL: no environment
+}
+
+//===----------------------------------------------------------------------===//
+// Expression compilation is split into CodegenExpr.inc (same translation
+// unit) to keep each file reviewable.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CodegenExpr.inc"
+
+} // namespace
+
+CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) {
+  CompileResult Result;
+  ModuleCompiler MC(M, Opts);
+  MC.run(Result);
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===- codegen/Codegen.h - Single-pass code generation ----------*- C++ -*-===//
+///
+/// \file
+/// The code generation phase: one pass over the decorated tree per
+/// compilation unit (a module function plus one unit per lifted closure),
+/// emitting S-1/64 assembly. Optional arguments compile into the per-count
+/// dispatch of Table 4; tail calls become TAILCALL "parameter-passing
+/// gotos"; jump-strategy thunks are emitted once and their call sites are
+/// plain JMPAs (the §5 short-circuit code shape); raw floats stay in
+/// registers and are boxed only at POINTER boundaries, on the stack when
+/// the pdl-number annotation authorizes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_CODEGEN_CODEGEN_H
+#define S1LISP_CODEGEN_CODEGEN_H
+
+#include "annotate/Annotate.h"
+#include "ir/Ir.h"
+#include "s1/Isa.h"
+#include "tnbind/TnBind.h"
+
+#include <string>
+
+namespace s1lisp {
+namespace codegen {
+
+struct CodegenOptions {
+  tnbind::TnBindOptions TnBind;
+  annotate::AnnotateOptions Annotate;
+  /// Cache special-variable binding addresses in the frame (§4.4).
+  bool SpecialCache = true;
+  /// Compile tail calls as jumps (§2).
+  bool TailCalls = true;
+  /// Let expression temporaries use registers (ablation: frame slots only).
+  bool RegisterTemps = true;
+};
+
+struct CompileResult {
+  bool Ok = false;
+  std::string Error;
+  s1::Program Program;
+};
+
+/// Compiles every function in \p M. The module must already be optimized
+/// (or not — the generator handles unoptimized trees too) but NOT yet
+/// annotated: annotation runs here so its options stay consistent.
+CompileResult compileModule(ir::Module &M, const CodegenOptions &Opts = {});
+
+} // namespace codegen
+} // namespace s1lisp
+
+#endif // S1LISP_CODEGEN_CODEGEN_H

@@ -1,0 +1,47 @@
+//===- driver/Compiler.cpp ------------------------------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "frontend/Convert.h"
+
+using namespace s1lisp;
+using namespace s1lisp::driver;
+
+CompileOutcome driver::compileModule(ir::Module &M, const CompilerOptions &Opts) {
+  CompileOutcome Out;
+  if (Opts.Optimize)
+    for (const auto &F : M.functions())
+      opt::metaEvaluate(*F, Opts.Opt);
+  codegen::CompileResult R = codegen::compileModule(M, Opts.Codegen);
+  if (!R.Ok) {
+    Out.Error = R.Error;
+    return Out;
+  }
+  Out.Ok = true;
+  Out.Program = std::move(R.Program);
+  return Out;
+}
+
+CompileOutcome driver::compileSource(ir::Module &M, std::string_view Source,
+                                     const CompilerOptions &Opts,
+                                     opt::OptLog *Log) {
+  CompileOutcome Out;
+  DiagEngine Diags;
+  if (!frontend::convertSource(M, Source, Diags)) {
+    Out.Error = Diags.str();
+    return Out;
+  }
+  if (Opts.Optimize)
+    for (const auto &F : M.functions())
+      opt::metaEvaluate(*F, Opts.Opt, Log);
+  return compileModule(M, CompilerOptions{false, Opts.Opt, Opts.Codegen});
+}
+
+std::string driver::listing(const s1::Program &P) {
+  std::string Out;
+  for (const s1::AsmFunction &F : P.Functions) {
+    Out += s1::printListing(F);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- driver/Compiler.h - The whole pipeline -------------------*- C++ -*-===//
+///
+/// \file
+/// The Table 1 pipeline as one facade: preliminary conversion →
+/// source-program analysis → source-level optimization → machine-dependent
+/// annotation → TNBIND → code generation. Each phase has switches so the
+/// benchmark harness can ablate it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_DRIVER_COMPILER_H
+#define S1LISP_DRIVER_COMPILER_H
+
+#include "codegen/Codegen.h"
+#include "ir/Ir.h"
+#include "opt/MetaEval.h"
+
+#include <string>
+#include <string_view>
+
+namespace s1lisp {
+namespace driver {
+
+struct CompilerOptions {
+  bool Optimize = true; ///< run the §5 source-level optimizer
+  opt::OptOptions Opt;
+  codegen::CodegenOptions Codegen;
+};
+
+struct CompileOutcome {
+  bool Ok = false;
+  std::string Error;
+  s1::Program Program;
+};
+
+/// Reads, converts, optimizes and compiles every top-level form in
+/// \p Source into \p M. When \p Log is given, optimizer transcripts
+/// accumulate there.
+CompileOutcome compileSource(ir::Module &M, std::string_view Source,
+                             const CompilerOptions &Opts = {},
+                             opt::OptLog *Log = nullptr);
+
+/// Compiles an already-converted (and possibly optimized) module.
+CompileOutcome compileModule(ir::Module &M, const CompilerOptions &Opts = {});
+
+/// The whole program as a parenthesized assembly listing (Table 4 style).
+std::string listing(const s1::Program &P);
+
+} // namespace driver
+} // namespace s1lisp
+
+#endif // S1LISP_DRIVER_COMPILER_H

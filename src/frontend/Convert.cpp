@@ -1,0 +1,915 @@
+//===- frontend/Convert.cpp -----------------------------------------------===//
+
+#include "frontend/Convert.h"
+
+#include "ir/Primitives.h"
+#include "sexpr/Printer.h"
+#include "sexpr/Reader.h"
+
+#include <unordered_set>
+
+using namespace s1lisp;
+using namespace s1lisp::frontend;
+using namespace s1lisp::ir;
+using sexpr::Value;
+
+namespace {
+
+SourceLocation locOf(Value Form) {
+  return Form.isCons() ? Form.consCell()->Loc : SourceLocation();
+}
+
+/// One defun's conversion state.
+class Converter {
+public:
+  Converter(Module &M, Function &F, DiagEngine &Diags)
+      : M(M), F(F), Diags(Diags), Syms(M.Syms) {}
+
+  /// Converts (defun name lambda-list body...). Fills F.Root.
+  bool convertDefunBody(Value LambdaList, Value BodyForms, SourceLocation Loc);
+
+private:
+  // --- scope management ---
+  struct ScopeMark {
+    size_t Depth;
+  };
+  ScopeMark markScope() const { return {Scope.size()}; }
+  void popScope(ScopeMark Mark) { Scope.resize(Mark.Depth); }
+  void bind(const sexpr::Symbol *Name, Variable *Var) { Scope.push_back({Name, Var}); }
+
+  Variable *lookupLexical(const sexpr::Symbol *Name) {
+    for (size_t I = Scope.size(); I > 0; --I)
+      if (Scope[I - 1].first == Name)
+        return Scope[I - 1].second;
+    return nullptr;
+  }
+
+  /// Special variables: one Variable per symbol per function, dynamic.
+  Variable *specialVar(const sexpr::Symbol *Name) {
+    auto It = SpecialVars.find(Name);
+    if (It != SpecialVars.end())
+      return It->second;
+    Variable *V = F.makeVariable(Name, /*Special=*/true);
+    SpecialVars.emplace(Name, V);
+    return V;
+  }
+
+  bool isSpecialName(const sexpr::Symbol *Name) const {
+    return M.isSpecial(Name) || LocalSpecials.count(Name);
+  }
+
+  // --- error helpers ---
+  Node *errorAt(Value Form, const std::string &Msg) {
+    Diags.error(locOf(Form), Msg);
+    return F.makeNil();
+  }
+
+  const sexpr::Symbol *sym(const char *Name) { return Syms.intern(Name); }
+
+  // --- conversion ---
+  Node *convert(Value Form);
+  Node *convertBody(Value Forms, SourceLocation Loc);
+  Node *convertCall(Value Form);
+  Node *convertLambdaForm(Value Form);
+  bool parseLambdaList(LambdaNode *L, Value LambdaList, ScopeMark &BodyMark);
+
+  Node *convertLet(Value Form, bool Sequential);
+  Node *convertCond(Value Form);
+  Node *convertAnd(Value Rest);
+  Node *convertOr(Value Rest);
+  Node *convertProg(Value Form);
+  Node *convertDo(Value Form);
+  Node *convertDotimesDolist(Value Form, bool IsDotimes);
+  Node *convertCase(Value Form);
+  Node *convertCatch(Value Form);
+  Node *convertSetq(Value Form);
+  Node *convertProg1(Value Form, size_t KeepIndex);
+
+  void scanDeclarations(Value &BodyForms);
+
+  Module &M;
+  Function &F;
+  DiagEngine &Diags;
+  sexpr::SymbolTable &Syms;
+
+  std::vector<std::pair<const sexpr::Symbol *, Variable *>> Scope;
+  std::unordered_map<const sexpr::Symbol *, Variable *> SpecialVars;
+  std::unordered_set<const sexpr::Symbol *> LocalSpecials;
+
+  /// Enclosing progbodies, innermost last, with their tag sets.
+  struct ProgCtx {
+    ProgBodyNode *Body;
+    std::vector<const sexpr::Symbol *> Tags;
+  };
+  std::vector<ProgCtx> ProgStack;
+};
+
+bool Converter::convertDefunBody(Value LambdaList, Value BodyForms,
+                                 SourceLocation Loc) {
+  LambdaNode *L = F.makeLambda();
+  L->Loc = Loc;
+  ScopeMark Outer = markScope();
+  scanDeclarations(BodyForms);
+  if (!parseLambdaList(L, LambdaList, Outer))
+    return false;
+  L->Body = convertBody(BodyForms, Loc);
+  L->Body->Parent = L;
+  popScope(Outer);
+  F.Root = L;
+  return !Diags.hasErrors();
+}
+
+/// Strips leading (declare ...) forms from a body, recording special
+/// proclamations. Type declarations are accepted and ignored (the paper:
+/// "treated as advice"; representation advice flows through the
+/// type-specific operators instead).
+void Converter::scanDeclarations(Value &BodyForms) {
+  while (BodyForms.isCons()) {
+    Value First = BodyForms.car();
+    if (!First.isCons() || !First.car().isSymbol() ||
+        First.car().symbol() != sym("declare"))
+      return;
+    for (Value D = First.cdr(); D.isCons(); D = D.cdr()) {
+      Value Decl = D.car();
+      if (Decl.isCons() && Decl.car().isSymbol() &&
+          Decl.car().symbol() == sym("special")) {
+        for (Value S = Decl.cdr(); S.isCons(); S = S.cdr())
+          if (S.car().isSymbol())
+            LocalSpecials.insert(S.car().symbol());
+      }
+      // Other declarations (type, ignore, ...) are advice; skip.
+    }
+    BodyForms = BodyForms.cdr();
+  }
+}
+
+bool Converter::parseLambdaList(LambdaNode *L, Value LambdaList, ScopeMark &) {
+  enum class Mode { Required, Optional, Rest, Done } Mode = Mode::Required;
+  for (Value Cur = LambdaList; !Cur.isNil(); Cur = Cur.cdr()) {
+    if (!Cur.isCons()) {
+      Diags.error(locOf(LambdaList), "malformed lambda list");
+      return false;
+    }
+    Value Item = Cur.car();
+    if (Item.isSymbol() && Item.symbol() == sym("&optional")) {
+      if (Mode != Mode::Required) {
+        Diags.error(locOf(LambdaList), "&optional out of place");
+        return false;
+      }
+      Mode = Mode::Optional;
+      continue;
+    }
+    if (Item.isSymbol() && Item.symbol() == sym("&rest")) {
+      if (Mode == Mode::Rest || Mode == Mode::Done) {
+        Diags.error(locOf(LambdaList), "&rest out of place");
+        return false;
+      }
+      Mode = Mode::Rest;
+      continue;
+    }
+
+    auto makeParam = [&](const sexpr::Symbol *Name) {
+      Variable *V = F.makeVariable(Name, isSpecialName(Name));
+      V->Binder = L;
+      bind(Name, V);
+      return V;
+    };
+
+    switch (Mode) {
+    case Mode::Required: {
+      if (!Item.isSymbol()) {
+        Diags.error(locOf(LambdaList), "required parameter must be a symbol");
+        return false;
+      }
+      L->Required.push_back(makeParam(Item.symbol()));
+      break;
+    }
+    case Mode::Optional: {
+      const sexpr::Symbol *Name = nullptr;
+      Node *Default = nullptr;
+      if (Item.isSymbol()) {
+        Name = Item.symbol();
+      } else if (Item.isCons() && Item.car().isSymbol()) {
+        Name = Item.car().symbol();
+        if (Item.cdr().isCons())
+          Default = convert(Item.cdr().car()); // sees earlier params
+      }
+      if (!Name) {
+        Diags.error(locOf(LambdaList), "malformed &optional parameter");
+        return false;
+      }
+      if (!Default)
+        Default = F.makeNil();
+      Variable *V = makeParam(Name);
+      Default->Parent = L;
+      L->Optionals.push_back({V, Default});
+      break;
+    }
+    case Mode::Rest: {
+      if (!Item.isSymbol()) {
+        Diags.error(locOf(LambdaList), "&rest parameter must be a symbol");
+        return false;
+      }
+      L->Rest = makeParam(Item.symbol());
+      Mode = Mode::Done;
+      break;
+    }
+    case Mode::Done:
+      Diags.error(locOf(LambdaList), "parameters after &rest");
+      return false;
+    }
+  }
+  if (Mode == Mode::Rest) {
+    Diags.error(locOf(LambdaList), "&rest with no parameter name");
+    return false;
+  }
+  return true;
+}
+
+Node *Converter::convertBody(Value Forms, SourceLocation Loc) {
+  scanDeclarations(Forms);
+  std::vector<Node *> Converted;
+  for (Value Cur = Forms; Cur.isCons(); Cur = Cur.cdr())
+    Converted.push_back(convert(Cur.car()));
+  if (Converted.empty())
+    return F.makeNil();
+  if (Converted.size() == 1)
+    return Converted.front();
+  PrognNode *P = F.makeProgn(std::move(Converted));
+  P->Loc = Loc;
+  return P;
+}
+
+Node *Converter::convert(Value Form) {
+  // Self-evaluating atoms.
+  if (Form.isNumber() || Form.isString() || Form.isNil()) {
+    Node *N = F.makeLiteral(Form);
+    return N;
+  }
+  if (Form.isSymbol()) {
+    const sexpr::Symbol *S = Form.symbol();
+    if (S == Syms.t())
+      return F.makeLiteral(Value::symbol(S));
+    if (isSpecialName(S))
+      return F.makeVarRef(specialVar(S));
+    if (Variable *V = lookupLexical(S))
+      return F.makeVarRef(V);
+    // Classic Lisp: a free reference is assumed to be a special variable.
+    Diags.warning(SourceLocation(),
+                  "free variable '" + S->name() + "' assumed special");
+    return F.makeVarRef(specialVar(S));
+  }
+
+  assert(Form.isCons() && "unexpected value kind");
+  Value Head = Form.car();
+
+  // ((lambda ...) args): direct lambda application (LET after expansion).
+  if (Head.isCons()) {
+    if (Head.car().isSymbol() && Head.car().symbol() == sym("lambda")) {
+      Node *Callee = convertLambdaForm(Head);
+      std::vector<Node *> Args;
+      for (Value A = Form.cdr(); A.isCons(); A = A.cdr())
+        Args.push_back(convert(A.car()));
+      CallNode *C = F.makeCallExpr(Callee, std::move(Args));
+      C->Loc = locOf(Form);
+      return C;
+    }
+    return errorAt(Form, "illegal function position");
+  }
+  if (!Head.isSymbol())
+    return errorAt(Form, "illegal function position");
+
+  const sexpr::Symbol *Op = Head.symbol();
+  const std::string &Name = Op->name();
+  Value Rest = Form.cdr();
+
+  // --- special forms of the basic set ---
+  if (Name == "quote") {
+    if (!Rest.isCons() || !Rest.cdr().isNil())
+      return errorAt(Form, "quote takes exactly one form");
+    return F.makeLiteral(Rest.car());
+  }
+  if (Name == "if") {
+    size_t N = sexpr::isProperList(Rest) ? sexpr::listLength(Rest) : 0;
+    if (N < 2 || N > 3)
+      return errorAt(Form, "if takes two or three forms");
+    Node *Test = convert(Rest.car());
+    Node *Then = convert(Rest.cdr().car());
+    Node *Else = N == 3 ? convert(Rest.cdr().cdr().car()) : F.makeNil();
+    IfNode *I = F.makeIf(Test, Then, Else);
+    I->Loc = locOf(Form);
+    return I;
+  }
+  if (Name == "progn")
+    return convertBody(Rest, locOf(Form));
+  if (Name == "lambda")
+    return convertLambdaForm(Form);
+  if (Name == "setq")
+    return convertSetq(Form);
+  if (Name == "go") {
+    if (!Rest.isCons() || !Rest.car().isSymbol())
+      return errorAt(Form, "go takes a tag symbol");
+    const sexpr::Symbol *Tag = Rest.car().symbol();
+    for (size_t I = ProgStack.size(); I > 0; --I) {
+      ProgCtx &Ctx = ProgStack[I - 1];
+      for (const sexpr::Symbol *T : Ctx.Tags)
+        if (T == Tag)
+          return F.makeGo(Tag, Ctx.Body);
+    }
+    return errorAt(Form, "go to unknown tag '" + Tag->name() + "'");
+  }
+  if (Name == "return") {
+    if (ProgStack.empty())
+      return errorAt(Form, "return outside prog");
+    Node *V = Rest.isCons() ? convert(Rest.car()) : F.makeNil();
+    return F.makeReturn(V, ProgStack.back().Body);
+  }
+
+  // --- macros expanded into the basic set ---
+  if (Name == "let")
+    return convertLet(Form, /*Sequential=*/false);
+  if (Name == "let*")
+    return convertLet(Form, /*Sequential=*/true);
+  if (Name == "cond")
+    return convertCond(Form);
+  if (Name == "and")
+    return convertAnd(Rest);
+  if (Name == "or")
+    return convertOr(Rest);
+  if (Name == "when") {
+    if (!Rest.isCons())
+      return errorAt(Form, "when needs a test");
+    return F.makeIf(convert(Rest.car()), convertBody(Rest.cdr(), locOf(Form)),
+                    F.makeNil());
+  }
+  if (Name == "unless") {
+    if (!Rest.isCons())
+      return errorAt(Form, "unless needs a test");
+    return F.makeIf(convert(Rest.car()), F.makeNil(),
+                    convertBody(Rest.cdr(), locOf(Form)));
+  }
+  if (Name == "prog")
+    return convertProg(Form);
+  if (Name == "do")
+    return convertDo(Form);
+  if (Name == "dotimes")
+    return convertDotimesDolist(Form, /*IsDotimes=*/true);
+  if (Name == "dolist")
+    return convertDotimesDolist(Form, /*IsDotimes=*/false);
+  if (Name == "case" || Name == "caseq")
+    return convertCase(Form);
+  if (Name == "catch" || Name == "catcher")
+    return convertCatch(Form);
+  if (Name == "prog1")
+    return convertProg1(Form, 0);
+  if (Name == "prog2")
+    return convertProg1(Form, 1);
+  if (Name == "function") {
+    // (function f) names a function; (function (lambda ...)) is the lambda.
+    if (!Rest.isCons() || !Rest.cdr().isNil())
+      return errorAt(Form, "function takes exactly one designator");
+    Value Designator = Rest.car();
+    if (Designator.isSymbol())
+      return F.makeCall(Op, {F.makeLiteral(Designator)});
+    if (Designator.isCons() && Designator.car().isSymbol() &&
+        Designator.car().symbol() == sym("lambda"))
+      return convertLambdaForm(Designator);
+    return errorAt(Form, "function needs a symbol or lambda");
+  }
+
+  return convertCall(Form);
+}
+
+Node *Converter::convertCall(Value Form) {
+  const sexpr::Symbol *Op = Form.car().symbol();
+  std::vector<Node *> Args;
+  for (Value A = Form.cdr(); A.isCons(); A = A.cdr())
+    Args.push_back(convert(A.car()));
+
+  // A lexically bound variable in function position is called through the
+  // variable — the paper's dialect writes (f) for a let-bound function f
+  // (see the §5 derivations).
+  if (Variable *V = lookupLexical(Op)) {
+    CallNode *C = F.makeCallExpr(F.makeVarRef(V), std::move(Args));
+    C->Loc = locOf(Form);
+    return C;
+  }
+
+  if (const PrimInfo *P = lookupPrim(Op)) {
+    if (!P->acceptsArgCount(Args.size()))
+      return errorAt(Form, std::string("wrong number of arguments to '") +
+                               P->Name + "'");
+  }
+  CallNode *C = F.makeCall(Op, std::move(Args));
+  C->Loc = locOf(Form);
+  return C;
+}
+
+Node *Converter::convertLambdaForm(Value Form) {
+  // (lambda lambda-list body...)
+  Value Rest = Form.cdr();
+  if (!Rest.isCons())
+    return errorAt(Form, "lambda needs a parameter list");
+  LambdaNode *L = F.makeLambda();
+  L->Loc = locOf(Form);
+  ScopeMark Outer = markScope();
+  Value Body = Rest.cdr();
+  scanDeclarations(Body);
+  if (!parseLambdaList(L, Rest.car(), Outer))
+    return F.makeNil();
+  L->Body = convertBody(Body, locOf(Form));
+  L->Body->Parent = L;
+  popScope(Outer);
+  return L;
+}
+
+Node *Converter::convertLet(Value Form, bool Sequential) {
+  Value Rest = Form.cdr();
+  if (!Rest.isCons())
+    return errorAt(Form, "let needs a binding list");
+  Value Bindings = Rest.car();
+  Value Body = Rest.cdr();
+
+  if (Sequential && Bindings.isCons() && Bindings.cdr().isCons()) {
+    // (let* ((a x) more...) body) => (let ((a x)) (let* (more...) body))
+    Value Inner = F.dataHeap().cons(
+        Value::symbol(sym("let*")),
+        F.dataHeap().cons(Bindings.cdr(), Body, locOf(Form)), locOf(Form));
+    Value Outer = F.dataHeap().list(
+        {Value::symbol(sym("let")),
+         F.dataHeap().cons(Bindings.car(), Value::nil()), Inner});
+    return convert(Outer);
+  }
+
+  // (let ((v1 e1) (v2 e2) v3) body) => ((lambda (v1 v2 v3) body) e1 e2 nil)
+  std::vector<const sexpr::Symbol *> Names;
+  std::vector<Node *> Inits; // converted in the OUTER scope
+  for (Value B = Bindings; !B.isNil(); B = B.cdr()) {
+    if (!B.isCons())
+      return errorAt(Form, "malformed let binding list");
+    Value Binding = B.car();
+    if (Binding.isSymbol()) {
+      Names.push_back(Binding.symbol());
+      Inits.push_back(F.makeNil());
+    } else if (Binding.isCons() && Binding.car().isSymbol()) {
+      Names.push_back(Binding.car().symbol());
+      Inits.push_back(Binding.cdr().isCons() ? convert(Binding.cdr().car())
+                                             : F.makeNil());
+    } else {
+      return errorAt(Form, "malformed let binding");
+    }
+  }
+
+  LambdaNode *L = F.makeLambda();
+  L->Loc = locOf(Form);
+  ScopeMark Outer = markScope();
+  for (const sexpr::Symbol *Name : Names) {
+    Variable *V = F.makeVariable(Name, isSpecialName(Name));
+    V->Binder = L;
+    bind(Name, V);
+    L->Required.push_back(V);
+  }
+  L->Body = convertBody(Body, locOf(Form));
+  L->Body->Parent = L;
+  popScope(Outer);
+  CallNode *C = F.makeCallExpr(L, std::move(Inits));
+  C->Loc = locOf(Form);
+  return C;
+}
+
+Node *Converter::convertCond(Value Form) {
+  // (cond) => nil ; (cond (test) rest) => (or test (cond rest...))
+  // (cond (test body..) rest) => (if test (progn body..) (cond rest...))
+  // (cond (t body..)) => (progn body..)
+  Value Clauses = Form.cdr();
+  if (Clauses.isNil())
+    return F.makeNil();
+  if (!Clauses.isCons())
+    return errorAt(Form, "malformed cond");
+  Value Clause = Clauses.car();
+  if (!Clause.isCons())
+    return errorAt(Form, "malformed cond clause");
+  Value Test = Clause.car();
+  Value Body = Clause.cdr();
+  Value RestClauses =
+      F.dataHeap().cons(Value::symbol(sym("cond")), Clauses.cdr(), locOf(Form));
+
+  bool TestIsT = Test.isSymbol() && Test.symbol() == Syms.t();
+  if (Body.isNil()) {
+    if (TestIsT)
+      return F.makeLiteral(Value::symbol(Syms.t()));
+    // Value-producing test: reuse the or-expansion to avoid double eval.
+    return convertOr(F.dataHeap().list({Test, RestClauses}));
+  }
+  if (TestIsT)
+    return convertBody(Body, locOf(Form));
+  Node *Then = convertBody(Body, locOf(Form));
+  Node *Else = convert(RestClauses);
+  IfNode *I = F.makeIf(convert(Test), Then, Else);
+  I->Loc = locOf(Form);
+  return I;
+}
+
+Node *Converter::convertAnd(Value Rest) {
+  // (and) => t ; (and a) => a ; (and a more..) => (if a (and more..) nil)
+  if (Rest.isNil())
+    return F.makeLiteral(Value::symbol(Syms.t()));
+  if (Rest.cdr().isNil())
+    return convert(Rest.car());
+  Node *Test = convert(Rest.car());
+  Node *Then = convertAnd(Rest.cdr());
+  return F.makeIf(Test, Then, F.makeNil());
+}
+
+Node *Converter::convertOr(Value Rest) {
+  // (or) => nil ; (or a) => a
+  // (or a more..) => ((lambda (v f) (if v v (f))) a (lambda () (or more..)))
+  // — the paper's expansion, avoiding double evaluation of a (§5).
+  if (Rest.isNil())
+    return F.makeNil();
+  if (Rest.cdr().isNil())
+    return convert(Rest.car());
+
+  Node *First = convert(Rest.car());
+
+  LambdaNode *Thunk = F.makeLambda();
+  Thunk->Body = convertOr(Rest.cdr());
+  Thunk->Body->Parent = Thunk;
+
+  LambdaNode *L = F.makeLambda();
+  Variable *V = F.makeVariable(sym("v"), false);
+  Variable *Fv = F.makeVariable(sym("f"), false);
+  V->Binder = L;
+  Fv->Binder = L;
+  L->Required = {V, Fv};
+  Node *Call = F.makeCallExpr(F.makeVarRef(Fv), {});
+  L->Body = F.makeIf(F.makeVarRef(V), F.makeVarRef(V), Call);
+  L->Body->Parent = L;
+
+  return F.makeCallExpr(L, {First, Thunk});
+}
+
+Node *Converter::convertSetq(Value Form) {
+  // (setq v1 e1 v2 e2 ...) — value of the last assignment.
+  Value Rest = Form.cdr();
+  if (Rest.isNil())
+    return F.makeNil();
+  std::vector<Node *> Assignments;
+  while (Rest.isCons()) {
+    if (!Rest.car().isSymbol() || !Rest.cdr().isCons())
+      return errorAt(Form, "malformed setq");
+    const sexpr::Symbol *Name = Rest.car().symbol();
+    Node *E = convert(Rest.cdr().car());
+    Variable *V;
+    if (isSpecialName(Name)) {
+      V = specialVar(Name);
+    } else if ((V = lookupLexical(Name)) == nullptr) {
+      Diags.warning(locOf(Form),
+                    "setq of free variable '" + Name->name() + "' assumed special");
+      V = specialVar(Name);
+    }
+    SetqNode *S = F.makeSetq(V, E);
+    S->Loc = locOf(Form);
+    Assignments.push_back(S);
+    Rest = Rest.cdr().cdr();
+  }
+  if (Assignments.size() == 1)
+    return Assignments.front();
+  return F.makeProgn(std::move(Assignments));
+}
+
+Node *Converter::convertProg(Value Form) {
+  // (prog (vars) stmt-or-tag ...) =>
+  //   (let (vars) (progbody ...))   with an implicit (return nil) fall-off.
+  Value Rest = Form.cdr();
+  if (!Rest.isCons())
+    return errorAt(Form, "prog needs a binding list");
+  Value Bindings = Rest.car();
+  Value Stmts = Rest.cdr();
+
+  // Bind the prog variables exactly like let.
+  std::vector<const sexpr::Symbol *> Names;
+  std::vector<Node *> Inits;
+  for (Value B = Bindings; !B.isNil(); B = B.cdr()) {
+    if (!B.isCons())
+      return errorAt(Form, "malformed prog binding list");
+    Value Binding = B.car();
+    if (Binding.isSymbol()) {
+      Names.push_back(Binding.symbol());
+      Inits.push_back(F.makeNil());
+    } else if (Binding.isCons() && Binding.car().isSymbol()) {
+      Names.push_back(Binding.car().symbol());
+      Inits.push_back(Binding.cdr().isCons() ? convert(Binding.cdr().car())
+                                             : F.makeNil());
+    } else {
+      return errorAt(Form, "malformed prog binding");
+    }
+  }
+
+  LambdaNode *L = F.makeLambda();
+  L->Loc = locOf(Form);
+  ScopeMark Outer = markScope();
+  for (const sexpr::Symbol *Name : Names) {
+    Variable *V = F.makeVariable(Name, isSpecialName(Name));
+    V->Binder = L;
+    bind(Name, V);
+    L->Required.push_back(V);
+  }
+
+  // Collect tags first so forward gos resolve.
+  std::vector<const sexpr::Symbol *> Tags;
+  for (Value S = Stmts; S.isCons(); S = S.cdr())
+    if (S.car().isSymbol())
+      Tags.push_back(S.car().symbol());
+
+  ProgBodyNode *PB = F.makeProgBody({});
+  ProgStack.push_back({PB, Tags});
+  std::vector<ProgBodyNode::Item> Items;
+  for (Value S = Stmts; S.isCons(); S = S.cdr()) {
+    Value Stmt = S.car();
+    if (Stmt.isSymbol())
+      Items.push_back({Stmt.symbol(), nullptr});
+    else
+      Items.push_back({nullptr, convert(Stmt)});
+  }
+  ProgStack.pop_back();
+  PB->Items = std::move(Items);
+  for (auto &I : PB->Items)
+    if (I.Stmt)
+      I.Stmt->Parent = PB;
+
+  L->Body = PB;
+  PB->Parent = L;
+  popScope(Outer);
+  return F.makeCallExpr(L, std::move(Inits));
+}
+
+Node *Converter::convertDo(Value Form) {
+  // (do ((v init step)...) (end-test result...) body...) =>
+  // (prog ((v init)...)
+  //   loop (when end-test (return (progn result...)))
+  //        body...
+  //        <parallel step>
+  //        (go loop))
+  sexpr::Heap &H = F.dataHeap();
+  Value Rest = Form.cdr();
+  if (!Rest.isCons() || !Rest.cdr().isCons())
+    return errorAt(Form, "malformed do");
+  Value VarSpecs = Rest.car();
+  Value EndClause = Rest.cdr().car();
+  Value Body = Rest.cdr().cdr();
+  if (!EndClause.isCons())
+    return errorAt(Form, "do needs an (end-test result...) clause");
+
+  std::vector<Value> Bindings;
+  std::vector<std::pair<Value, Value>> Steps; // (var, step-expr)
+  for (Value VS = VarSpecs; VS.isCons(); VS = VS.cdr()) {
+    Value Spec = VS.car();
+    if (Spec.isSymbol()) {
+      Bindings.push_back(Spec);
+      continue;
+    }
+    if (!Spec.isCons() || !Spec.car().isSymbol())
+      return errorAt(Form, "malformed do variable spec");
+    Value Var = Spec.car();
+    Value Init = Spec.cdr().isCons() ? Spec.cdr().car() : Value::nil();
+    Bindings.push_back(H.list({Var, Init}));
+    if (Spec.cdr().isCons() && Spec.cdr().cdr().isCons())
+      Steps.push_back({Var, Spec.cdr().cdr().car()});
+  }
+
+  Value LoopTag = Value::symbol(Syms.intern("do-loop"));
+  Value EndTest = EndClause.car();
+  Value ResultForms = EndClause.cdr();
+  Value ReturnForm = H.list(
+      {Value::symbol(sym("return")),
+       H.cons(Value::symbol(sym("progn")), ResultForms, locOf(Form))});
+  Value WhenForm =
+      H.list({Value::symbol(sym("when")), EndTest, ReturnForm});
+
+  std::vector<Value> Stmts{LoopTag, WhenForm};
+  for (Value BodyForm = Body; BodyForm.isCons(); BodyForm = BodyForm.cdr())
+    Stmts.push_back(BodyForm.car());
+
+  // Parallel stepping: ((lambda (t1..tn) (setq v1 t1) ... ) step1 .. stepn)
+  if (!Steps.empty()) {
+    std::vector<Value> TempNames, SetqForms, StepExprs;
+    for (size_t I = 0; I < Steps.size(); ++I) {
+      Value Temp = Value::symbol(Syms.intern("do-step-" + std::to_string(I)));
+      TempNames.push_back(Temp);
+      SetqForms.push_back(H.list({Value::symbol(sym("setq")), Steps[I].first, Temp}));
+      StepExprs.push_back(Steps[I].second);
+    }
+    std::vector<Value> LambdaForm{Value::symbol(sym("lambda")), H.list(TempNames)};
+    for (Value SF : SetqForms)
+      LambdaForm.push_back(SF);
+    std::vector<Value> CallForm{H.list(LambdaForm)};
+    for (Value SE : StepExprs)
+      CallForm.push_back(SE);
+    Stmts.push_back(H.list(CallForm));
+  }
+  Stmts.push_back(H.list({Value::symbol(sym("go")), LoopTag}));
+
+  std::vector<Value> ProgForm{Value::symbol(sym("prog")), H.list(Bindings)};
+  for (Value S : Stmts)
+    ProgForm.push_back(S);
+  return convert(H.list(ProgForm));
+}
+
+Node *Converter::convertDotimesDolist(Value Form, bool IsDotimes) {
+  sexpr::Heap &H = F.dataHeap();
+  Value Rest = Form.cdr();
+  if (!Rest.isCons() || !Rest.car().isCons())
+    return errorAt(Form, "malformed dotimes/dolist header");
+  Value Header = Rest.car();
+  Value Var = Header.car();
+  if (!Var.isSymbol())
+    return errorAt(Form, "dotimes/dolist variable must be a symbol");
+  Value Limit = Header.cdr().isCons() ? Header.cdr().car() : Value::nil();
+  Value Result = Header.cdr().cdr().isCons() ? Header.cdr().cdr().car() : Value::nil();
+  Value Body = Rest.cdr();
+
+  if (IsDotimes) {
+    // (do ((var 0 (1+ var)) (lim limit)) ((>= var lim) result) body...)
+    Value LimVar = Value::symbol(Syms.intern("dotimes-limit"));
+    Value Do = H.list(
+        {Value::symbol(sym("do")),
+         H.list({H.list({Var, Value::fixnum(0),
+                         H.list({Value::symbol(sym("1+")), Var})}),
+                 H.list({LimVar, Limit})}),
+         H.list({H.list({Value::symbol(sym(">=")), Var, LimVar}), Result})});
+    std::vector<Value> Full = sexpr::listToVector(Do);
+    for (Value BodyForm = Body; BodyForm.isCons(); BodyForm = BodyForm.cdr())
+      Full.push_back(BodyForm.car());
+    return convert(H.list(Full));
+  }
+
+  // (do ((tail list (cdr tail))) ((null tail) result)
+  //   (let ((var (car tail))) body...))
+  Value TailVar = Value::symbol(Syms.intern("dolist-tail"));
+  std::vector<Value> LetBody{Value::symbol(sym("let")),
+                             H.list({H.list({Var, H.list({Value::symbol(sym("car")), TailVar})})})};
+  for (Value BodyForm = Body; BodyForm.isCons(); BodyForm = BodyForm.cdr())
+    LetBody.push_back(BodyForm.car());
+  Value Do = H.list({Value::symbol(sym("do")),
+                     H.list({H.list({TailVar, Limit,
+                                     H.list({Value::symbol(sym("cdr")), TailVar})})}),
+                     H.list({H.list({Value::symbol(sym("null")), TailVar}), Result}),
+                     H.list(LetBody)});
+  return convert(Do);
+}
+
+Node *Converter::convertCase(Value Form) {
+  Value Rest = Form.cdr();
+  if (!Rest.isCons())
+    return errorAt(Form, "case needs a key form");
+  Node *Key = convert(Rest.car());
+  std::vector<CaseqNode::Clause> Clauses;
+  Node *Default = nullptr;
+  for (Value C = Rest.cdr(); C.isCons(); C = C.cdr()) {
+    Value Clause = C.car();
+    if (!Clause.isCons())
+      return errorAt(Form, "malformed case clause");
+    Value Keys = Clause.car();
+    Node *Body = convertBody(Clause.cdr(), locOf(Form));
+    bool IsDefault =
+        Keys.isSymbol() &&
+        (Keys.symbol() == Syms.t() || Keys.symbol() == sym("otherwise"));
+    if (IsDefault) {
+      if (Default)
+        return errorAt(Form, "case has two default clauses");
+      Default = Body;
+      continue;
+    }
+    std::vector<Value> KeyList;
+    if (Keys.isCons())
+      KeyList = sexpr::listToVector(Keys);
+    else
+      KeyList.push_back(Keys);
+    Clauses.push_back({std::move(KeyList), Body});
+  }
+  if (!Default)
+    Default = F.makeNil();
+  CaseqNode *N = F.makeCaseq(Key, std::move(Clauses), Default);
+  N->Loc = locOf(Form);
+  return N;
+}
+
+Node *Converter::convertCatch(Value Form) {
+  // (catch tag body...) => catcher node.
+  Value Rest = Form.cdr();
+  if (!Rest.isCons())
+    return errorAt(Form, "catch needs a tag");
+  Node *Tag = convert(Rest.car());
+  Node *Body = convertBody(Rest.cdr(), locOf(Form));
+  CatcherNode *C = F.makeCatcher(Tag, Body);
+  C->Loc = locOf(Form);
+  return C;
+}
+
+Node *Converter::convertProg1(Value Form, size_t KeepIndex) {
+  // (prog1 a b c) => ((lambda (v) b c v) a)
+  // (prog2 a b c) => (progn a ((lambda (v) c v) b))
+  Value Rest = Form.cdr();
+  std::vector<Value> Forms = sexpr::listToVector(Rest);
+  if (Forms.size() <= KeepIndex)
+    return errorAt(Form, "too few forms for prog1/prog2");
+  sexpr::Heap &H = F.dataHeap();
+  Value KeepVar = Value::symbol(Syms.intern("prog1-value"));
+  std::vector<Value> LambdaForm{Value::symbol(sym("lambda")), H.list({KeepVar})};
+  for (size_t I = KeepIndex + 1; I < Forms.size(); ++I)
+    LambdaForm.push_back(Forms[I]);
+  LambdaForm.push_back(KeepVar);
+  Value Call = H.list({H.list(LambdaForm), Forms[KeepIndex]});
+  if (KeepIndex == 0)
+    return convert(Call);
+  std::vector<Value> Progn{Value::symbol(sym("progn"))};
+  for (size_t I = 0; I < KeepIndex; ++I)
+    Progn.push_back(Forms[I]);
+  Progn.push_back(Call);
+  return convert(H.list(Progn));
+}
+
+} // namespace
+
+ir::Function *frontend::convertTopLevel(Module &M, Value Form, DiagEngine &Diags) {
+  if (!Form.isCons() || !Form.car().isSymbol()) {
+    Diags.error(locOf(Form), "top-level form must be defun, defvar, or proclaim");
+    return nullptr;
+  }
+  const std::string &Head = Form.car().symbol()->name();
+
+  if (Head == "defvar" || Head == "defparameter") {
+    Value Rest = Form.cdr();
+    if (!Rest.isCons() || !Rest.car().isSymbol()) {
+      Diags.error(locOf(Form), "defvar needs a symbol");
+      return nullptr;
+    }
+    M.Specials.push_back(Rest.car().symbol());
+    return nullptr;
+  }
+  if (Head == "proclaim") {
+    // (proclaim (special a b ...)) — we accept the quoted form too.
+    Value Arg = Form.cdr().car();
+    if (Arg.isCons() && Arg.car().isSymbol() &&
+        Arg.car().symbol()->name() == "quote")
+      Arg = Arg.cdr().car();
+    if (Arg.isCons() && Arg.car().isSymbol() &&
+        Arg.car().symbol()->name() == "special")
+      for (Value S = Arg.cdr(); S.isCons(); S = S.cdr())
+        if (S.car().isSymbol())
+          M.Specials.push_back(S.car().symbol());
+    return nullptr;
+  }
+  if (Head != "defun") {
+    Diags.error(locOf(Form), "unsupported top-level form '" + Head + "'");
+    return nullptr;
+  }
+
+  Value Rest = Form.cdr();
+  if (!Rest.isCons() || !Rest.car().isSymbol()) {
+    Diags.error(locOf(Form), "defun needs a function name");
+    return nullptr;
+  }
+  const sexpr::Symbol *Name = Rest.car().symbol();
+  if (!Rest.cdr().isCons()) {
+    Diags.error(locOf(Form), "defun needs a lambda list");
+    return nullptr;
+  }
+  Value LambdaList = Rest.cdr().car();
+  Value Body = Rest.cdr().cdr();
+
+  Function *F = M.addFunction(Name->name());
+  Converter C(M, *F, Diags);
+  if (!C.convertDefunBody(LambdaList, Body, locOf(Form)))
+    return nullptr;
+
+  recomputeVariableRefs(*F);
+  DiagEngine VerifyDiags;
+  bool Clean = verify(*F, VerifyDiags);
+  assert(Clean && "converter produced an inconsistent tree");
+  (void)Clean;
+  return F;
+}
+
+bool frontend::convertSource(Module &M, std::string_view Source, DiagEngine &Diags) {
+  auto Forms = sexpr::readAll(M.Syms, M.DataHeap, Source, Diags);
+  if (Diags.hasErrors())
+    return false;
+  for (Value Form : Forms)
+    convertTopLevel(M, Form, Diags);
+  return !Diags.hasErrors();
+}
+
+ir::Function *frontend::convertDefun(Module &M, std::string_view Source) {
+  DiagEngine Diags;
+  auto Forms = sexpr::readAll(M.Syms, M.DataHeap, Source, Diags);
+  Function *Result = nullptr;
+  for (Value Form : Forms) {
+    Function *F = convertTopLevel(M, Form, Diags);
+    if (F)
+      Result = F;
+  }
+  assert(Result && !Diags.hasErrors() && "convertDefun: conversion failed");
+  return Result;
+}

@@ -1,0 +1,166 @@
+//===- ir/BackTranslate.cpp -----------------------------------------------===//
+
+#include "ir/BackTranslate.h"
+
+#include "sexpr/Printer.h"
+
+using namespace s1lisp;
+using namespace s1lisp::ir;
+using sexpr::Value;
+
+namespace {
+
+class BackTranslator {
+public:
+  BackTranslator(Function &F, BackTranslateOptions Opts)
+      : F(F), H(F.dataHeap()), Syms(F.symbols()), Opts(Opts) {}
+
+  Value run(const Node *N) { return translate(N); }
+
+  Value sym(const char *Name) { return Value::symbol(Syms.intern(Name)); }
+
+  Value varName(const Variable *V) {
+    if (Opts.VariableIds)
+      return Value::symbol(Syms.intern(V->debugName()));
+    return Value::symbol(V->name());
+  }
+
+  Value lambdaList(const LambdaNode *L) {
+    // An empty parameter list prints as "()", matching the paper's
+    // transcripts; "()" reads back as NIL, i.e. the empty list.
+    if (L->Required.empty() && L->Optionals.empty() && !L->Rest)
+      return sym("()");
+    std::vector<Value> Params;
+    for (const Variable *P : L->Required)
+      Params.push_back(varName(P));
+    if (!L->Optionals.empty()) {
+      Params.push_back(sym("&optional"));
+      for (const auto &O : L->Optionals) {
+        if (O.Default && !isNilLiteral(O.Default))
+          Params.push_back(H.list({varName(O.Var), translate(O.Default)}));
+        else
+          Params.push_back(varName(O.Var));
+      }
+    }
+    if (L->Rest) {
+      Params.push_back(sym("&rest"));
+      Params.push_back(varName(L->Rest));
+    }
+    return H.list(Params);
+  }
+
+  Value translateLambda(const LambdaNode *L) {
+    return H.list({sym("lambda"), lambdaList(L), translate(L->Body)});
+  }
+
+private:
+  static bool isNilLiteral(const Node *N) {
+    const auto *Lit = dyn_cast<LiteralNode>(N);
+    return Lit && Lit->Datum.isNil();
+  }
+
+  Value translate(const Node *N) {
+    switch (N->kind()) {
+    case NodeKind::Literal: {
+      Value D = cast<LiteralNode>(N)->Datum;
+      bool SelfEval = D.isNumber() || D.isString();
+      if (SelfEval && !Opts.QuoteNumbers)
+        return D;
+      return H.list({Value::symbol(Syms.quote()), D});
+    }
+    case NodeKind::VarRef:
+      return varName(cast<VarRefNode>(N)->Var);
+    case NodeKind::Setq: {
+      const auto *S = cast<SetqNode>(N);
+      return H.list({sym("setq"), varName(S->Var), translate(S->ValueExpr)});
+    }
+    case NodeKind::If: {
+      const auto *I = cast<IfNode>(N);
+      return H.list({sym("if"), translate(I->Test), translate(I->Then),
+                     translate(I->Else)});
+    }
+    case NodeKind::Progn: {
+      std::vector<Value> Items{sym("progn")};
+      for (const Node *C : cast<PrognNode>(N)->Forms)
+        Items.push_back(translate(C));
+      return H.list(Items);
+    }
+    case NodeKind::Lambda:
+      return translateLambda(cast<LambdaNode>(N));
+    case NodeKind::Call: {
+      const auto *C = cast<CallNode>(N);
+      std::vector<Value> Items;
+      if (C->Name) {
+        Items.push_back(Value::symbol(C->Name));
+      } else if (C->CalleeExpr->kind() == NodeKind::Lambda) {
+        Items.push_back(translate(C->CalleeExpr));
+      } else if (C->CalleeExpr->kind() == NodeKind::VarRef) {
+        // The paper's transcripts render a call through a variable as
+        // (f) rather than (funcall f).
+        Items.push_back(varName(cast<VarRefNode>(C->CalleeExpr)->Var));
+      } else {
+        // A computed callee back-translates as funcall.
+        Items.push_back(sym("funcall"));
+        Items.push_back(translate(C->CalleeExpr));
+      }
+      for (const Node *AN : C->Args)
+        Items.push_back(translate(AN));
+      return H.list(Items);
+    }
+    case NodeKind::Caseq: {
+      const auto *C = cast<CaseqNode>(N);
+      std::vector<Value> Items{sym("caseq"), translate(C->Key)};
+      for (const auto &Cl : C->Clauses) {
+        Value Keys = H.list(Cl.Keys);
+        Items.push_back(H.list({Keys, translate(Cl.Body)}));
+      }
+      Items.push_back(H.list({Value::symbol(Syms.t()), translate(C->Default)}));
+      return H.list(Items);
+    }
+    case NodeKind::Catcher: {
+      const auto *C = cast<CatcherNode>(N);
+      return H.list({sym("catcher"), translate(C->TagExpr), translate(C->Body)});
+    }
+    case NodeKind::ProgBody: {
+      std::vector<Value> Items{sym("progbody")};
+      for (const auto &I : cast<ProgBodyNode>(N)->Items) {
+        if (I.Tag)
+          Items.push_back(Value::symbol(I.Tag));
+        else
+          Items.push_back(translate(I.Stmt));
+      }
+      return H.list(Items);
+    }
+    case NodeKind::Go:
+      return H.list({sym("go"), Value::symbol(cast<GoNode>(N)->Tag)});
+    case NodeKind::Return:
+      return H.list({sym("return"), translate(cast<ReturnNode>(N)->ValueExpr)});
+    }
+    assert(false && "unhandled node kind");
+    return Value::nil();
+  }
+
+  Function &F;
+  sexpr::Heap &H;
+  sexpr::SymbolTable &Syms;
+  BackTranslateOptions Opts;
+};
+
+} // namespace
+
+Value ir::backTranslate(Function &F, const Node *N, BackTranslateOptions Opts) {
+  return BackTranslator(F, Opts).run(N);
+}
+
+Value ir::backTranslateFunction(Function &F, BackTranslateOptions Opts) {
+  BackTranslator BT(F, Opts);
+  std::vector<Value> Items{BT.sym("defun"),
+                           Value::symbol(F.symbols().intern(F.name())),
+                           BT.lambdaList(F.Root), BT.run(F.Root->Body)};
+  return F.dataHeap().list(Items);
+}
+
+std::string ir::backTranslateToString(Function &F, const Node *N,
+                                      BackTranslateOptions Opts) {
+  return sexpr::toPrettyString(backTranslate(F, N, Opts));
+}

@@ -1,0 +1,45 @@
+//===- ir/BackTranslate.h - Internal tree back to source --------*- C++ -*-===//
+///
+/// \file
+/// Converts the internal tree back into valid source text, "equivalent to,
+/// though not necessarily identical to, the original source" (§4.1). The
+/// paper built this as a debugging aid for the compiler writers; here it
+/// additionally powers the optimizer transcript and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_IR_BACKTRANSLATE_H
+#define S1LISP_IR_BACKTRANSLATE_H
+
+#include "ir/Ir.h"
+
+#include <string>
+
+namespace s1lisp {
+namespace ir {
+
+struct BackTranslateOptions {
+  /// Wrap number/string constants in (quote ...) too. The paper's
+  /// back-translator "omits quote-forms around numbers" for readability;
+  /// that is our default as well.
+  bool QuoteNumbers = false;
+  /// Append "#id" to variable names, making alpha-renamed distinct
+  /// variables visibly distinct.
+  bool VariableIds = false;
+};
+
+/// Back-translates a subtree into an S-expression.
+sexpr::Value backTranslate(Function &F, const Node *N,
+                           BackTranslateOptions Opts = {});
+
+/// Back-translates the whole function as (defun name (params...) body).
+sexpr::Value backTranslateFunction(Function &F, BackTranslateOptions Opts = {});
+
+/// Back-translate and print, for transcripts and tests.
+std::string backTranslateToString(Function &F, const Node *N,
+                                  BackTranslateOptions Opts = {});
+
+} // namespace ir
+} // namespace s1lisp
+
+#endif // S1LISP_IR_BACKTRANSLATE_H

@@ -1,0 +1,591 @@
+//===- ir/Ir.cpp ----------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace s1lisp;
+using namespace s1lisp::ir;
+
+const char *ir::repName(Rep R) {
+  switch (R) {
+  case Rep::SWFIX:
+    return "SWFIX";
+  case Rep::DWFIX:
+    return "DWFIX";
+  case Rep::HWFLO:
+    return "HWFLO";
+  case Rep::SWFLO:
+    return "SWFLO";
+  case Rep::DWFLO:
+    return "DWFLO";
+  case Rep::TWFLO:
+    return "TWFLO";
+  case Rep::HWCPLX:
+    return "HWCPLX";
+  case Rep::SWCPLX:
+    return "SWCPLX";
+  case Rep::DWCPLX:
+    return "DWCPLX";
+  case Rep::TWCPLX:
+    return "TWCPLX";
+  case Rep::POINTER:
+    return "POINTER";
+  case Rep::BIT:
+    return "BIT";
+  case Rep::JUMP:
+    return "JUMP";
+  case Rep::NONE:
+    return "NONE";
+  }
+  return "?";
+}
+
+bool ir::repIsPdlEligible(Rep R) {
+  switch (R) {
+  case Rep::SWFLO:
+  case Rep::DWFLO:
+  case Rep::TWFLO:
+  case Rep::HWCPLX:
+  case Rep::SWCPLX:
+  case Rep::DWCPLX:
+  case Rep::TWCPLX:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ir::nodeKindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::Literal:
+    return "literal";
+  case NodeKind::VarRef:
+    return "variable";
+  case NodeKind::Caseq:
+    return "caseq";
+  case NodeKind::Catcher:
+    return "catcher";
+  case NodeKind::Go:
+    return "go";
+  case NodeKind::If:
+    return "if";
+  case NodeKind::Lambda:
+    return "lambda";
+  case NodeKind::ProgBody:
+    return "progbody";
+  case NodeKind::Progn:
+    return "progn";
+  case NodeKind::Return:
+    return "return";
+  case NodeKind::Setq:
+    return "setq";
+  case NodeKind::Call:
+    return "call";
+  }
+  return "?";
+}
+
+std::string Variable::debugName() const {
+  return Name->name() + "#" + std::to_string(Id);
+}
+
+std::vector<Variable *> LambdaNode::allParams() const {
+  std::vector<Variable *> Out(Required.begin(), Required.end());
+  for (const OptionalParam &O : Optionals)
+    Out.push_back(O.Var);
+  if (Rest)
+    Out.push_back(Rest);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+Variable *Function::makeVariable(const sexpr::Symbol *Name, bool Special) {
+  Variable *V = A.create<Variable>(Name, NextVarId++, Special);
+  Vars.push_back(V);
+  return V;
+}
+
+namespace {
+template <typename T> T *track(size_t &Tally, T *N) {
+  ++Tally;
+  return N;
+}
+void adopt(Node *Parent, Node *Child) {
+  if (Child)
+    Child->Parent = Parent;
+}
+} // namespace
+
+LiteralNode *Function::makeLiteral(sexpr::Value V) {
+  return track(NodeTally, A.create<LiteralNode>(V));
+}
+
+VarRefNode *Function::makeVarRef(Variable *Var) {
+  VarRefNode *N = track(NodeTally, A.create<VarRefNode>(Var));
+  Var->Refs.push_back(N);
+  return N;
+}
+
+SetqNode *Function::makeSetq(Variable *Var, Node *ValueExpr) {
+  SetqNode *N = track(NodeTally, A.create<SetqNode>(Var, ValueExpr));
+  adopt(N, ValueExpr);
+  Var->Refs.push_back(N);
+  Var->Written = true;
+  return N;
+}
+
+IfNode *Function::makeIf(Node *Test, Node *Then, Node *Else) {
+  IfNode *N = track(NodeTally, A.create<IfNode>(Test, Then, Else));
+  adopt(N, Test);
+  adopt(N, Then);
+  adopt(N, Else);
+  return N;
+}
+
+PrognNode *Function::makeProgn(std::vector<Node *> Forms) {
+  PrognNode *N = track(NodeTally, A.create<PrognNode>(std::move(Forms)));
+  for (Node *C : N->Forms)
+    adopt(N, C);
+  return N;
+}
+
+LambdaNode *Function::makeLambda() { return track(NodeTally, A.create<LambdaNode>()); }
+
+CallNode *Function::makeCall(const sexpr::Symbol *Name, std::vector<Node *> Args) {
+  CallNode *N = track(NodeTally, A.create<CallNode>(Name, nullptr, std::move(Args)));
+  for (Node *C : N->Args)
+    adopt(N, C);
+  return N;
+}
+
+CallNode *Function::makeCallExpr(Node *Callee, std::vector<Node *> Args) {
+  CallNode *N = track(NodeTally, A.create<CallNode>(nullptr, Callee, std::move(Args)));
+  adopt(N, Callee);
+  for (Node *C : N->Args)
+    adopt(N, C);
+  return N;
+}
+
+CaseqNode *Function::makeCaseq(Node *Key, std::vector<CaseqNode::Clause> Clauses,
+                               Node *Default) {
+  CaseqNode *N = track(NodeTally, A.create<CaseqNode>(Key, std::move(Clauses), Default));
+  adopt(N, Key);
+  for (auto &C : N->Clauses)
+    adopt(N, C.Body);
+  adopt(N, Default);
+  return N;
+}
+
+CatcherNode *Function::makeCatcher(Node *TagExpr, Node *Body) {
+  CatcherNode *N = track(NodeTally, A.create<CatcherNode>(TagExpr, Body));
+  adopt(N, TagExpr);
+  adopt(N, Body);
+  return N;
+}
+
+ProgBodyNode *Function::makeProgBody(std::vector<ProgBodyNode::Item> Items) {
+  ProgBodyNode *N = track(NodeTally, A.create<ProgBodyNode>(std::move(Items)));
+  for (auto &I : N->Items)
+    adopt(N, I.Stmt);
+  return N;
+}
+
+GoNode *Function::makeGo(const sexpr::Symbol *Tag, ProgBodyNode *Target) {
+  return track(NodeTally, A.create<GoNode>(Tag, Target));
+}
+
+ReturnNode *Function::makeReturn(Node *ValueExpr, ProgBodyNode *Target) {
+  ReturnNode *N = track(NodeTally, A.create<ReturnNode>(ValueExpr, Target));
+  adopt(N, ValueExpr);
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal
+//===----------------------------------------------------------------------===//
+
+void ir::forEachChild(Node *N, const std::function<void(Node *)> &Fn) {
+  switch (N->kind()) {
+  case NodeKind::Literal:
+  case NodeKind::VarRef:
+  case NodeKind::Go:
+    return;
+  case NodeKind::Setq:
+    Fn(cast<SetqNode>(N)->ValueExpr);
+    return;
+  case NodeKind::If: {
+    auto *I = cast<IfNode>(N);
+    Fn(I->Test);
+    Fn(I->Then);
+    Fn(I->Else);
+    return;
+  }
+  case NodeKind::Progn:
+    for (Node *C : cast<PrognNode>(N)->Forms)
+      Fn(C);
+    return;
+  case NodeKind::Lambda: {
+    auto *L = cast<LambdaNode>(N);
+    for (auto &O : L->Optionals)
+      if (O.Default)
+        Fn(O.Default);
+    Fn(L->Body);
+    return;
+  }
+  case NodeKind::Call: {
+    auto *C = cast<CallNode>(N);
+    if (C->CalleeExpr)
+      Fn(C->CalleeExpr);
+    for (Node *AN : C->Args)
+      Fn(AN);
+    return;
+  }
+  case NodeKind::Caseq: {
+    auto *C = cast<CaseqNode>(N);
+    Fn(C->Key);
+    for (auto &Cl : C->Clauses)
+      Fn(Cl.Body);
+    Fn(C->Default);
+    return;
+  }
+  case NodeKind::Catcher: {
+    auto *C = cast<CatcherNode>(N);
+    Fn(C->TagExpr);
+    Fn(C->Body);
+    return;
+  }
+  case NodeKind::ProgBody:
+    for (auto &I : cast<ProgBodyNode>(N)->Items)
+      if (I.Stmt)
+        Fn(I.Stmt);
+    return;
+  case NodeKind::Return:
+    Fn(cast<ReturnNode>(N)->ValueExpr);
+    return;
+  }
+}
+
+void ir::forEachChild(const Node *N, const std::function<void(const Node *)> &Fn) {
+  forEachChild(const_cast<Node *>(N),
+               [&Fn](Node *C) { Fn(static_cast<const Node *>(C)); });
+}
+
+void ir::forEachNode(Node *Root, const std::function<void(Node *)> &Fn) {
+  Fn(Root);
+  forEachChild(Root, [&Fn](Node *C) { forEachNode(C, Fn); });
+}
+
+void ir::forEachNode(const Node *Root, const std::function<void(const Node *)> &Fn) {
+  Fn(Root);
+  forEachChild(Root, [&Fn](const Node *C) { forEachNode(C, Fn); });
+}
+
+void ir::replaceChild(Node *Parent, Node *Old, Node *New) {
+  assert(Parent && Old && New && "replaceChild on null");
+  bool Found = false;
+  auto Swap = [&](Node *&Slot) {
+    if (Slot == Old && !Found) {
+      Slot = New;
+      Found = true;
+    }
+  };
+  switch (Parent->kind()) {
+  case NodeKind::Literal:
+  case NodeKind::VarRef:
+  case NodeKind::Go:
+    break;
+  case NodeKind::Setq:
+    Swap(cast<SetqNode>(Parent)->ValueExpr);
+    break;
+  case NodeKind::If: {
+    auto *I = cast<IfNode>(Parent);
+    Swap(I->Test);
+    Swap(I->Then);
+    Swap(I->Else);
+    break;
+  }
+  case NodeKind::Progn:
+    for (Node *&C : cast<PrognNode>(Parent)->Forms)
+      Swap(C);
+    break;
+  case NodeKind::Lambda: {
+    auto *L = cast<LambdaNode>(Parent);
+    for (auto &O : L->Optionals)
+      Swap(O.Default);
+    Swap(L->Body);
+    break;
+  }
+  case NodeKind::Call: {
+    auto *C = cast<CallNode>(Parent);
+    if (C->CalleeExpr)
+      Swap(C->CalleeExpr);
+    for (Node *&AN : C->Args)
+      Swap(AN);
+    break;
+  }
+  case NodeKind::Caseq: {
+    auto *C = cast<CaseqNode>(Parent);
+    Swap(C->Key);
+    for (auto &Cl : C->Clauses)
+      Swap(Cl.Body);
+    Swap(C->Default);
+    break;
+  }
+  case NodeKind::Catcher: {
+    auto *C = cast<CatcherNode>(Parent);
+    Swap(C->TagExpr);
+    Swap(C->Body);
+    break;
+  }
+  case NodeKind::ProgBody:
+    for (auto &I : cast<ProgBodyNode>(Parent)->Items)
+      if (I.Stmt)
+        Swap(I.Stmt);
+    break;
+  case NodeKind::Return:
+    Swap(cast<ReturnNode>(Parent)->ValueExpr);
+    break;
+  }
+  assert(Found && "replaceChild: Old is not a child of Parent");
+  New->Parent = Parent;
+}
+
+void ir::recomputeParents(Node *Root) {
+  forEachChild(Root, [Root](Node *C) {
+    C->Parent = Root;
+    recomputeParents(C);
+  });
+}
+
+void ir::recomputeVariableRefs(Function &F) {
+  for (Variable *V : F.variables()) {
+    V->Refs.clear();
+    V->Written = false;
+    V->Binder = nullptr;
+  }
+  forEachNode(F.Root, [](Node *N) {
+    if (auto *VR = dyn_cast<VarRefNode>(N)) {
+      VR->Var->Refs.push_back(VR);
+    } else if (auto *SQ = dyn_cast<SetqNode>(N)) {
+      SQ->Var->Refs.push_back(SQ);
+      SQ->Var->Written = true;
+    } else if (auto *L = dyn_cast<LambdaNode>(N)) {
+      for (Variable *P : L->allParams())
+        P->Binder = L;
+    }
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Cloner {
+  Function &F;
+  std::unordered_map<const Variable *, Variable *> VarMap;
+  std::unordered_map<const ProgBodyNode *, ProgBodyNode *> BodyMap;
+  /// Go/Return nodes whose targets may need remapping once every ProgBody
+  /// inside the subtree has been cloned.
+  std::vector<GoNode *> Gos;
+  std::vector<ReturnNode *> Returns;
+
+  Variable *mapVar(Variable *V) {
+    auto It = VarMap.find(V);
+    return It == VarMap.end() ? V : It->second;
+  }
+
+  Node *clone(const Node *N) {
+    switch (N->kind()) {
+    case NodeKind::Literal:
+      return withLoc(N, F.makeLiteral(cast<LiteralNode>(N)->Datum));
+    case NodeKind::VarRef:
+      return withLoc(N, F.makeVarRef(mapVar(cast<VarRefNode>(N)->Var)));
+    case NodeKind::Setq: {
+      auto *S = cast<SetqNode>(N);
+      return withLoc(N, F.makeSetq(mapVar(S->Var), clone(S->ValueExpr)));
+    }
+    case NodeKind::If: {
+      auto *I = cast<IfNode>(N);
+      return withLoc(N, F.makeIf(clone(I->Test), clone(I->Then), clone(I->Else)));
+    }
+    case NodeKind::Progn: {
+      std::vector<Node *> Forms;
+      for (const Node *C : cast<PrognNode>(N)->Forms)
+        Forms.push_back(clone(C));
+      return withLoc(N, F.makeProgn(std::move(Forms)));
+    }
+    case NodeKind::Lambda: {
+      const auto *L = cast<LambdaNode>(N);
+      LambdaNode *NL = F.makeLambda();
+      NL->Strategy = L->Strategy;
+      for (Variable *P : L->Required) {
+        Variable *NP = F.makeVariable(P->name(), P->isSpecial());
+        NP->Binder = NL;
+        VarMap[P] = NP;
+        NL->Required.push_back(NP);
+      }
+      for (const auto &O : L->Optionals) {
+        Variable *NP = F.makeVariable(O.Var->name(), O.Var->isSpecial());
+        NP->Binder = NL;
+        VarMap[O.Var] = NP;
+        Node *NDefault = O.Default ? clone(O.Default) : nullptr;
+        if (NDefault)
+          NDefault->Parent = NL;
+        NL->Optionals.push_back({NP, NDefault});
+      }
+      if (L->Rest) {
+        Variable *NP = F.makeVariable(L->Rest->name(), L->Rest->isSpecial());
+        NP->Binder = NL;
+        VarMap[L->Rest] = NP;
+        NL->Rest = NP;
+      }
+      NL->Body = clone(L->Body);
+      NL->Body->Parent = NL;
+      return withLoc(N, NL);
+    }
+    case NodeKind::Call: {
+      const auto *C = cast<CallNode>(N);
+      std::vector<Node *> Args;
+      for (const Node *AN : C->Args)
+        Args.push_back(clone(AN));
+      if (C->Name)
+        return withLoc(N, F.makeCall(C->Name, std::move(Args)));
+      return withLoc(N, F.makeCallExpr(clone(C->CalleeExpr), std::move(Args)));
+    }
+    case NodeKind::Caseq: {
+      const auto *C = cast<CaseqNode>(N);
+      std::vector<CaseqNode::Clause> Clauses;
+      for (const auto &Cl : C->Clauses)
+        Clauses.push_back({Cl.Keys, clone(Cl.Body)});
+      return withLoc(N, F.makeCaseq(clone(C->Key), std::move(Clauses), clone(C->Default)));
+    }
+    case NodeKind::Catcher: {
+      const auto *C = cast<CatcherNode>(N);
+      return withLoc(N, F.makeCatcher(clone(C->TagExpr), clone(C->Body)));
+    }
+    case NodeKind::ProgBody: {
+      const auto *P = cast<ProgBodyNode>(N);
+      std::vector<ProgBodyNode::Item> Items;
+      for (const auto &I : P->Items)
+        Items.push_back({I.Tag, I.Stmt ? clone(I.Stmt) : nullptr});
+      ProgBodyNode *NP = F.makeProgBody(std::move(Items));
+      BodyMap[P] = NP;
+      return withLoc(N, NP);
+    }
+    case NodeKind::Go: {
+      const auto *G = cast<GoNode>(N);
+      GoNode *NG = F.makeGo(G->Tag, G->Target);
+      Gos.push_back(NG);
+      return withLoc(N, NG);
+    }
+    case NodeKind::Return: {
+      const auto *R = cast<ReturnNode>(N);
+      ReturnNode *NR = F.makeReturn(clone(R->ValueExpr), R->Target);
+      Returns.push_back(NR);
+      return withLoc(N, NR);
+    }
+    }
+    assert(false && "unhandled node kind in clone");
+    return nullptr;
+  }
+
+  Node *withLoc(const Node *Src, Node *Dst) {
+    Dst->Loc = Src->Loc;
+    return Dst;
+  }
+
+  void fixupTargets() {
+    for (GoNode *G : Gos) {
+      auto It = BodyMap.find(G->Target);
+      if (It != BodyMap.end())
+        G->Target = It->second;
+    }
+    for (ReturnNode *R : Returns) {
+      auto It = BodyMap.find(R->Target);
+      if (It != BodyMap.end())
+        R->Target = It->second;
+    }
+  }
+};
+
+} // namespace
+
+Node *ir::cloneTree(Function &F, const Node *N) {
+  Cloner C{F, {}, {}, {}, {}};
+  Node *Copy = C.clone(N);
+  C.fixupTargets();
+  return Copy;
+}
+
+size_t ir::treeSize(const Node *Root) {
+  size_t N = 0;
+  forEachNode(Root, [&N](const Node *) { ++N; });
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+bool ir::verify(Function &F, DiagEngine &Diags) {
+  size_t Before = Diags.diagnostics().size();
+  if (!F.Root) {
+    Diags.error("function '" + F.name() + "' has no root lambda");
+    return false;
+  }
+
+  // Parent links.
+  forEachNode(static_cast<Node *>(F.Root), [&](Node *N) {
+    forEachChild(N, [&](Node *C) {
+      if (C->Parent != N)
+        Diags.error("bad parent link under " + std::string(nodeKindName(N->kind())) +
+                    " in '" + F.name() + "'");
+    });
+  });
+
+  // Each variable reference points at a Variable whose referent list
+  // contains it; bound variables' binders are in the tree.
+  std::unordered_set<const Node *> InTree;
+  forEachNode(static_cast<const Node *>(F.Root),
+              [&InTree](const Node *N) { InTree.insert(N); });
+
+  forEachNode(static_cast<Node *>(F.Root), [&](Node *N) {
+    Variable *V = nullptr;
+    if (auto *VR = dyn_cast<VarRefNode>(N))
+      V = VR->Var;
+    else if (auto *SQ = dyn_cast<SetqNode>(N))
+      V = SQ->Var;
+    if (V) {
+      bool Listed = false;
+      for (Node *R : V->Refs)
+        Listed |= (R == N);
+      if (!Listed)
+        Diags.error("variable " + V->debugName() + " missing referent back-pointer");
+      if (V->Binder && !InTree.count(V->Binder))
+        Diags.error("variable " + V->debugName() + " bound outside the tree");
+    }
+    if (auto *G = dyn_cast<GoNode>(N)) {
+      if (!InTree.count(G->Target))
+        Diags.error("go target progbody not in tree");
+      else if (!G->Target->hasTag(G->Tag))
+        Diags.error("go to unknown tag '" + G->Tag->name() + "'");
+    }
+    if (auto *R = dyn_cast<ReturnNode>(N)) {
+      if (!InTree.count(R->Target))
+        Diags.error("return target progbody not in tree");
+    }
+    if (auto *C = dyn_cast<CallNode>(N)) {
+      if ((C->Name != nullptr) == (C->CalleeExpr != nullptr))
+        Diags.error("call node with malformed callee");
+    }
+  });
+
+  return Diags.diagnostics().size() == Before;
+}

@@ -1,0 +1,32 @@
+//===- opt/Fold.h - Compile-time expression evaluation ----------*- C++ -*-===//
+///
+/// \file
+/// Evaluates calls to side-effect-free primitives on constant operands at
+/// compile time — "a very convenient thing to do in LISP with the apply
+/// operator" (§5). Declines (returns nullopt) on any domain problem so the
+/// optimizer simply leaves the call alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_OPT_FOLD_H
+#define S1LISP_OPT_FOLD_H
+
+#include "ir/Primitives.h"
+#include "sexpr/Value.h"
+
+#include <optional>
+#include <vector>
+
+namespace s1lisp {
+namespace opt {
+
+/// Folds \p Info applied to literal \p Args; results are allocated in \p H.
+std::optional<sexpr::Value> foldPrim(const ir::PrimInfo &Info,
+                                     const std::vector<sexpr::Value> &Args,
+                                     sexpr::Heap &H,
+                                     const sexpr::SymbolTable &Syms);
+
+} // namespace opt
+} // namespace s1lisp
+
+#endif // S1LISP_OPT_FOLD_H

@@ -1,0 +1,294 @@
+//===- sexpr/Numbers.cpp --------------------------------------------------===//
+
+#include "sexpr/Numbers.h"
+
+#include <cmath>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+namespace {
+
+/// Checked int64 helpers; return false on overflow.
+bool addOv(int64_t A, int64_t B, int64_t &Out) { return !__builtin_add_overflow(A, B, &Out); }
+bool subOv(int64_t A, int64_t B, int64_t &Out) { return !__builtin_sub_overflow(A, B, &Out); }
+bool mulOv(int64_t A, int64_t B, int64_t &Out) { return !__builtin_mul_overflow(A, B, &Out); }
+
+struct Rat {
+  int64_t Num;
+  int64_t Den;
+};
+
+std::optional<Rat> asExact(Value V) {
+  if (V.isFixnum())
+    return Rat{V.fixnum(), 1};
+  if (V.isRatio())
+    return Rat{V.ratio().Num, V.ratio().Den};
+  return std::nullopt;
+}
+
+/// Exact rational arithmetic with overflow checking. Division by an exact
+/// zero fails.
+std::optional<Value> exactArith(Heap &H, ArithOp Op, Rat A, Rat B) {
+  int64_t N, D, T1, T2;
+  switch (Op) {
+  case ArithOp::Add:
+  case ArithOp::Sub: {
+    // a/b +- c/d = (a*d +- c*b) / (b*d)
+    if (!mulOv(A.Num, B.Den, T1) || !mulOv(B.Num, A.Den, T2))
+      return std::nullopt;
+    bool Ok = Op == ArithOp::Add ? addOv(T1, T2, N) : subOv(T1, T2, N);
+    if (!Ok || !mulOv(A.Den, B.Den, D))
+      return std::nullopt;
+    return H.makeRatio(N, D);
+  }
+  case ArithOp::Mul:
+    if (!mulOv(A.Num, B.Num, N) || !mulOv(A.Den, B.Den, D))
+      return std::nullopt;
+    return H.makeRatio(N, D);
+  case ArithOp::Div:
+    if (B.Num == 0)
+      return std::nullopt;
+    if (!mulOv(A.Num, B.Den, N) || !mulOv(A.Den, B.Num, D))
+      return std::nullopt;
+    return H.makeRatio(N, D);
+  default:
+    return std::nullopt;
+  }
+}
+
+int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+int64_t ceilDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Round-half-to-even quotient, Common Lisp ROUND.
+int64_t roundDiv(int64_t A, int64_t B) {
+  int64_t Floor = floorDiv(A, B);
+  int64_t Rem = A - Floor * B; // 0 <= Rem < |B| when B > 0
+  int64_t AbsB = B < 0 ? -B : B;
+  int64_t Twice = 2 * Rem;
+  if (Twice < AbsB)
+    return Floor;
+  if (Twice > AbsB)
+    return Floor + 1;
+  // Exactly halfway: pick the even quotient.
+  return (Floor % 2 == 0) ? Floor : Floor + 1;
+}
+
+} // namespace
+
+std::optional<double> sexpr::toDouble(Value V) {
+  switch (V.kind()) {
+  case ValueKind::Fixnum:
+    return static_cast<double>(V.fixnum());
+  case ValueKind::Flonum:
+    return V.flonum();
+  case ValueKind::Ratio:
+    return static_cast<double>(V.ratio().Num) / static_cast<double>(V.ratio().Den);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Value> sexpr::arith(Heap &H, ArithOp Op, Value A, Value B) {
+  if (!A.isNumber() || !B.isNumber())
+    return std::nullopt;
+
+  // Integer-quotient family first: defined on any reals, result is a fixnum
+  // for exact args (we only support exact args for these, matching the
+  // S-1's sixteen integer-division rounding modes on integer operands).
+  switch (Op) {
+  case ArithOp::Floor:
+  case ArithOp::Ceiling:
+  case ArithOp::Truncate:
+  case ArithOp::Round:
+  case ArithOp::Mod:
+  case ArithOp::Rem: {
+    if (!A.isFixnum() || !B.isFixnum())
+      return std::nullopt;
+    int64_t X = A.fixnum(), Y = B.fixnum();
+    if (Y == 0)
+      return std::nullopt;
+    switch (Op) {
+    case ArithOp::Floor:
+      return Value::fixnum(floorDiv(X, Y));
+    case ArithOp::Ceiling:
+      return Value::fixnum(ceilDiv(X, Y));
+    case ArithOp::Truncate:
+      return Value::fixnum(X / Y);
+    case ArithOp::Round:
+      return Value::fixnum(roundDiv(X, Y));
+    case ArithOp::Mod:
+      return Value::fixnum(X - floorDiv(X, Y) * Y);
+    case ArithOp::Rem:
+      return Value::fixnum(X % Y);
+    default:
+      break;
+    }
+    return std::nullopt;
+  }
+  case ArithOp::Max:
+  case ArithOp::Min: {
+    auto Less = compare(CompareOp::Lt, A, B);
+    if (!Less)
+      return std::nullopt;
+    bool PickA = Op == ArithOp::Max ? !*Less : *Less;
+    Value Picked = PickA ? A : B;
+    // Flonum contagion applies to MAX/MIN results in this dialect.
+    if ((A.isFlonum() || B.isFlonum()) && !Picked.isFlonum())
+      return Value::flonum(*toDouble(Picked));
+    return Picked;
+  }
+  case ArithOp::Expt: {
+    // Exact base with small non-negative fixnum power stays exact.
+    if (B.isFixnum() && B.fixnum() >= 0 && B.fixnum() <= 63 && A.isFixnum()) {
+      int64_t Result = 1, Base = A.fixnum();
+      for (int64_t I = 0; I < B.fixnum(); ++I)
+        if (!mulOv(Result, Base, Result))
+          return std::nullopt;
+      return Value::fixnum(Result);
+    }
+    auto X = toDouble(A), Y = toDouble(B);
+    if (!X || !Y)
+      return std::nullopt;
+    return Value::flonum(std::pow(*X, *Y));
+  }
+  default:
+    break;
+  }
+
+  // Contagion: any flonum operand forces inexact arithmetic.
+  if (A.isFlonum() || B.isFlonum()) {
+    double X = *toDouble(A), Y = *toDouble(B);
+    switch (Op) {
+    case ArithOp::Add:
+      return Value::flonum(X + Y);
+    case ArithOp::Sub:
+      return Value::flonum(X - Y);
+    case ArithOp::Mul:
+      return Value::flonum(X * Y);
+    case ArithOp::Div:
+      if (Y == 0.0)
+        return std::nullopt;
+      return Value::flonum(X / Y);
+    default:
+      return std::nullopt;
+    }
+  }
+
+  auto RA = asExact(A), RB = asExact(B);
+  assert(RA && RB && "exact path requires exact operands");
+  return exactArith(H, Op, *RA, *RB);
+}
+
+std::optional<Value> sexpr::negate(Heap &H, Value A) {
+  switch (A.kind()) {
+  case ValueKind::Fixnum: {
+    int64_t Out;
+    if (!subOv(0, A.fixnum(), Out))
+      return std::nullopt;
+    return Value::fixnum(Out);
+  }
+  case ValueKind::Flonum:
+    return Value::flonum(-A.flonum());
+  case ValueKind::Ratio:
+    return H.makeRatio(-A.ratio().Num, A.ratio().Den);
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Value> sexpr::numAbs(Heap &H, Value A) {
+  auto Neg = isMinus(A);
+  if (!Neg)
+    return std::nullopt;
+  return *Neg ? negate(H, A) : std::optional<Value>(A);
+}
+
+std::optional<Value> sexpr::add1(Heap &H, Value A) {
+  return arith(H, ArithOp::Add, A, Value::fixnum(1));
+}
+
+std::optional<Value> sexpr::sub1(Heap &H, Value A) {
+  return arith(H, ArithOp::Sub, A, Value::fixnum(1));
+}
+
+std::optional<bool> sexpr::compare(CompareOp Op, Value A, Value B) {
+  if (!A.isNumber() || !B.isNumber())
+    return std::nullopt;
+
+  int Sign; // -1, 0, +1 for A <=> B
+  if (A.isFlonum() || B.isFlonum()) {
+    double X = *toDouble(A), Y = *toDouble(B);
+    if (std::isnan(X) || std::isnan(Y))
+      return Op == CompareOp::Ne; // NaN is unequal to everything.
+    Sign = X < Y ? -1 : (X > Y ? 1 : 0);
+  } else {
+    auto RA = asExact(A), RB = asExact(B);
+    // a/b <=> c/d via a*d <=> c*b (exact, checked).
+    int64_t L, R;
+    if (!mulOv(RA->Num, RB->Den, L) || !mulOv(RB->Num, RA->Den, R)) {
+      // Fall back to double comparison on overflow; good enough for folding.
+      double X = *toDouble(A), Y = *toDouble(B);
+      Sign = X < Y ? -1 : (X > Y ? 1 : 0);
+    } else {
+      Sign = L < R ? -1 : (L > R ? 1 : 0);
+    }
+  }
+
+  switch (Op) {
+  case CompareOp::Lt:
+    return Sign < 0;
+  case CompareOp::Le:
+    return Sign <= 0;
+  case CompareOp::Gt:
+    return Sign > 0;
+  case CompareOp::Ge:
+    return Sign >= 0;
+  case CompareOp::Eq:
+    return Sign == 0;
+  case CompareOp::Ne:
+    return Sign != 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> sexpr::isZero(Value V) {
+  if (!V.isNumber())
+    return std::nullopt;
+  return compare(CompareOp::Eq, V, Value::fixnum(0));
+}
+
+std::optional<bool> sexpr::isOdd(Value V) {
+  if (!V.isFixnum())
+    return std::nullopt;
+  return (V.fixnum() % 2) != 0;
+}
+
+std::optional<bool> sexpr::isEven(Value V) {
+  if (!V.isFixnum())
+    return std::nullopt;
+  return (V.fixnum() % 2) == 0;
+}
+
+std::optional<bool> sexpr::isMinus(Value V) {
+  if (!V.isNumber())
+    return std::nullopt;
+  return compare(CompareOp::Lt, V, Value::fixnum(0));
+}
+
+std::optional<bool> sexpr::isPlus(Value V) {
+  if (!V.isNumber())
+    return std::nullopt;
+  return compare(CompareOp::Gt, V, Value::fixnum(0));
+}

@@ -1,0 +1,63 @@
+//===- sexpr/Numbers.h - Numeric tower arithmetic ---------------*- C++ -*-===//
+///
+/// \file
+/// Generic arithmetic over the fixnum / ratio / flonum tower with the usual
+/// contagion rules (any flonum operand makes the result a flonum; fixnum
+/// division yields an exact ratio). Shared by the interpreter, the constant
+/// folder (the paper's compile-time expression evaluation, §5), and the VM's
+/// generic-arithmetic builtins.
+///
+/// All entry points return false / nullopt instead of trapping on domain
+/// errors (division by zero, overflow in exact arithmetic, wrong types), so
+/// the constant folder can simply decline to fold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SEXPR_NUMBERS_H
+#define S1LISP_SEXPR_NUMBERS_H
+
+#include "sexpr/Value.h"
+
+#include <optional>
+
+namespace s1lisp {
+namespace sexpr {
+
+/// Binary operations the tower supports.
+enum class ArithOp { Add, Sub, Mul, Div, Floor, Ceiling, Truncate, Round, Mod, Rem, Max, Min, Expt };
+
+/// Numeric comparisons.
+enum class CompareOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Applies \p Op to two numbers. Returns nullopt on non-numbers, division
+/// by zero, or exact-arithmetic overflow.
+std::optional<Value> arith(Heap &H, ArithOp Op, Value A, Value B);
+
+/// Unary negation.
+std::optional<Value> negate(Heap &H, Value A);
+
+/// abs.
+std::optional<Value> numAbs(Heap &H, Value A);
+
+/// 1+ / 1-.
+std::optional<Value> add1(Heap &H, Value A);
+std::optional<Value> sub1(Heap &H, Value A);
+
+/// Numeric comparison; nullopt on non-numbers.
+std::optional<bool> compare(CompareOp Op, Value A, Value B);
+
+/// Converts any number to double.
+std::optional<double> toDouble(Value V);
+
+/// zerop / oddp / evenp / minusp / plusp; nullopt when the predicate does
+/// not apply to the value's type.
+std::optional<bool> isZero(Value V);
+std::optional<bool> isOdd(Value V);
+std::optional<bool> isEven(Value V);
+std::optional<bool> isMinus(Value V);
+std::optional<bool> isPlus(Value V);
+
+} // namespace sexpr
+} // namespace s1lisp
+
+#endif // S1LISP_SEXPR_NUMBERS_H

@@ -1,0 +1,126 @@
+//===- sexpr/Printer.cpp --------------------------------------------------===//
+
+#include "sexpr/Printer.h"
+
+#include <charconv>
+#include <cmath>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+std::string sexpr::formatFlonum(double D) {
+  if (std::isnan(D))
+    return "+nan";
+  if (std::isinf(D))
+    return D > 0 ? "+inf" : "-inf";
+  char Buf[64];
+  auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), D);
+  (void)Ec;
+  std::string S(Buf, End);
+  // Guarantee a flonum spelling: needs '.' or exponent marker.
+  if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+      S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    S += ".0";
+  return S;
+}
+
+namespace {
+
+void printTo(std::string &Out, Value V) {
+  switch (V.kind()) {
+  case ValueKind::Nil:
+    Out += "nil";
+    return;
+  case ValueKind::Symbol:
+    Out += V.symbol()->name();
+    return;
+  case ValueKind::Fixnum:
+    Out += std::to_string(V.fixnum());
+    return;
+  case ValueKind::Flonum:
+    Out += formatFlonum(V.flonum());
+    return;
+  case ValueKind::Ratio:
+    Out += std::to_string(V.ratio().Num);
+    Out += '/';
+    Out += std::to_string(V.ratio().Den);
+    return;
+  case ValueKind::String: {
+    Out += '"';
+    for (char C : V.stringValue()) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+    return;
+  }
+  case ValueKind::Cons: {
+    Out += '(';
+    Value Cur = V;
+    bool First = true;
+    while (Cur.isCons()) {
+      if (!First)
+        Out += ' ';
+      First = false;
+      printTo(Out, Cur.car());
+      Cur = Cur.cdr();
+    }
+    if (!Cur.isNil()) {
+      Out += " . ";
+      printTo(Out, Cur);
+    }
+    Out += ')';
+    return;
+  }
+  }
+}
+
+void prettyTo(std::string &Out, Value V, unsigned Indent, unsigned WrapColumn) {
+  std::string Flat = sexpr::toString(V);
+  if (Flat.size() + Indent <= WrapColumn || V.isAtom()) {
+    Out += Flat;
+    return;
+  }
+  // Print "(head item...)" with items aligned under the head when the flat
+  // form is too wide.
+  Out += '(';
+  Value Head = V.car();
+  std::string HeadText = sexpr::toString(Head);
+  Out += HeadText;
+  unsigned ChildIndent = Indent + 2;
+  Value Cur = V.cdr();
+  bool HeadIsAtom = Head.isAtom();
+  bool First = true;
+  while (Cur.isCons()) {
+    if (First && HeadIsAtom && HeadText.size() <= 8) {
+      Out += ' ';
+      ChildIndent = Indent + 1 + static_cast<unsigned>(HeadText.size()) + 1;
+    } else {
+      Out += '\n';
+      Out.append(ChildIndent, ' ');
+    }
+    prettyTo(Out, Cur.car(), ChildIndent, WrapColumn);
+    First = false;
+    Cur = Cur.cdr();
+  }
+  if (!Cur.isNil()) {
+    Out += " . ";
+    printTo(Out, Cur);
+  }
+  Out += ')';
+}
+
+} // namespace
+
+std::string sexpr::toString(Value V) {
+  std::string Out;
+  printTo(Out, V);
+  return Out;
+}
+
+std::string sexpr::toPrettyString(Value V, unsigned WrapColumn) {
+  std::string Out;
+  prettyTo(Out, V, 0, WrapColumn);
+  return Out;
+}

@@ -1,0 +1,33 @@
+//===- sexpr/Printer.h - S-expression printing ------------------*- C++ -*-===//
+///
+/// \file
+/// Renders Values back into read-able text. Flonums print with enough
+/// digits to round-trip and always carry a decimal point or exponent, so
+/// 3.0 prints as "3.0", never "3".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SEXPR_PRINTER_H
+#define S1LISP_SEXPR_PRINTER_H
+
+#include "sexpr/Value.h"
+
+#include <string>
+
+namespace s1lisp {
+namespace sexpr {
+
+/// Prints one datum.
+std::string toString(Value V);
+
+/// Prints with indentation for nested lists deeper than \p WrapColumn
+/// characters; used by the back-translator transcripts.
+std::string toPrettyString(Value V, unsigned WrapColumn = 72);
+
+/// Formats a double the way the printer does; exposed for assembly listings.
+std::string formatFlonum(double D);
+
+} // namespace sexpr
+} // namespace s1lisp
+
+#endif // S1LISP_SEXPR_PRINTER_H

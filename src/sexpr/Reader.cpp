@@ -1,0 +1,298 @@
+//===- sexpr/Reader.cpp ---------------------------------------------------===//
+
+#include "sexpr/Reader.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+namespace {
+
+bool isDelimiter(char C) {
+  return C == '(' || C == ')' || C == '\'' || C == '"' || C == ';' || C == ' ' ||
+         C == '\t' || C == '\n' || C == '\r';
+}
+
+/// Classifies an atom's spelling: fixnum, ratio, flonum, or symbol.
+enum class AtomClass { Fixnum, Ratio, Flonum, Symbol };
+
+AtomClass classifyAtom(std::string_view S) {
+  size_t I = 0;
+  if (I < S.size() && (S[I] == '+' || S[I] == '-'))
+    ++I;
+  if (I == S.size())
+    return AtomClass::Symbol; // bare "+" or "-"
+  size_t Digits = 0;
+  while (I < S.size() && isdigit(static_cast<unsigned char>(S[I]))) {
+    ++I;
+    ++Digits;
+  }
+  if (Digits == 0) {
+    // Allow ".5" style flonums.
+    if (I < S.size() && S[I] == '.' && I + 1 < S.size() &&
+        isdigit(static_cast<unsigned char>(S[I + 1])))
+      return AtomClass::Flonum;
+    return AtomClass::Symbol;
+  }
+  if (I == S.size())
+    return AtomClass::Fixnum;
+  if (S[I] == '/') {
+    ++I;
+    size_t DenDigits = 0;
+    while (I < S.size() && isdigit(static_cast<unsigned char>(S[I]))) {
+      ++I;
+      ++DenDigits;
+    }
+    return (DenDigits > 0 && I == S.size()) ? AtomClass::Ratio : AtomClass::Symbol;
+  }
+  if (S[I] == '.' || S[I] == 'e' || S[I] == 'E') {
+    // Validate the float tail: [.digits][(e|E)[+-]digits]
+    if (S[I] == '.') {
+      ++I;
+      while (I < S.size() && isdigit(static_cast<unsigned char>(S[I])))
+        ++I;
+    }
+    if (I < S.size() && (S[I] == 'e' || S[I] == 'E')) {
+      ++I;
+      if (I < S.size() && (S[I] == '+' || S[I] == '-'))
+        ++I;
+      size_t ExpDigits = 0;
+      while (I < S.size() && isdigit(static_cast<unsigned char>(S[I]))) {
+        ++I;
+        ++ExpDigits;
+      }
+      if (ExpDigits == 0)
+        return AtomClass::Symbol;
+    }
+    return I == S.size() ? AtomClass::Flonum : AtomClass::Symbol;
+  }
+  return AtomClass::Symbol;
+}
+
+} // namespace
+
+char Reader::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Reader::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\n' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == ';') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '#' && Pos + 1 < Src.size() && Src[Pos + 1] == '|') {
+      SourceLocation Open = here();
+      advance();
+      advance();
+      unsigned Depth = 1;
+      while (!atEnd() && Depth > 0) {
+        char D = advance();
+        if (D == '#' && !atEnd() && peek() == '|') {
+          advance();
+          ++Depth;
+        } else if (D == '|' && !atEnd() && peek() == '#') {
+          advance();
+          --Depth;
+        }
+      }
+      if (Depth > 0)
+        Diags.error(Open, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+std::optional<Value> Reader::read() {
+  skipWhitespaceAndComments();
+  if (atEnd())
+    return std::nullopt;
+  return readDatum();
+}
+
+std::vector<Value> Reader::readAll() {
+  std::vector<Value> Out;
+  while (true) {
+    size_t Before = Diags.diagnostics().size();
+    auto V = read();
+    if (!V || Diags.diagnostics().size() != Before)
+      break;
+    Out.push_back(*V);
+  }
+  return Out;
+}
+
+std::optional<Value> Reader::readDatum() {
+  skipWhitespaceAndComments();
+  if (atEnd()) {
+    Diags.error(here(), "unexpected end of input");
+    return std::nullopt;
+  }
+  SourceLocation Loc = here();
+  char C = peek();
+  if (C == '(') {
+    advance();
+    return readList(Loc);
+  }
+  if (C == ')') {
+    Diags.error(Loc, "unmatched ')'");
+    advance();
+    return std::nullopt;
+  }
+  if (C == '\'') {
+    advance();
+    auto Quoted = readDatum();
+    if (!Quoted)
+      return std::nullopt;
+    return H.cons(Value::symbol(Symbols.quote()), H.cons(*Quoted, Value::nil(), Loc), Loc);
+  }
+  if (C == '"') {
+    advance();
+    return readString(Loc);
+  }
+  return readAtom();
+}
+
+std::optional<Value> Reader::readList(SourceLocation Open) {
+  std::vector<Value> Items;
+  Value Tail = Value::nil();
+  while (true) {
+    skipWhitespaceAndComments();
+    if (atEnd()) {
+      Diags.error(Open, "unterminated list");
+      return std::nullopt;
+    }
+    if (peek() == ')') {
+      advance();
+      break;
+    }
+    // Dotted tail: a lone "." followed by exactly one datum and ')'.
+    if (peek() == '.' &&
+        (Pos + 1 >= Src.size() || isDelimiter(Src[Pos + 1]))) {
+      SourceLocation DotLoc = here();
+      advance();
+      if (Items.empty()) {
+        Diags.error(DotLoc, "dotted pair with no car");
+        return std::nullopt;
+      }
+      auto TailDatum = readDatum();
+      if (!TailDatum)
+        return std::nullopt;
+      Tail = *TailDatum;
+      skipWhitespaceAndComments();
+      if (atEnd() || peek() != ')') {
+        Diags.error(DotLoc, "expected ')' after dotted tail");
+        return std::nullopt;
+      }
+      advance();
+      break;
+    }
+    auto Item = readDatum();
+    if (!Item)
+      return std::nullopt;
+    Items.push_back(*Item);
+  }
+  Value Result = Tail;
+  for (size_t I = Items.size(); I > 0; --I)
+    Result = H.cons(Items[I - 1], Result, Open);
+  return Result;
+}
+
+std::optional<Value> Reader::readString(SourceLocation Open) {
+  std::string Out;
+  while (true) {
+    if (atEnd()) {
+      Diags.error(Open, "unterminated string literal");
+      return std::nullopt;
+    }
+    char C = advance();
+    if (C == '"')
+      return H.string(std::move(Out));
+    if (C == '\\') {
+      if (atEnd()) {
+        Diags.error(Open, "unterminated string literal");
+        return std::nullopt;
+      }
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      default:
+        Out += E; // \" and \\ and anything else: literal.
+        break;
+      }
+      continue;
+    }
+    Out += C;
+  }
+}
+
+Value Reader::readAtom() {
+  size_t Start = Pos;
+  while (!atEnd() && !isDelimiter(peek()))
+    advance();
+  std::string_view Text = Src.substr(Start, Pos - Start);
+  assert(!Text.empty() && "readAtom with no characters");
+
+  switch (classifyAtom(Text)) {
+  case AtomClass::Fixnum: {
+    errno = 0;
+    long long N = strtoll(std::string(Text).c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      break; // Out-of-range integers become symbols; no bignums here.
+    return Value::fixnum(N);
+  }
+  case AtomClass::Ratio: {
+    std::string S(Text);
+    size_t Slash = S.find('/');
+    errno = 0;
+    long long Num = strtoll(S.substr(0, Slash).c_str(), nullptr, 10);
+    long long Den = strtoll(S.substr(Slash + 1).c_str(), nullptr, 10);
+    if (errno == ERANGE || Den == 0)
+      break;
+    return H.makeRatio(Num, Den);
+  }
+  case AtomClass::Flonum:
+    return Value::flonum(strtod(std::string(Text).c_str(), nullptr));
+  case AtomClass::Symbol:
+    break;
+  }
+  if (Text == "nil")
+    return Value::nil();
+  return Value::symbol(Symbols.intern(Text));
+}
+
+std::vector<Value> sexpr::readAll(SymbolTable &Symbols, Heap &H,
+                                  std::string_view Source, DiagEngine &Diags) {
+  Reader R(Symbols, H, Source, Diags);
+  return R.readAll();
+}
+
+Value sexpr::readOne(SymbolTable &Symbols, Heap &H, std::string_view Source) {
+  DiagEngine Diags;
+  Reader R(Symbols, H, Source, Diags);
+  auto V = R.read();
+  assert(V && !Diags.hasErrors() && "readOne: malformed input");
+  return *V;
+}

@@ -1,0 +1,67 @@
+//===- sexpr/Reader.h - Lisp reader -----------------------------*- C++ -*-===//
+///
+/// \file
+/// Converts program text into S-expression Values. Supports lists, dotted
+/// pairs, 'quote, strings with escapes, ; line comments, #| block comments,
+/// fixnums, flonums, and ratios (e.g. 2/3). Symbols are case-sensitive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SEXPR_READER_H
+#define S1LISP_SEXPR_READER_H
+
+#include "sexpr/Value.h"
+#include "support/Diag.h"
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace s1lisp {
+namespace sexpr {
+
+/// A recursive-descent reader over one source buffer.
+class Reader {
+public:
+  Reader(SymbolTable &Symbols, Heap &H, std::string_view Source, DiagEngine &Diags)
+      : Symbols(Symbols), H(H), Src(Source), Diags(Diags) {}
+
+  /// Reads the next datum; nullopt at end of input or on a syntax error
+  /// (which is reported to the DiagEngine).
+  std::optional<Value> read();
+
+  /// Reads every remaining datum. Stops at the first syntax error.
+  std::vector<Value> readAll();
+
+private:
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek() const { return Src[Pos]; }
+  char advance();
+  void skipWhitespaceAndComments();
+  SourceLocation here() const { return {Line, Column}; }
+
+  std::optional<Value> readDatum();
+  std::optional<Value> readList(SourceLocation Open);
+  std::optional<Value> readString(SourceLocation Open);
+  Value readAtom();
+
+  SymbolTable &Symbols;
+  Heap &H;
+  std::string_view Src;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+/// Convenience: reads all forms from \p Source.
+std::vector<Value> readAll(SymbolTable &Symbols, Heap &H, std::string_view Source,
+                           DiagEngine &Diags);
+
+/// Convenience for tests: reads exactly one form; asserts on failure.
+Value readOne(SymbolTable &Symbols, Heap &H, std::string_view Source);
+
+} // namespace sexpr
+} // namespace s1lisp
+
+#endif // S1LISP_SEXPR_READER_H

@@ -1,0 +1,138 @@
+//===- sexpr/Value.cpp ----------------------------------------------------===//
+
+#include "sexpr/Value.h"
+
+#include <numeric>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+const std::string &Value::stringValue() const {
+  assert(isString() && "not a string");
+  return Str->Str;
+}
+
+Value Value::car() const {
+  if (isNil())
+    return Value::nil();
+  assert(isCons() && "car of a non-list");
+  return C->Car;
+}
+
+Value Value::cdr() const {
+  if (isNil())
+    return Value::nil();
+  assert(isCons() && "cdr of a non-list");
+  return C->Cdr;
+}
+
+SymbolTable::SymbolTable() {
+  SymT = intern("t");
+  SymQuote = intern("quote");
+}
+
+const Symbol *SymbolTable::intern(std::string_view Name) {
+  auto It = Map.find(std::string(Name));
+  if (It != Map.end())
+    return It->second;
+  Storage.emplace_back(std::string(Name));
+  const Symbol *S = &Storage.back();
+  Map.emplace(std::string(Name), S);
+  return S;
+}
+
+Value Heap::cons(Value Car, Value Cdr, SourceLocation Loc) {
+  Conses.push_back({Car, Cdr, Loc});
+  return Value::cons(&Conses.back());
+}
+
+Value Heap::string(std::string S) {
+  Strings.push_back({std::move(S)});
+  return Value::string(&Strings.back());
+}
+
+Value Heap::makeRatio(int64_t Num, int64_t Den) {
+  assert(Den != 0 && "ratio with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  int64_t G = std::gcd(Num < 0 ? -Num : Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+  if (Den == 1)
+    return Value::fixnum(Num);
+  Ratios.push_back({Num, Den});
+  return Value::ratio(&Ratios.back());
+}
+
+Value Heap::list(std::initializer_list<Value> Items) {
+  return list(std::vector<Value>(Items));
+}
+
+Value Heap::list(const std::vector<Value> &Items) {
+  Value Result = Value::nil();
+  for (size_t I = Items.size(); I > 0; --I)
+    Result = cons(Items[I - 1], Result);
+  return Result;
+}
+
+bool sexpr::isProperList(Value V) {
+  while (V.isCons())
+    V = V.cdr();
+  return V.isNil();
+}
+
+size_t sexpr::listLength(Value V) {
+  size_t N = 0;
+  while (V.isCons()) {
+    ++N;
+    V = V.cdr();
+  }
+  assert(V.isNil() && "listLength of an improper list");
+  return N;
+}
+
+std::vector<Value> sexpr::listToVector(Value V) {
+  std::vector<Value> Out;
+  while (V.isCons()) {
+    Out.push_back(V.car());
+    V = V.cdr();
+  }
+  assert(V.isNil() && "listToVector of an improper list");
+  return Out;
+}
+
+bool sexpr::eql(Value A, Value B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case ValueKind::Nil:
+    return true;
+  case ValueKind::Symbol:
+    return A.symbol() == B.symbol();
+  case ValueKind::Fixnum:
+    return A.fixnum() == B.fixnum();
+  case ValueKind::Flonum:
+    return A.flonum() == B.flonum();
+  case ValueKind::Ratio:
+    return A.ratio().Num == B.ratio().Num && A.ratio().Den == B.ratio().Den;
+  case ValueKind::String:
+    return &A.stringValue() == &B.stringValue();
+  case ValueKind::Cons:
+    return A.consCell() == B.consCell();
+  }
+  return false;
+}
+
+bool sexpr::equal(Value A, Value B) {
+  if (A.kind() != B.kind())
+    return false;
+  if (A.isCons())
+    return equal(A.car(), B.car()) && equal(A.cdr(), B.cdr());
+  if (A.isString())
+    return A.stringValue() == B.stringValue();
+  return eql(A, B);
+}

@@ -1,0 +1,239 @@
+//===- sexpr/Value.h - Lisp S-expression values -----------------*- C++ -*-===//
+///
+/// \file
+/// The S-expression data model used by the reader, the compiler's constant
+/// folder, and the baseline interpreter's data world: symbols, the numeric
+/// tower (fixnum / ratio / flonum), strings, and conses.
+///
+/// A Value is a small tagged union passed by value. Conses, strings and
+/// ratios live in a Heap; symbols are interned in a SymbolTable. Nothing is
+/// freed until the owning Heap/SymbolTable dies, which matches the lifetime
+/// of one compilation session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SEXPR_VALUE_H
+#define S1LISP_SEXPR_VALUE_H
+
+#include "support/SourceLocation.h"
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace s1lisp {
+namespace sexpr {
+
+class Value;
+
+/// An interned symbol. Pointer identity is symbol identity.
+class Symbol {
+public:
+  explicit Symbol(std::string Name) : Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+};
+
+/// A mutable cons cell. \c Loc records where the reader saw the open paren,
+/// so later phases can attach diagnostics to source positions.
+struct Cons;
+
+/// Heap-allocated string payload.
+struct StringObj {
+  std::string Str;
+};
+
+/// An exact rational. Always normalized: Den > 0, gcd(|Num|, Den) == 1,
+/// and Den != 1 (a denominator of one would have been a fixnum).
+struct Ratio {
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+/// Discriminator for Value.
+enum class ValueKind : uint8_t {
+  Nil,
+  Symbol,
+  Fixnum,
+  Flonum,
+  Ratio,
+  String,
+  Cons,
+};
+
+/// A Lisp datum: 16 bytes, copied freely.
+class Value {
+public:
+  Value() : Kind(ValueKind::Nil), Fix(0) {}
+
+  static Value nil() { return Value(); }
+  static Value fixnum(int64_t N) {
+    Value V;
+    V.Kind = ValueKind::Fixnum;
+    V.Fix = N;
+    return V;
+  }
+  static Value flonum(double D) {
+    Value V;
+    V.Kind = ValueKind::Flonum;
+    V.Flo = D;
+    return V;
+  }
+  static Value symbol(const Symbol *S) {
+    assert(S && "null symbol");
+    Value V;
+    V.Kind = ValueKind::Symbol;
+    V.Sym = S;
+    return V;
+  }
+  static Value string(const StringObj *S) {
+    Value V;
+    V.Kind = ValueKind::String;
+    V.Str = S;
+    return V;
+  }
+  static Value ratio(const Ratio *R) {
+    Value V;
+    V.Kind = ValueKind::Ratio;
+    V.Rat = R;
+    return V;
+  }
+  static Value cons(Cons *C) {
+    Value V;
+    V.Kind = ValueKind::Cons;
+    V.C = C;
+    return V;
+  }
+
+  ValueKind kind() const { return Kind; }
+  bool isNil() const { return Kind == ValueKind::Nil; }
+  bool isSymbol() const { return Kind == ValueKind::Symbol; }
+  bool isFixnum() const { return Kind == ValueKind::Fixnum; }
+  bool isFlonum() const { return Kind == ValueKind::Flonum; }
+  bool isRatio() const { return Kind == ValueKind::Ratio; }
+  bool isString() const { return Kind == ValueKind::String; }
+  bool isCons() const { return Kind == ValueKind::Cons; }
+  bool isNumber() const { return isFixnum() || isFlonum() || isRatio(); }
+  /// An atom is anything that is not a cons (NIL included).
+  bool isAtom() const { return !isCons(); }
+
+  int64_t fixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return Fix;
+  }
+  double flonum() const {
+    assert(isFlonum() && "not a flonum");
+    return Flo;
+  }
+  const Symbol *symbol() const {
+    assert(isSymbol() && "not a symbol");
+    return Sym;
+  }
+  const Ratio &ratio() const {
+    assert(isRatio() && "not a ratio");
+    return *Rat;
+  }
+  const std::string &stringValue() const;
+  Cons *consCell() const {
+    assert(isCons() && "not a cons");
+    return C;
+  }
+
+  /// car/cdr with the Lisp convention (car nil) = (cdr nil) = nil.
+  Value car() const;
+  Value cdr() const;
+
+  /// True for anything but NIL (Lisp generalized boolean).
+  bool isTrue() const { return !isNil(); }
+
+private:
+  ValueKind Kind;
+  union {
+    int64_t Fix;
+    double Flo;
+    const Symbol *Sym;
+    const StringObj *Str;
+    const Ratio *Rat;
+    Cons *C;
+  };
+};
+
+struct Cons {
+  Value Car;
+  Value Cdr;
+  SourceLocation Loc;
+};
+
+/// Interns symbols; owns their storage. Also pre-interns the handful of
+/// symbols the compiler needs constantly (T, NIL-as-symbol is not used;
+/// NIL the datum is ValueKind::Nil).
+class SymbolTable {
+public:
+  SymbolTable();
+
+  /// Returns the unique Symbol for \p Name, creating it on first use.
+  const Symbol *intern(std::string_view Name);
+
+  /// The symbol T (canonical true).
+  const Symbol *t() const { return SymT; }
+  const Symbol *quote() const { return SymQuote; }
+
+  size_t size() const { return Map.size(); }
+
+private:
+  std::unordered_map<std::string, const Symbol *> Map;
+  std::deque<Symbol> Storage;
+  const Symbol *SymT;
+  const Symbol *SymQuote;
+};
+
+/// Allocates conses, strings, and ratios. Storage is stable (deque) and is
+/// released only when the Heap dies.
+class Heap {
+public:
+  Value cons(Value Car, Value Cdr, SourceLocation Loc = SourceLocation());
+  Value string(std::string S);
+  /// Makes an exact rational; normalizes, and returns a fixnum when the
+  /// normalized denominator is 1. \p Den must be nonzero.
+  Value makeRatio(int64_t Num, int64_t Den);
+
+  /// Builds a proper list from \p Items.
+  Value list(std::initializer_list<Value> Items);
+  Value list(const std::vector<Value> &Items);
+
+  size_t consCount() const { return Conses.size(); }
+
+private:
+  std::deque<Cons> Conses;
+  std::deque<StringObj> Strings;
+  std::deque<Ratio> Ratios;
+};
+
+/// True if \p V is a proper (NIL-terminated, acyclic within 2^32 cells) list.
+bool isProperList(Value V);
+
+/// The length of a proper list; asserts on improper lists.
+size_t listLength(Value V);
+
+/// Flattens a proper list into a vector; asserts on improper lists.
+std::vector<Value> listToVector(Value V);
+
+/// Structural equality: EQL on atoms (numbers compare by exact value and
+/// type; symbols by identity; strings by contents) and recursive on conses.
+bool equal(Value A, Value B);
+
+/// Identity-or-number equality, the paper's EQL: symbols/conses by pointer,
+/// numbers by type+value, strings by pointer.
+bool eql(Value A, Value B);
+
+} // namespace sexpr
+} // namespace s1lisp
+
+#endif // S1LISP_SEXPR_VALUE_H

@@ -1,0 +1,57 @@
+//===- support/Arena.h - Bump allocator for IR objects ----------*- C++ -*-===//
+///
+/// \file
+/// A simple bump-pointer arena. IR nodes and variables are allocated here
+/// and live exactly as long as the owning ir::Function; destructors of
+/// allocated objects are run when the arena dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SUPPORT_ARENA_H
+#define S1LISP_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace s1lisp {
+
+/// Owns a growing set of heap objects and destroys them all at once.
+///
+/// Unlike a raw bump allocator this arena remembers each object's destructor,
+/// because IR nodes contain std::vector members.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  ~Arena() {
+    // Destroy in reverse allocation order.
+    for (size_t I = Objects.size(); I > 0; --I)
+      Objects[I - 1].Dtor(Objects[I - 1].Ptr);
+  }
+
+  /// Allocates and constructs a T owned by the arena.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    T *Ptr = new T(std::forward<Args>(As)...);
+    Objects.push_back({Ptr, [](void *P) { delete static_cast<T *>(P); }});
+    return Ptr;
+  }
+
+  size_t size() const { return Objects.size(); }
+
+private:
+  struct Owned {
+    void *Ptr;
+    void (*Dtor)(void *);
+  };
+  std::vector<Owned> Objects;
+};
+
+} // namespace s1lisp
+
+#endif // S1LISP_SUPPORT_ARENA_H

@@ -1,0 +1,23 @@
+//===- support/Diag.cpp ---------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace s1lisp;
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid())
+    Out += Loc.str() + ": ";
+  Out += Severity == DiagSeverity::Error ? "error: " : "warning: ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

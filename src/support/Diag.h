@@ -1,0 +1,64 @@
+//===- support/Diag.h - Diagnostic collection -------------------*- C++ -*-===//
+///
+/// \file
+/// A tiny diagnostic engine. Library phases never abort on malformed user
+/// input; they report here and return failure, LLVM-style (no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SUPPORT_DIAG_H
+#define S1LISP_SUPPORT_DIAG_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace s1lisp {
+
+/// Severity of a reported diagnostic.
+enum class DiagSeverity { Warning, Error };
+
+/// One reported problem, tied to a source position when known.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLocation Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" in the LLVM message style
+  /// (lowercase first word, no trailing period).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics across phases of a single compilation.
+class DiagEngine {
+public:
+  void error(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  }
+  void error(std::string Message) { error(SourceLocation(), std::move(Message)); }
+  void warning(SourceLocation Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Severity == DiagSeverity::Error)
+        return true;
+    return false;
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined with newlines; handy for test failure messages.
+  std::string str() const;
+
+  void clear() { Diags.clear(); }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace s1lisp
+
+#endif // S1LISP_SUPPORT_DIAG_H

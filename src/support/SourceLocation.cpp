@@ -1,0 +1,11 @@
+//===- support/SourceLocation.cpp -----------------------------------------===//
+
+#include "support/SourceLocation.h"
+
+using namespace s1lisp;
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}

@@ -1,0 +1,38 @@
+//===- support/SourceLocation.h - Positions in Lisp source ------*- C++ -*-===//
+//
+// Part of the S1LISP project: a reproduction of Brooks, Gabriel & Steele,
+// "An Optimizing Compiler for Lexically Scoped LISP" (1982).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column positions used by the reader and by diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SUPPORT_SOURCELOCATION_H
+#define S1LISP_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace s1lisp {
+
+/// A 1-based line/column position in a source buffer. Line 0 means "unknown".
+struct SourceLocation {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders "line:column", or "<unknown>" when invalid.
+  std::string str() const;
+};
+
+inline bool operator==(SourceLocation A, SourceLocation B) {
+  return A.Line == B.Line && A.Column == B.Column;
+}
+
+} // namespace s1lisp
+
+#endif // S1LISP_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,67 @@
+//===- tnbind/TnBind.h - TN-based storage allocation ------------*- C++ -*-===//
+///
+/// \file
+/// The TNBIND phase (§6.1), after BLISS-11 and PQCC: every computational
+/// quantity gets a TN ("temporary name") annotated with lifetime and usage
+/// information, and a packing pass assigns each TN a storage location —
+/// a general register or a stack-frame slot. Variables live across calls
+/// are forced into the frame (all registers are caller-saved). Expression
+/// temporaries are allocated by the code generator from the registers this
+/// phase leaves free, with RTA/RTB preferred for arithmetic intermediates
+/// so the 2 1/2-address instructions need no data-movement MOVs.
+///
+/// The naive ablation (UseRegisters = false) pins every variable into the
+/// frame, reproducing the "every operand is a memory reference" baseline
+/// the MOV-count benchmark compares against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_TNBIND_TNBIND_H
+#define S1LISP_TNBIND_TNBIND_H
+
+#include "ir/Ir.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace s1lisp {
+namespace tnbind {
+
+/// Where a TN ended up.
+struct Location {
+  enum class Kind : uint8_t { None, Register, Frame } K = Kind::None;
+  uint8_t Reg = 0;
+  int Slot = -1; ///< frame slot index, relative to the frame base
+
+  static Location reg(uint8_t R) { return {Kind::Register, R, -1}; }
+  static Location frame(int S) { return {Kind::Frame, 0, S}; }
+  bool isRegister() const { return K == Kind::Register; }
+  bool isFrame() const { return K == Kind::Frame; }
+};
+
+struct TnBindOptions {
+  /// When false, every variable gets a frame slot (the naive baseline).
+  bool UseRegisters = true;
+};
+
+struct TnBindResult {
+  std::unordered_map<const ir::Variable *, Location> VarLocs;
+  unsigned FrameSlots = 0; ///< frame slots consumed by variables
+  unsigned VarsInRegisters = 0;
+  unsigned VarsInFrame = 0;
+  /// Registers handed to variables (the code generator avoids these for
+  /// expression temporaries).
+  std::vector<uint8_t> RegistersUsed;
+};
+
+/// Allocates storage for every stack-disciplined variable bound within
+/// \p Unit (nested FullClosure lambdas excluded — their variables belong
+/// to their own compilation units; heap-allocated and special variables
+/// are handled by the environment/deep-binding machinery instead).
+TnBindResult allocateVariables(const ir::LambdaNode *Unit,
+                               const TnBindOptions &Opts = {});
+
+} // namespace tnbind
+} // namespace s1lisp
+
+#endif // S1LISP_TNBIND_TNBIND_H

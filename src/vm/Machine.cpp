@@ -1,0 +1,1145 @@
+//===- vm/Machine.cpp -----------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "sexpr/Numbers.h"
+#include "sexpr/Printer.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace s1lisp;
+using namespace s1lisp::vm;
+using namespace s1lisp::s1;
+using sexpr::Value;
+
+namespace {
+
+double asDouble(uint64_t W) {
+  double D;
+  std::memcpy(&D, &W, sizeof(D));
+  return D;
+}
+
+uint64_t fromDouble(double D) {
+  uint64_t W;
+  std::memcpy(&W, &D, sizeof(W));
+  return W;
+}
+
+/// Return-address words: ((func+1) << 32) | pc, stored raw. Zero is the
+/// "return to host" sentinel.
+uint64_t makeRetWord(int Func, int Pc) {
+  return (static_cast<uint64_t>(Func + 1) << 32) | static_cast<uint32_t>(Pc);
+}
+
+} // namespace
+
+Machine::Machine(const Program &P, sexpr::SymbolTable &Syms,
+                 sexpr::Heap &DecodeHeap)
+    : P(P), Syms(Syms), DecodeHeap(DecodeHeap) {
+  Memory.assign(MemoryWords, 0);
+  // Load the static image.
+  for (size_t I = 0; I < P.Static.size(); ++I)
+    Memory[StaticBase + I] = P.Static[I];
+  SymbolAddr = P.SymbolAddr;
+  for (auto &[Sym, Addr] : P.SymbolAddr)
+    AddrSymbol[Addr] = Sym;
+  for (auto &[Addr, Str] : P.StringAddr)
+    StringContents[Addr] = Str;
+}
+
+uint64_t &Machine::mem(uint64_t Addr) {
+  static uint64_t Garbage = 0;
+  if (Addr >= Memory.size()) {
+    Halted = true; // step() reports the trap
+    return Garbage;
+  }
+  return Memory[Addr];
+}
+
+uint64_t Machine::symbolWord(const sexpr::Symbol *S) {
+  auto It = SymbolAddr.find(S);
+  if (It != SymbolAddr.end())
+    return makePointer(Tag::Symbol, It->second);
+  // Symbols unknown to the compiled image get a fresh heap cell.
+  uint64_t W = allocate(Tag::Symbol, 1);
+  mem(addrOf(W)) = UnboundWord;
+  SymbolAddr[S] = addrOf(W);
+  AddrSymbol[addrOf(W)] = S;
+  return W;
+}
+
+uint64_t Machine::allocate(Tag T, uint64_t NWords) {
+  if (HeapTop + NWords > HeapBase + HeapWords) {
+    Halted = true;
+    return NilWord;
+  }
+  uint64_t Addr = HeapTop;
+  HeapTop += NWords;
+  ++Stats.HeapObjects;
+  Stats.HeapWordsUsed += NWords;
+  return makePointer(T, Addr);
+}
+
+uint64_t Machine::boxFlonum(double D) {
+  uint64_t W = allocate(Tag::SingleFlonum, 1);
+  mem(addrOf(W)) = fromDouble(D);
+  return W;
+}
+
+uint64_t Machine::encode(Value V) {
+  switch (V.kind()) {
+  case sexpr::ValueKind::Nil:
+    return NilWord;
+  case sexpr::ValueKind::Fixnum:
+    assert(V.fixnum() >= INT32_MIN && V.fixnum() <= INT32_MAX &&
+           "compiled fixnums are 32-bit immediates");
+    return makeFixnum(V.fixnum());
+  case sexpr::ValueKind::Flonum:
+    return boxFlonum(V.flonum());
+  case sexpr::ValueKind::Symbol:
+    return symbolWord(V.symbol());
+  case sexpr::ValueKind::Ratio: {
+    uint64_t W = allocate(Tag::Ratio, 2);
+    mem(addrOf(W)) = static_cast<uint64_t>(V.ratio().Num);
+    mem(addrOf(W) + 1) = static_cast<uint64_t>(V.ratio().Den);
+    return W;
+  }
+  case sexpr::ValueKind::String: {
+    uint64_t W = allocate(Tag::String, 1);
+    mem(addrOf(W)) = V.stringValue().size();
+    StringContents[addrOf(W)] = V.stringValue();
+    return W;
+  }
+  case sexpr::ValueKind::Cons: {
+    uint64_t Car = encode(V.car());
+    uint64_t Cdr = encode(V.cdr());
+    uint64_t W = allocate(Tag::Cons, 2);
+    mem(addrOf(W)) = Car;
+    mem(addrOf(W) + 1) = Cdr;
+    return W;
+  }
+  }
+  return NilWord;
+}
+
+std::optional<Value> Machine::decode(uint64_t Word, unsigned Depth) {
+  if (Depth == 0)
+    return std::nullopt;
+  switch (tagOf(Word)) {
+  case Tag::Nil:
+    return Value::nil();
+  case Tag::Fixnum:
+    return Value::fixnum(fixnumValue(Word));
+  case Tag::SingleFlonum:
+    return Value::flonum(asDouble(Memory[addrOf(Word)]));
+  case Tag::Symbol: {
+    auto It = AddrSymbol.find(addrOf(Word));
+    if (It == AddrSymbol.end())
+      return std::nullopt;
+    return Value::symbol(It->second);
+  }
+  case Tag::Ratio:
+    return DecodeHeap.makeRatio(static_cast<int64_t>(Memory[addrOf(Word)]),
+                                static_cast<int64_t>(Memory[addrOf(Word) + 1]));
+  case Tag::String: {
+    auto It = StringContents.find(addrOf(Word));
+    if (It == StringContents.end())
+      return std::nullopt;
+    return DecodeHeap.string(It->second);
+  }
+  case Tag::Cons: {
+    auto Car = decode(Memory[addrOf(Word)], Depth - 1);
+    auto Cdr = decode(Memory[addrOf(Word) + 1], Depth - 1);
+    if (!Car || !Cdr)
+      return std::nullopt;
+    return DecodeHeap.cons(*Car, *Cdr);
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+bool Machine::setGlobalSpecial(const sexpr::Symbol *Name, Value V) {
+  uint64_t SymW = symbolWord(Name);
+  mem(addrOf(SymW)) = encode(V);
+  return true;
+}
+
+uint64_t Machine::makeArrayF(size_t Dim0, size_t Dim1) {
+  bool Rank2 = Dim1 != 0;
+  size_t D1 = Rank2 ? Dim1 : 1;
+  uint64_t W = allocate(Tag::ArrayF, 3 + Dim0 * D1);
+  mem(addrOf(W)) = Dim0;
+  mem(addrOf(W) + 1) = D1;
+  mem(addrOf(W) + 2) = Rank2;
+  for (size_t I = 0; I < Dim0 * D1; ++I)
+    mem(addrOf(W) + 3 + I) = fromDouble(0.0);
+  return W;
+}
+
+double Machine::readArrayF(uint64_t ArrayWord, size_t I, size_t J) {
+  uint64_t Base = addrOf(ArrayWord);
+  return asDouble(Memory[Base + 3 + I * Memory[Base + 1] + J]);
+}
+
+void Machine::writeArrayF(uint64_t ArrayWord, size_t I, size_t J, double V) {
+  uint64_t Base = addrOf(ArrayWord);
+  Memory[Base + 3 + I * Memory[Base + 1] + J] = fromDouble(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+Machine::RunResult Machine::call(const std::string &Name,
+                                 const std::vector<Value> &Args) {
+  RunResult R;
+  int Idx = P.indexOf(Name);
+  if (Idx < 0) {
+    R.Error = "undefined compiled function '" + Name + "'";
+    return R;
+  }
+  Regs.fill(0);
+  Regs[SP] = StackBase;
+  Regs[FP] = StackBase;
+  Regs[ENV] = NilWord;
+  SpecTop = SpecBase;
+  Catches.clear();
+  Halted = false;
+
+  for (Value A : Args)
+    push(encode(A));
+  Regs[RTA] = Args.size();
+  push(makeRetWord(-1, 0)); // sentinel: return to host
+
+  std::string Error;
+  if (!run(Idx, Error)) {
+    R.Error = Error;
+    return R;
+  }
+  R.Ok = true;
+  R.ResultWord = Regs[RV];
+  R.Result = decode(Regs[RV]);
+  return R;
+}
+
+void Machine::push(uint64_t W) {
+  mem(Regs[SP]) = W;
+  ++Regs[SP];
+  Stats.StackHighWater = std::max(Stats.StackHighWater, Regs[SP] - StackBase);
+}
+
+uint64_t Machine::pop() {
+  --Regs[SP];
+  return mem(Regs[SP]);
+}
+
+bool Machine::trap(std::string &Error, const std::string &Msg) {
+  Error = Msg;
+  if (CurFunc >= 0 && CurFunc < static_cast<int>(P.Functions.size()))
+    Error += " [in " + P.Functions[CurFunc].Name + " at pc " +
+             std::to_string(Pc) + "]";
+  Halted = true;
+  return false;
+}
+
+bool Machine::run(int FuncIndex, std::string &Error) {
+  CurFunc = FuncIndex;
+  Pc = 0;
+  while (!Halted) {
+    if (Stats.Instructions >= Fuel)
+      return trap(Error, "instruction fuel exhausted");
+    if (!step(Error))
+      return false;
+    if (CurFunc == -1)
+      return true; // returned to host
+  }
+  return trap(Error, "machine halted unexpectedly (memory fault or heap full)");
+}
+
+uint64_t Machine::effectiveAddress(const Operand &O) {
+  assert(O.M == Operand::Mode::Mem && "EA of a non-memory operand");
+  uint64_t Base = addrOf(Regs[O.R]);
+  int64_t Idx = 0;
+  if (O.Index != 0xFF)
+    Idx = static_cast<int64_t>(Regs[O.Index]) << O.Scale;
+  return Base + static_cast<uint64_t>(O.Imm + Idx);
+}
+
+uint64_t Machine::read(const Operand &O) {
+  switch (O.M) {
+  case Operand::Mode::Reg:
+    return Regs[O.R];
+  case Operand::Mode::Imm:
+    return static_cast<uint64_t>(O.Imm);
+  case Operand::Mode::FImm:
+    return fromDouble(O.F);
+  case Operand::Mode::Mem:
+    return mem(effectiveAddress(O));
+  default:
+    assert(false && "unreadable operand");
+    return 0;
+  }
+}
+
+void Machine::write(const Operand &O, uint64_t V) {
+  switch (O.M) {
+  case Operand::Mode::Reg:
+    Regs[O.R] = V;
+    return;
+  case Operand::Mode::Mem:
+    mem(effectiveAddress(O)) = V;
+    return;
+  default:
+    assert(false && "unwritable operand");
+  }
+}
+
+bool Machine::step(std::string &Error) {
+  const AsmFunction &F = P.Functions[CurFunc];
+  if (Pc < 0 || Pc >= static_cast<int>(F.Code.size()))
+    return trap(Error, "pc out of range");
+  const Instruction &I = F.Code[Pc++];
+  ++Stats.Instructions;
+  Stats.PerOpcode[static_cast<size_t>(I.Op)]++;
+
+  auto CondHolds = [](Cond C, int64_t Sign) {
+    switch (C) {
+    case Cond::EQ:
+      return Sign == 0;
+    case Cond::NEQ:
+      return Sign != 0;
+    case Cond::LT:
+      return Sign < 0;
+    case Cond::GT:
+      return Sign > 0;
+    case Cond::LE:
+      return Sign <= 0;
+    case Cond::GE:
+      return Sign >= 0;
+    }
+    return false;
+  };
+
+  switch (I.Op) {
+  case Opcode::LABEL:
+    return true;
+  case Opcode::HALT:
+    return trap(Error, "HALT executed");
+
+  case Opcode::MOV:
+    ++Stats.Movs;
+    write(I.A, read(I.B));
+    return true;
+
+  case Opcode::MOVTAG: {
+    uint64_t Addr = I.B.M == Operand::Mode::Mem ? effectiveAddress(I.B)
+                                                : addrOf(read(I.B));
+    write(I.A, makePointer(static_cast<Tag>(I.X.Imm), Addr));
+    return true;
+  }
+
+  case Opcode::GETTAG:
+    write(I.A, static_cast<uint64_t>(tagOf(read(I.B))));
+    return true;
+
+  case Opcode::LEA:
+    write(I.A, effectiveAddress(I.B));
+    return true;
+
+  case Opcode::PUSH:
+    if (Regs[SP] + 1 >= StackBase + StackWords)
+      return trap(Error, "stack overflow");
+    push(read(I.A));
+    return true;
+
+  case Opcode::POP:
+    write(I.A, pop());
+    return true;
+
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::MULT:
+  case Opcode::DIV: {
+    bool TwoOp = I.X.M == Operand::Mode::None;
+    int64_t A = static_cast<int64_t>(read(TwoOp ? I.A : I.B));
+    int64_t B = static_cast<int64_t>(read(TwoOp ? I.B : I.X));
+    int64_t R;
+    switch (I.Op) {
+    case Opcode::ADD:
+      R = A + B;
+      break;
+    case Opcode::SUB:
+      R = A - B;
+      break;
+    case Opcode::MULT:
+      R = A * B;
+      break;
+    default:
+      if (B == 0)
+        return trap(Error, rtErrorMessage(RtError::DivisionByZero));
+      R = A / B;
+      break;
+    }
+    write(I.A, static_cast<uint64_t>(R));
+    return true;
+  }
+
+  case Opcode::FADD:
+  case Opcode::FSUB:
+  case Opcode::FMULT:
+  case Opcode::FDIV:
+  case Opcode::FMAX:
+  case Opcode::FMIN: {
+    bool TwoOp = I.X.M == Operand::Mode::None;
+    double A = asDouble(read(TwoOp ? I.A : I.B));
+    double B = asDouble(read(TwoOp ? I.B : I.X));
+    double R;
+    switch (I.Op) {
+    case Opcode::FADD:
+      R = A + B;
+      break;
+    case Opcode::FSUB:
+      R = A - B;
+      break;
+    case Opcode::FMULT:
+      R = A * B;
+      break;
+    case Opcode::FDIV:
+      R = A / B;
+      break;
+    case Opcode::FMAX:
+      R = std::max(A, B);
+      break;
+    default:
+      R = std::min(A, B);
+      break;
+    }
+    write(I.A, fromDouble(R));
+    return true;
+  }
+
+  case Opcode::FNEG:
+  case Opcode::FABS:
+  case Opcode::FSQRT:
+  case Opcode::FSIN:
+  case Opcode::FCOS:
+  case Opcode::FEXP:
+  case Opcode::FLOG: {
+    double X = asDouble(read(I.B));
+    double R;
+    switch (I.Op) {
+    case Opcode::FNEG:
+      R = -X;
+      break;
+    case Opcode::FABS:
+      R = std::fabs(X);
+      break;
+    case Opcode::FSQRT:
+      R = std::sqrt(X);
+      break;
+    case Opcode::FSIN:
+      R = std::sin(X * 2.0 * M_PI); // the S-1 trig unit takes cycles
+      break;
+    case Opcode::FCOS:
+      R = std::cos(X * 2.0 * M_PI);
+      break;
+    case Opcode::FEXP:
+      R = std::exp(X);
+      break;
+    default:
+      R = std::log(X);
+      break;
+    }
+    write(I.A, fromDouble(R));
+    return true;
+  }
+
+  case Opcode::FATAN: {
+    double Y = asDouble(read(I.B));
+    double X = asDouble(read(I.X));
+    write(I.A, fromDouble(std::atan2(Y, X)));
+    return true;
+  }
+
+  case Opcode::ITOF:
+    write(I.A, fromDouble(static_cast<double>(static_cast<int64_t>(read(I.B)))));
+    return true;
+  case Opcode::FTOI:
+    write(I.A, static_cast<uint64_t>(static_cast<int64_t>(asDouble(read(I.B)))));
+    return true;
+
+  case Opcode::JMPA:
+    Pc = F.LabelPos[I.A.Label] ;
+    return true;
+
+  case Opcode::JMPZ: {
+    int64_t A = static_cast<int64_t>(read(I.A));
+    int64_t B = static_cast<int64_t>(read(I.B));
+    int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+    if (CondHolds(I.C, Sign))
+      Pc = F.LabelPos[I.X.Label];
+    return true;
+  }
+
+  case Opcode::FJMPZ: {
+    double A = asDouble(read(I.A));
+    double B = asDouble(read(I.B));
+    int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+    if ((std::isnan(A) || std::isnan(B)) ? I.C == Cond::NEQ : CondHolds(I.C, Sign))
+      Pc = F.LabelPos[I.X.Label];
+    return true;
+  }
+
+  case Opcode::CALL: {
+    ++Stats.Calls;
+    if (Regs[SP] + 4 >= StackBase + StackWords)
+      return trap(Error, "stack overflow");
+    push(makeRetWord(CurFunc, Pc));
+    CurFunc = static_cast<int>(I.A.Imm);
+    Pc = 0;
+    return true;
+  }
+
+  case Opcode::CALLPTR: {
+    ++Stats.Calls;
+    uint64_t Fn = read(I.A);
+    if (tagOf(Fn) != Tag::Function)
+      return trap(Error, rtErrorMessage(RtError::NotAFunction));
+    Regs[1] = mem(addrOf(Fn) + 1); // closure environment for the prologue
+    push(makeRetWord(CurFunc, Pc));
+    CurFunc = static_cast<int>(mem(addrOf(Fn)));
+    Pc = 0;
+    return true;
+  }
+
+  case Opcode::TAILCALL:
+  case Opcode::TAILCALLPTR: {
+    ++Stats.TailCalls;
+    int Target;
+    uint64_t K;
+    if (I.Op == Opcode::TAILCALL) {
+      K = static_cast<uint64_t>(I.A.Imm);
+      Target = static_cast<int>(I.B.Imm);
+    } else {
+      K = static_cast<uint64_t>(I.B.Imm);
+      uint64_t Fn = read(I.A);
+      if (tagOf(Fn) != Tag::Function)
+        return trap(Error, rtErrorMessage(RtError::NotAFunction));
+      Regs[1] = mem(addrOf(Fn) + 1);
+      Target = static_cast<int>(mem(addrOf(Fn)));
+    }
+    // New args were computed at the stack top; the frame records how many
+    // arguments the current activation received (slot FP+1) and the
+    // caller's environment (slot FP+0).
+    uint64_t OldArgc = mem(Regs[FP] + 1);
+    uint64_t ArgBase = Regs[FP] - 2 - OldArgc;
+    uint64_t RetW = mem(Regs[FP] - 2);
+    uint64_t OldFp = mem(Regs[FP] - 1);
+    Regs[ENV] = mem(Regs[FP] + 0);
+    for (uint64_t J = 0; J < K; ++J)
+      mem(ArgBase + J) = mem(Regs[SP] - K + J);
+    mem(ArgBase + K) = RetW;
+    Regs[SP] = ArgBase + K + 1;
+    Regs[FP] = OldFp;
+    Regs[RTA] = K;
+    CurFunc = Target;
+    Pc = 0;
+    return true;
+  }
+
+  case Opcode::RET: {
+    uint64_t RetW = pop();
+    if (RetW == makeRetWord(-1, 0)) {
+      CurFunc = -1; // back to host
+      return true;
+    }
+    CurFunc = static_cast<int>((RetW >> 32) - 1);
+    Pc = static_cast<int>(RetW & 0xFFFFFFFF);
+    return true;
+  }
+
+  case Opcode::ALLOC: {
+    uint64_t W = allocate(static_cast<Tag>(I.B.Imm), static_cast<uint64_t>(I.X.Imm));
+    if (Halted)
+      return trap(Error, "heap exhausted");
+    write(I.A, W);
+    return true;
+  }
+
+  case Opcode::SYSCALL:
+    ++Stats.Syscalls;
+    return doSyscall(static_cast<Syscall>(I.A.Imm), Error);
+  }
+  return trap(Error, "unimplemented opcode");
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime services
+//===----------------------------------------------------------------------===//
+
+bool Machine::wordEql(uint64_t A, uint64_t B) {
+  if (A == B)
+    return true;
+  if (tagOf(A) != tagOf(B))
+    return false;
+  switch (tagOf(A)) {
+  case Tag::SingleFlonum:
+    return asDouble(Memory[addrOf(A)]) == asDouble(Memory[addrOf(B)]);
+  case Tag::Ratio:
+    return Memory[addrOf(A)] == Memory[addrOf(B)] &&
+           Memory[addrOf(A) + 1] == Memory[addrOf(B) + 1];
+  default:
+    return false;
+  }
+}
+
+uint64_t Machine::certify(uint64_t W) {
+  uint64_t Addr = addrOf(W);
+  if (!isStackAddress(Addr))
+    return W;
+  switch (tagOf(W)) {
+  case Tag::SingleFlonum: {
+    uint64_t NewW = allocate(Tag::SingleFlonum, 1);
+    mem(addrOf(NewW)) = Memory[Addr];
+    return NewW;
+  }
+  case Tag::Ratio: {
+    uint64_t NewW = allocate(Tag::Ratio, 2);
+    mem(addrOf(NewW)) = Memory[Addr];
+    mem(addrOf(NewW) + 1) = Memory[Addr + 1];
+    return NewW;
+  }
+  default:
+    return W;
+  }
+}
+
+bool Machine::doSyscall(Syscall S, std::string &Error) {
+  const Instruction &I = P.Functions[CurFunc].Code[Pc - 1];
+
+  auto DecodeNum = [this](uint64_t W) -> std::optional<Value> {
+    switch (tagOf(W)) {
+    case Tag::Fixnum:
+      return Value::fixnum(fixnumValue(W));
+    case Tag::SingleFlonum:
+      return Value::flonum(asDouble(Memory[addrOf(W)]));
+    case Tag::Ratio:
+      return DecodeHeap.makeRatio(static_cast<int64_t>(Memory[addrOf(W)]),
+                                  static_cast<int64_t>(Memory[addrOf(W) + 1]));
+    default:
+      return std::nullopt;
+    }
+  };
+  auto EncodeNum = [this, &Error](Value V, bool &Ok) -> uint64_t {
+    Ok = true;
+    switch (V.kind()) {
+    case sexpr::ValueKind::Fixnum:
+      if (V.fixnum() < INT32_MIN || V.fixnum() > INT32_MAX) {
+        Ok = trap(Error, "fixnum overflow (compiled fixnums are 32-bit)");
+        return NilWord;
+      }
+      return makeFixnum(V.fixnum());
+    case sexpr::ValueKind::Flonum:
+      return boxFlonum(V.flonum());
+    case sexpr::ValueKind::Ratio: {
+      uint64_t W = allocate(Tag::Ratio, 2);
+      mem(addrOf(W)) = static_cast<uint64_t>(V.ratio().Num);
+      mem(addrOf(W) + 1) = static_cast<uint64_t>(V.ratio().Den);
+      return W;
+    }
+    default:
+      Ok = trap(Error, "non-numeric result");
+      return NilWord;
+    }
+  };
+  auto TBool = [this](bool B) {
+    Regs[RV] = B ? symbolWord(Syms.t()) : NilWord;
+  };
+  auto TypeError = [this, &Error] {
+    return trap(Error, rtErrorMessage(RtError::WrongTypeOfArgument));
+  };
+
+  switch (S) {
+  case Syscall::GenericAdd:
+  case Syscall::GenericSub:
+  case Syscall::GenericMul:
+  case Syscall::GenericDiv:
+  case Syscall::GenericArith2: {
+    uint64_t BW = pop(), AW = pop();
+    auto A = DecodeNum(AW), B = DecodeNum(BW);
+    if (!A || !B)
+      return TypeError();
+    sexpr::ArithOp Op;
+    switch (S) {
+    case Syscall::GenericAdd:
+      Op = sexpr::ArithOp::Add;
+      break;
+    case Syscall::GenericSub:
+      Op = sexpr::ArithOp::Sub;
+      break;
+    case Syscall::GenericMul:
+      Op = sexpr::ArithOp::Mul;
+      break;
+    case Syscall::GenericDiv:
+      Op = sexpr::ArithOp::Div;
+      break;
+    default:
+      switch (static_cast<ArithCode>(I.B.Imm)) {
+      case ArithCode::Floor:
+        Op = sexpr::ArithOp::Floor;
+        break;
+      case ArithCode::Ceiling:
+        Op = sexpr::ArithOp::Ceiling;
+        break;
+      case ArithCode::Truncate:
+        Op = sexpr::ArithOp::Truncate;
+        break;
+      case ArithCode::Round:
+        Op = sexpr::ArithOp::Round;
+        break;
+      case ArithCode::Mod:
+        Op = sexpr::ArithOp::Mod;
+        break;
+      case ArithCode::Rem:
+        Op = sexpr::ArithOp::Rem;
+        break;
+      case ArithCode::Expt:
+        Op = sexpr::ArithOp::Expt;
+        break;
+      case ArithCode::Max:
+        Op = sexpr::ArithOp::Max;
+        break;
+      default:
+        Op = sexpr::ArithOp::Min;
+        break;
+      }
+      break;
+    }
+    auto R = sexpr::arith(DecodeHeap, Op, *A, *B);
+    if (!R)
+      return TypeError();
+    bool Ok;
+    Regs[RV] = EncodeNum(*R, Ok);
+    return Ok;
+  }
+
+  case Syscall::GenericUnary: {
+    uint64_t AW = pop();
+    auto A = DecodeNum(AW);
+    if (!A)
+      return TypeError();
+    std::optional<Value> R;
+    switch (static_cast<UnaryCode>(I.B.Imm)) {
+    case UnaryCode::Neg:
+      R = sexpr::negate(DecodeHeap, *A);
+      break;
+    case UnaryCode::Abs:
+      R = sexpr::numAbs(DecodeHeap, *A);
+      break;
+    case UnaryCode::Add1:
+      R = sexpr::add1(DecodeHeap, *A);
+      break;
+    case UnaryCode::Sub1:
+      R = sexpr::sub1(DecodeHeap, *A);
+      break;
+    case UnaryCode::Sqrt: {
+      auto D = sexpr::toDouble(*A);
+      if (D && *D >= 0)
+        R = Value::flonum(std::sqrt(*D));
+      break;
+    }
+    case UnaryCode::ToFloat: {
+      auto D = sexpr::toDouble(*A);
+      if (D)
+        R = Value::flonum(*D);
+      break;
+    }
+    }
+    if (!R)
+      return TypeError();
+    bool Ok;
+    Regs[RV] = EncodeNum(*R, Ok);
+    return Ok;
+  }
+
+  case Syscall::GenericCompare: {
+    uint64_t BW = pop(), AW = pop();
+    auto A = DecodeNum(AW), B = DecodeNum(BW);
+    if (!A || !B)
+      return TypeError();
+    sexpr::CompareOp Op;
+    switch (static_cast<Cond>(I.B.Imm)) {
+    case Cond::EQ:
+      Op = sexpr::CompareOp::Eq;
+      break;
+    case Cond::NEQ:
+      Op = sexpr::CompareOp::Ne;
+      break;
+    case Cond::LT:
+      Op = sexpr::CompareOp::Lt;
+      break;
+    case Cond::GT:
+      Op = sexpr::CompareOp::Gt;
+      break;
+    case Cond::LE:
+      Op = sexpr::CompareOp::Le;
+      break;
+    default:
+      Op = sexpr::CompareOp::Ge;
+      break;
+    }
+    auto R = sexpr::compare(Op, *A, *B);
+    if (!R)
+      return TypeError();
+    TBool(*R);
+    return true;
+  }
+
+  case Syscall::GenericNumPred: {
+    uint64_t AW = pop();
+    auto A = DecodeNum(AW);
+    if (!A)
+      return TypeError();
+    std::optional<bool> R;
+    switch (static_cast<PredCode>(I.B.Imm)) {
+    case PredCode::Zerop:
+      R = sexpr::isZero(*A);
+      break;
+    case PredCode::Oddp:
+      R = sexpr::isOdd(*A);
+      break;
+    case PredCode::Evenp:
+      R = sexpr::isEven(*A);
+      break;
+    case PredCode::Plusp:
+      R = sexpr::isPlus(*A);
+      break;
+    default:
+      R = sexpr::isMinus(*A);
+      break;
+    }
+    if (!R)
+      return TypeError();
+    TBool(*R);
+    return true;
+  }
+
+  case Syscall::ConsFlonum:
+    Regs[RV] = boxFlonum(asDouble(pop()));
+    return true;
+
+  case Syscall::ConsFixnum: {
+    int64_t V = static_cast<int64_t>(pop());
+    if (V < INT32_MIN || V > INT32_MAX)
+      return trap(Error, "fixnum overflow (compiled fixnums are 32-bit)");
+    Regs[RV] = makeFixnum(V);
+    return true;
+  }
+
+  case Syscall::UnboxFloat: {
+    uint64_t W = pop();
+    auto A = DecodeNum(W);
+    auto D = A ? sexpr::toDouble(*A) : std::nullopt;
+    if (!D)
+      return TypeError();
+    Regs[RV] = fromDouble(*D);
+    return true;
+  }
+
+  case Syscall::UnboxFixnum: {
+    uint64_t W = pop();
+    if (tagOf(W) != Tag::Fixnum)
+      return TypeError();
+    Regs[RV] = static_cast<uint64_t>(fixnumValue(W));
+    return true;
+  }
+
+  case Syscall::Cons: {
+    uint64_t Cdr = pop(), Car = pop();
+    uint64_t W = allocate(Tag::Cons, 2);
+    mem(addrOf(W)) = Car;
+    mem(addrOf(W) + 1) = Cdr;
+    Regs[RV] = W;
+    return true;
+  }
+
+  case Syscall::ListPrim: {
+    ListCode Code = static_cast<ListCode>(I.B.Imm);
+    auto IsList = [this](uint64_t W) {
+      return tagOf(W) == Tag::Nil || tagOf(W) == Tag::Cons;
+    };
+    auto CarOf = [this](uint64_t W) {
+      return tagOf(W) == Tag::Cons ? Memory[addrOf(W)] : NilWord;
+    };
+    auto CdrOf = [this](uint64_t W) {
+      return tagOf(W) == Tag::Cons ? Memory[addrOf(W) + 1] : NilWord;
+    };
+    switch (Code) {
+    case ListCode::Length: {
+      uint64_t L = pop();
+      if (tagOf(L) == Tag::String) {
+        Regs[RV] = makeFixnum(static_cast<int64_t>(Memory[addrOf(L)]));
+        return true;
+      }
+      if (!IsList(L))
+        return TypeError();
+      int64_t N = 0;
+      while (tagOf(L) == Tag::Cons) {
+        ++N;
+        L = CdrOf(L);
+      }
+      Regs[RV] = makeFixnum(N);
+      return true;
+    }
+    case ListCode::Reverse: {
+      uint64_t L = pop();
+      if (!IsList(L))
+        return TypeError();
+      uint64_t R = NilWord;
+      while (tagOf(L) == Tag::Cons) {
+        uint64_t W = allocate(Tag::Cons, 2);
+        mem(addrOf(W)) = CarOf(L);
+        mem(addrOf(W) + 1) = R;
+        R = W;
+        L = CdrOf(L);
+      }
+      Regs[RV] = R;
+      return true;
+    }
+    case ListCode::Append2: {
+      uint64_t B = pop(), A = pop();
+      if (!IsList(A))
+        return TypeError();
+      std::vector<uint64_t> Items;
+      for (uint64_t L = A; tagOf(L) == Tag::Cons; L = CdrOf(L))
+        Items.push_back(CarOf(L));
+      uint64_t R = B;
+      for (size_t J = Items.size(); J > 0; --J) {
+        uint64_t W = allocate(Tag::Cons, 2);
+        mem(addrOf(W)) = Items[J - 1];
+        mem(addrOf(W) + 1) = R;
+        R = W;
+      }
+      Regs[RV] = R;
+      return true;
+    }
+    case ListCode::Member: {
+      uint64_t L = pop(), X = pop();
+      while (tagOf(L) == Tag::Cons) {
+        if (wordEql(CarOf(L), X)) {
+          Regs[RV] = L;
+          return true;
+        }
+        L = CdrOf(L);
+      }
+      Regs[RV] = NilWord;
+      return true;
+    }
+    case ListCode::Assoc: {
+      uint64_t L = pop(), X = pop();
+      while (tagOf(L) == Tag::Cons) {
+        uint64_t Pair = CarOf(L);
+        if (tagOf(Pair) == Tag::Cons && wordEql(CarOf(Pair), X)) {
+          Regs[RV] = Pair;
+          return true;
+        }
+        L = CdrOf(L);
+      }
+      Regs[RV] = NilWord;
+      return true;
+    }
+    case ListCode::Nth:
+    case ListCode::NthCdr: {
+      uint64_t L = pop(), NW = pop();
+      if (tagOf(NW) != Tag::Fixnum)
+        return TypeError();
+      for (int64_t J = 0; J < fixnumValue(NW) && tagOf(L) == Tag::Cons; ++J)
+        L = CdrOf(L);
+      Regs[RV] = Code == ListCode::Nth ? CarOf(L) : L;
+      return true;
+    }
+    case ListCode::Last: {
+      uint64_t L = pop();
+      while (tagOf(L) == Tag::Cons && tagOf(CdrOf(L)) == Tag::Cons)
+        L = CdrOf(L);
+      Regs[RV] = L;
+      return true;
+    }
+    case ListCode::Equal: {
+      uint64_t B = pop(), A = pop();
+      // Structural equality via decode (bounded).
+      auto DA = decode(A), DB = decode(B);
+      if (DA && DB)
+        TBool(sexpr::equal(*DA, *DB));
+      else
+        TBool(wordEql(A, B));
+      return true;
+    }
+    case ListCode::ListN: {
+      int64_t N = I.X.Imm;
+      uint64_t R = NilWord;
+      for (int64_t J = 0; J < N; ++J) {
+        uint64_t W = allocate(Tag::Cons, 2);
+        mem(addrOf(W)) = pop(); // rightmost argument first
+        mem(addrOf(W) + 1) = R;
+        R = W;
+      }
+      Regs[RV] = R;
+      return true;
+    }
+    }
+    return trap(Error, "bad list primitive");
+  }
+
+  case Syscall::Certify:
+    Regs[RV] = certify(pop());
+    return true;
+
+  case Syscall::SpecBind: {
+    uint64_t V = pop(), Sym = pop();
+    mem(SpecTop) = Sym;
+    mem(SpecTop + 1) = V;
+    SpecTop += 2;
+    return true;
+  }
+
+  case Syscall::SpecUnbind:
+    SpecTop -= 2 * static_cast<uint64_t>(I.B.Imm);
+    return true;
+
+  case Syscall::SpecLookup: {
+    uint64_t Sym = pop();
+    ++Stats.SpecialSearches;
+    for (uint64_t A = SpecTop; A > SpecBase; A -= 2) {
+      ++Stats.SpecialSearchSteps;
+      if (mem(A - 2) == Sym) {
+        Regs[RV] = A - 1;
+        return true;
+      }
+    }
+    // Fall back to the symbol's global value cell. An unbound cell is
+    // still a valid cache target: reads check for UnboundWord, and a setq
+    // through it creates the global binding.
+    Regs[RV] = addrOf(Sym);
+    return true;
+  }
+
+  case Syscall::MakeClosure: {
+    uint64_t Env = pop();
+    uint64_t W = allocate(Tag::Function, 2);
+    mem(addrOf(W)) = static_cast<uint64_t>(I.B.Imm);
+    mem(addrOf(W) + 1) = Env;
+    Regs[RV] = W;
+    return true;
+  }
+
+  case Syscall::MakeEnv: {
+    uint64_t Parent = pop();
+    uint64_t Size = static_cast<uint64_t>(I.B.Imm);
+    uint64_t W = allocate(Tag::Environment, 1 + Size);
+    mem(addrOf(W)) = Parent;
+    Regs[RV] = W;
+    return true;
+  }
+
+  case Syscall::MakeRestList: {
+    uint64_t Count = pop();
+    uint64_t Base = pop();
+    uint64_t R = NilWord;
+    for (uint64_t J = Count; J > 0; --J) {
+      uint64_t W = allocate(Tag::Cons, 2);
+      mem(addrOf(W)) = mem(Base + J - 1);
+      mem(addrOf(W) + 1) = R;
+      R = W;
+    }
+    Regs[RV] = R;
+    return true;
+  }
+
+  case Syscall::SpreadList: {
+    uint64_t L = pop();
+    uint64_t N = 0;
+    while (tagOf(L) == Tag::Cons) {
+      push(Memory[addrOf(L)]);
+      L = Memory[addrOf(L) + 1];
+      ++N;
+    }
+    if (tagOf(L) != Tag::Nil)
+      return TypeError();
+    Regs[RV] = N;
+    return true;
+  }
+
+  case Syscall::ArrayMake: {
+    uint64_t D1W = pop(), D0W = pop();
+    if (tagOf(D0W) != Tag::Fixnum || fixnumValue(D0W) < 0)
+      return TypeError();
+    size_t D1 = 0;
+    if (tagOf(D1W) == Tag::Fixnum) {
+      if (fixnumValue(D1W) < 0)
+        return TypeError();
+      D1 = static_cast<size_t>(fixnumValue(D1W));
+    } else if (tagOf(D1W) != Tag::Nil) {
+      return TypeError();
+    }
+    Regs[RV] = makeArrayF(static_cast<size_t>(fixnumValue(D0W)), D1);
+    return true;
+  }
+
+  case Syscall::Error:
+    return trap(Error, rtErrorMessage(static_cast<RtError>(I.B.Imm)));
+
+  case Syscall::Print: {
+    uint64_t W = pop();
+    auto V = decode(W);
+    Out += V ? sexpr::toString(*V)
+             : (tagOf(W) == Tag::Function ? "#<function>" : "#<object>");
+    Out += '\n';
+    Regs[RV] = W;
+    return true;
+  }
+
+  case Syscall::Throw: {
+    uint64_t V = pop(), TagW = pop();
+    for (size_t J = Catches.size(); J > 0; --J) {
+      CatchFrame &C = Catches[J - 1];
+      if (wordEql(C.TagWord, TagW)) {
+        Regs[SP] = C.Sp;
+        Regs[FP] = C.Fp;
+        Regs[ENV] = C.Env;
+        SpecTop = SpecBase + 2 * C.SpecDepth;
+        CurFunc = C.Func;
+        Pc = C.Pc;
+        Regs[RV] = V;
+        Catches.resize(C.CatchDepth);
+        return true;
+      }
+    }
+    return trap(Error, rtErrorMessage(RtError::UncaughtThrow));
+  }
+
+  case Syscall::PushCatch: {
+    uint64_t TagW = pop();
+    CatchFrame C;
+    C.TagWord = TagW;
+    C.Func = CurFunc;
+    C.Pc = P.Functions[CurFunc].LabelPos[static_cast<int>(I.B.Imm)];
+    C.Sp = Regs[SP];
+    C.Fp = Regs[FP];
+    C.Env = Regs[ENV];
+    C.SpecDepth = (SpecTop - SpecBase) / 2;
+    C.CatchDepth = Catches.size();
+    Catches.push_back(C);
+    return true;
+  }
+
+  case Syscall::PopCatch:
+    if (!Catches.empty())
+      Catches.pop_back();
+    return true;
+  }
+  return trap(Error, "unimplemented syscall");
+}

@@ -1,0 +1,155 @@
+//===- vm/Machine.h - The S-1/64 simulator ----------------------*- C++ -*-===//
+///
+/// \file
+/// Executes assembled s1::Programs and provides the LISP runtime system:
+/// the tagged heap, pointer certification (§6.3), the deep-binding special
+/// stack (§4.4), catch/throw unwinding, and the generic-arithmetic and
+/// list "SQ routines" compiled code calls into.
+///
+/// The machine keeps detailed counters — instructions retired, MOV count,
+/// heap words/objects allocated, special-variable search steps, stack
+/// high-water — which are the measurements behind every benchmark table
+/// in EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_VM_MACHINE_H
+#define S1LISP_VM_MACHINE_H
+
+#include "s1/Isa.h"
+#include "sexpr/Value.h"
+
+#include <array>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace s1lisp {
+namespace vm {
+
+/// Memory layout (word addresses).
+constexpr uint64_t StaticBase = 16;
+constexpr uint64_t SpecBase = 1ull << 19;   ///< deep-binding stack region
+constexpr uint64_t StackBase = 1ull << 20;  ///< control/value stack (grows up)
+constexpr uint64_t StackWords = 1ull << 20;
+constexpr uint64_t HeapBase = StackBase + StackWords;
+constexpr uint64_t HeapWords = 1ull << 22;
+constexpr uint64_t MemoryWords = HeapBase + HeapWords;
+
+inline bool isStackAddress(uint64_t Addr) {
+  return Addr >= StackBase && Addr < StackBase + StackWords;
+}
+
+/// Execution counters.
+struct MachineStats {
+  uint64_t Instructions = 0;
+  uint64_t Movs = 0;            ///< MOV opcodes retired (the §6.1 metric)
+  uint64_t Calls = 0;
+  uint64_t TailCalls = 0;
+  uint64_t Syscalls = 0;
+  uint64_t HeapObjects = 0;     ///< boxed objects allocated
+  uint64_t HeapWordsUsed = 0;
+  uint64_t StackHighWater = 0;  ///< max SP - StackBase
+  uint64_t SpecialSearches = 0;
+  uint64_t SpecialSearchSteps = 0;
+  std::array<uint64_t, 64> PerOpcode{};
+};
+
+/// The simulator. One instance owns one address space; reusable across
+/// many calls into the same program.
+class Machine {
+public:
+  Machine(const s1::Program &P, sexpr::SymbolTable &Syms, sexpr::Heap &DecodeHeap);
+
+  struct RunResult {
+    bool Ok = false;
+    std::string Error;
+    uint64_t ResultWord = s1::NilWord;
+    /// Result decoded back to an S-expression when representable.
+    std::optional<sexpr::Value> Result;
+  };
+
+  /// Calls the named compiled function with S-expression arguments.
+  RunResult call(const std::string &Name, const std::vector<sexpr::Value> &Args);
+
+  /// Establishes the global value of a special variable.
+  bool setGlobalSpecial(const sexpr::Symbol *Name, sexpr::Value V);
+
+  /// Creates a float array in the VM heap; returns its tagged word
+  /// (pass it to call() via a pre-encoded argument).
+  uint64_t makeArrayF(size_t Dim0, size_t Dim1 = 0);
+  double readArrayF(uint64_t ArrayWord, size_t I, size_t J = 0);
+  void writeArrayF(uint64_t ArrayWord, size_t I, size_t J, double V);
+
+  /// Encodes an S-expression into VM memory (heap for composites).
+  uint64_t encode(sexpr::Value V);
+  /// Decodes a word back into an S-expression; nullopt for functions or
+  /// malformed words.
+  std::optional<sexpr::Value> decode(uint64_t Word, unsigned Depth = 64);
+
+  MachineStats &stats() { return Stats; }
+  void resetStats() { Stats = MachineStats(); }
+
+  void setFuel(uint64_t F) { Fuel = F; }
+  const std::string &output() const { return Out; }
+  void clearOutput() { Out.clear(); }
+
+private:
+  struct CatchFrame {
+    uint64_t TagWord;
+    int Func;
+    int Pc; ///< resolved instruction index of the handler label
+    uint64_t Sp, Fp, Env;
+    size_t SpecDepth;
+    size_t CatchDepth;
+  };
+
+  // Execution engine.
+  bool run(int FuncIndex, std::string &Error);
+  bool step(std::string &Error);
+  uint64_t &mem(uint64_t Addr);
+  uint64_t effectiveAddress(const s1::Operand &O);
+  uint64_t read(const s1::Operand &O);
+  void write(const s1::Operand &O, uint64_t V);
+  bool trap(std::string &Error, const std::string &Msg);
+
+  // Runtime services.
+  bool doSyscall(s1::Syscall S, std::string &Error);
+  uint64_t pop();
+  void push(uint64_t W);
+  bool wordEql(uint64_t A, uint64_t B);
+  uint64_t allocate(s1::Tag T, uint64_t NWords);
+  uint64_t boxFlonum(double D);
+  uint64_t certify(uint64_t W);
+  uint64_t symbolWord(const sexpr::Symbol *S);
+
+  const s1::Program &P;
+  sexpr::SymbolTable &Syms;
+  sexpr::Heap &DecodeHeap;
+
+  std::vector<uint64_t> Memory;
+  std::array<uint64_t, s1::NumRegs> Regs{};
+  int CurFunc = -1;
+  int Pc = 0;
+  uint64_t HeapTop = HeapBase;
+  uint64_t SpecTop = SpecBase; ///< next free pair slot in the binding stack
+
+  std::vector<CatchFrame> Catches;
+  std::unordered_map<const sexpr::Symbol *, uint64_t> SymbolAddr;
+  std::unordered_map<uint64_t, const sexpr::Symbol *> AddrSymbol;
+  std::unordered_map<uint64_t, std::string> StringContents;
+
+  MachineStats Stats;
+  uint64_t Fuel = 500'000'000;
+  std::string Out;
+  bool Halted = false;
+};
+
+/// The sentinel stored in a symbol's value cell while it is globally unbound.
+constexpr uint64_t UnboundWord = ~0ull;
+
+} // namespace vm
+} // namespace s1lisp
+
+#endif // S1LISP_VM_MACHINE_H

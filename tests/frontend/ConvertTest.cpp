@@ -1,0 +1,282 @@
+//===- tests/frontend/ConvertTest.cpp - Preliminary conversion tests ------===//
+//
+// Checks §4.1: conversion to the basic construct set, with back-translation
+// as the observable (the paper's own debugging technique).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Convert.h"
+#include "ir/BackTranslate.h"
+#include "sexpr/Printer.h"
+#include "sexpr/Reader.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::ir;
+
+namespace {
+
+class ConvertTest : public ::testing::Test {
+protected:
+  Module M;
+
+  /// Converts "(defun t0 () <expr>)" and back-translates the body flat.
+  std::string convertExpr(const std::string &Expr) {
+    Function *F = frontend::convertDefun(M, "(defun t0 () " + Expr + ")");
+    return sexpr::toString(backTranslate(*F, F->Root->Body));
+  }
+
+  Function *defun(const std::string &Src) { return frontend::convertDefun(M, Src); }
+
+  bool fails(const std::string &Src) {
+    DiagEngine Diags;
+    return !frontend::convertSource(M, Src, Diags);
+  }
+};
+
+TEST_F(ConvertTest, ConstantsAreQuotedInternally) {
+  Function *F = defun("(defun t0 () 42)");
+  auto *Lit = dyn_cast<LiteralNode>(F->Root->Body);
+  ASSERT_NE(Lit, nullptr);
+  EXPECT_EQ(Lit->Datum.fixnum(), 42);
+  // Back-translation omits quote around numbers (§4.1) unless asked.
+  EXPECT_EQ(convertExpr("42"), "42");
+  BackTranslateOptions Quoted;
+  Quoted.QuoteNumbers = true;
+  EXPECT_EQ(sexpr::toString(backTranslate(*F, F->Root->Body, Quoted)),
+            "(quote 42)");
+}
+
+TEST_F(ConvertTest, QuoteAndSymbols) {
+  EXPECT_EQ(convertExpr("'(a b)"), "(quote (a b))");
+  EXPECT_EQ(convertExpr("'sym"), "(quote sym)");
+  EXPECT_EQ(convertExpr("t"), "(quote t)");
+  EXPECT_EQ(convertExpr("nil"), "(quote nil)");
+}
+
+TEST_F(ConvertTest, IfTwoAndThreeArms) {
+  EXPECT_EQ(convertExpr("(if (f) 1 2)"), "(if (f) 1 2)");
+  EXPECT_EQ(convertExpr("(if (f) 1)"), "(if (f) 1 (quote nil))");
+}
+
+TEST_F(ConvertTest, LetBecomesLambdaCall) {
+  EXPECT_EQ(convertExpr("(let ((x 1) (y 2)) (g x y))"),
+            "((lambda (x y) (g x y)) 1 2)");
+  EXPECT_EQ(convertExpr("(let (x) x)"), "((lambda (x) x) (quote nil))");
+}
+
+TEST_F(ConvertTest, LetStarNests) {
+  EXPECT_EQ(convertExpr("(let* ((x 1) (y x)) y)"),
+            "((lambda (x) ((lambda (y) y) x)) 1)");
+}
+
+TEST_F(ConvertTest, LetInitsSeeOuterScope) {
+  // (let ((x 1)) (let ((x 2) (y x)) ...)) — y's init is the OUTER x.
+  Function *F = defun("(defun t0 (x) (let ((x 2) (y x)) y))");
+  auto *OuterCall = cast<CallNode>(F->Root->Body);
+  auto *InnerLambda = cast<LambdaNode>(OuterCall->CalleeExpr);
+  Variable *OuterX = F->Root->Required[0];
+  Variable *InnerX = InnerLambda->Required[0];
+  EXPECT_NE(OuterX, InnerX) << "alpha renaming keeps them distinct";
+  auto *YInit = cast<VarRefNode>(OuterCall->Args[1]);
+  EXPECT_EQ(YInit->Var, OuterX);
+}
+
+TEST_F(ConvertTest, CondExpandsToIfs) {
+  EXPECT_EQ(convertExpr("(cond ((f) 1) (t 2))"), "(if (f) 1 2)");
+  EXPECT_EQ(convertExpr("(cond ((f) 1))"), "(if (f) 1 (quote nil))");
+  EXPECT_EQ(convertExpr("(cond)"), "(quote nil)");
+  // Body-less clause returns the test value via the or-trick.
+  EXPECT_EQ(convertExpr("(cond ((f)) (t 2))"),
+            "((lambda (v f) (if v v (f))) (f) (lambda () 2))");
+}
+
+TEST_F(ConvertTest, AndOrExpansion) {
+  EXPECT_EQ(convertExpr("(and)"), "(quote t)");
+  EXPECT_EQ(convertExpr("(and a b)"), "(if a b (quote nil))");
+  EXPECT_EQ(convertExpr("(or)"), "(quote nil)");
+  EXPECT_EQ(convertExpr("(or a)"), "a");
+  // The paper's §5 expansion of (or b c).
+  EXPECT_EQ(convertExpr("(or b c)"),
+            "((lambda (v f) (if v v (f))) b (lambda () c))");
+}
+
+TEST_F(ConvertTest, WhenUnless) {
+  EXPECT_EQ(convertExpr("(when p 1 2)"), "(if p (progn 1 2) (quote nil))");
+  EXPECT_EQ(convertExpr("(unless p 1)"), "(if p (quote nil) 1)");
+}
+
+TEST_F(ConvertTest, SetqChains) {
+  Function *F = defun("(defun t0 (a b) (setq a 1 b 2))");
+  EXPECT_EQ(sexpr::toString(backTranslate(*F, F->Root->Body)),
+            "(progn (setq a 1) (setq b 2))");
+  EXPECT_TRUE(F->Root->Required[0]->Written);
+}
+
+TEST_F(ConvertTest, OptionalParametersWithDefaults) {
+  // The paper's testfn header: (a &optional (b 3.0) (c a)).
+  Function *F = defun("(defun testfn (a &optional (b 3.0) (c a)) c)");
+  ASSERT_EQ(F->Root->Required.size(), 1u);
+  ASSERT_EQ(F->Root->Optionals.size(), 2u);
+  EXPECT_EQ(F->Root->Rest, nullptr);
+  auto *BDefault = cast<LiteralNode>(F->Root->Optionals[0].Default);
+  EXPECT_DOUBLE_EQ(BDefault->Datum.flonum(), 3.0);
+  // c's default refers to parameter a.
+  auto *CDefault = cast<VarRefNode>(F->Root->Optionals[1].Default);
+  EXPECT_EQ(CDefault->Var, F->Root->Required[0]);
+  EXPECT_TRUE(F->Root->acceptsArgCount(1));
+  EXPECT_TRUE(F->Root->acceptsArgCount(3));
+  EXPECT_FALSE(F->Root->acceptsArgCount(0));
+  EXPECT_FALSE(F->Root->acceptsArgCount(4));
+}
+
+TEST_F(ConvertTest, RestParameter) {
+  Function *F = defun("(defun t1 (a &rest more) more)");
+  ASSERT_NE(F->Root->Rest, nullptr);
+  EXPECT_TRUE(F->Root->acceptsArgCount(9));
+}
+
+TEST_F(ConvertTest, BackTranslateLambdaList) {
+  Function *F = defun("(defun testfn2 (a &optional (b 3.0) (c a) d &rest r) a)");
+  EXPECT_EQ(sexpr::toString(backTranslateFunction(*F)),
+            "(defun testfn2 (a &optional (b 3.0) (c a) d &rest r) a)");
+}
+
+TEST_F(ConvertTest, PrognOfOneUnwraps) {
+  EXPECT_EQ(convertExpr("(progn (f))"), "(f)");
+  EXPECT_EQ(convertExpr("(progn)"), "(quote nil)");
+}
+
+TEST_F(ConvertTest, ProgTranslation) {
+  // prog => let of a progbody (§4.1's description of prog).
+  Function *F = defun("(defun t2 (n) (prog (acc) loop (when (zerop n) (return acc))"
+                      " (setq acc (cons n acc)) (setq n (1- n)) (go loop)))");
+  auto *Call = cast<CallNode>(F->Root->Body);
+  ASSERT_TRUE(Call->isLetLike());
+  auto *L = cast<LambdaNode>(Call->CalleeExpr);
+  auto *PB = dyn_cast<ProgBodyNode>(L->Body);
+  ASSERT_NE(PB, nullptr);
+  EXPECT_TRUE(PB->hasTag(M.Syms.intern("loop")));
+  // The go and return nodes point back at this progbody.
+  bool SawGo = false, SawReturn = false;
+  forEachNode(static_cast<Node *>(PB), [&](Node *N) {
+    if (auto *G = dyn_cast<GoNode>(N)) {
+      SawGo = true;
+      EXPECT_EQ(G->Target, PB);
+    }
+    if (auto *R = dyn_cast<ReturnNode>(N)) {
+      SawReturn = true;
+      EXPECT_EQ(R->Target, PB);
+    }
+  });
+  EXPECT_TRUE(SawGo);
+  EXPECT_TRUE(SawReturn);
+}
+
+TEST_F(ConvertTest, CaseBecomesCaseq) {
+  Function *F = defun("(defun t3 (x) (case x ((1 2) 'small) (9 'nine) (t 'other)))");
+  auto *C = dyn_cast<CaseqNode>(F->Root->Body);
+  ASSERT_NE(C, nullptr);
+  ASSERT_EQ(C->Clauses.size(), 2u);
+  EXPECT_EQ(C->Clauses[0].Keys.size(), 2u);
+  EXPECT_EQ(C->Clauses[1].Keys.size(), 1u);
+  auto *D = dyn_cast<LiteralNode>(C->Default);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Datum.symbol()->name(), "other");
+}
+
+TEST_F(ConvertTest, CatchBecomesCatcher) {
+  EXPECT_EQ(convertExpr("(catch 'done (f) (g))"),
+            "(catcher (quote done) (progn (f) (g)))");
+}
+
+TEST_F(ConvertTest, SpecialsViaDefvar) {
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M, "(defvar *depth*) (defun probe () *depth*)", Diags));
+  Function *F = M.lookup("probe");
+  ASSERT_NE(F, nullptr);
+  auto *Ref = cast<VarRefNode>(F->Root->Body);
+  EXPECT_TRUE(Ref->Var->isSpecial());
+}
+
+TEST_F(ConvertTest, SpecialsViaDeclare) {
+  Function *F = defun("(defun t4 (x) (declare (special s)) (g s x))");
+  auto *Call = cast<CallNode>(F->Root->Body);
+  EXPECT_TRUE(cast<VarRefNode>(Call->Args[0])->Var->isSpecial());
+  EXPECT_FALSE(cast<VarRefNode>(Call->Args[1])->Var->isSpecial());
+}
+
+TEST_F(ConvertTest, SpecialBoundAsParameter) {
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M, "(defvar *level*) (defun go-deeper (*level*) (probe2))", Diags));
+  Function *F = M.lookup("go-deeper");
+  EXPECT_TRUE(F->Root->Required[0]->isSpecial());
+}
+
+TEST_F(ConvertTest, DoLoopExpands) {
+  Function *F = defun("(defun iota-sum (n)"
+                      " (do ((i 0 (1+ i)) (acc 0 (+ acc i)))"
+                      "     ((= i n) acc)))");
+  // Expansion shape: a let-lambda whose body is a progbody with a go.
+  auto *Call = cast<CallNode>(F->Root->Body);
+  ASSERT_TRUE(Call->isLetLike());
+  bool SawGo = false;
+  forEachNode(F->Root->Body, [&SawGo](Node *N) { SawGo |= N->kind() == NodeKind::Go; });
+  EXPECT_TRUE(SawGo);
+}
+
+TEST_F(ConvertTest, PaperQuadraticBackTranslation) {
+  // §4.1's worked example: the quadratic defun back-translates into the
+  // lambda/if nest the paper prints.
+  Function *F = defun(
+      "(defun quadratic (a b c)"
+      "  (let ((d (- (* b b) (* 4.0 a c))))"
+      "    (cond ((< d 0) '())"
+      "          ((= d 0) (list (/ (- b) (* 2.0 a))))"
+      "          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))"
+      "               (list (/ (+ (- b) sd) 2a)"
+      "                     (/ (- (- b) sd) 2a)))))))");
+  std::string Out = sexpr::toString(backTranslate(*F, F->Root->Body));
+  EXPECT_EQ(Out,
+            "((lambda (d) (if (< d 0) (quote nil) (if (= d 0) "
+            "(list (/ (- b) (* 2.0 a))) "
+            "((lambda (2a sd) (list (/ (+ (- b) sd) 2a) (/ (- (- b) sd) 2a))) "
+            "(* 2.0 a) (sqrt d))))) (- (* b b) (* 4.0 a c)))");
+}
+
+TEST_F(ConvertTest, Errors) {
+  EXPECT_TRUE(fails("(defun)"));
+  EXPECT_TRUE(fails("(defun f)"));
+  EXPECT_TRUE(fails("(defun f (x) (if))"));
+  EXPECT_TRUE(fails("(defun f (x) (go nowhere))"));
+  EXPECT_TRUE(fails("(defun f (x) (return 1))"));
+  EXPECT_TRUE(fails("(defun f (x) (quote a b))"));
+  EXPECT_TRUE(fails("(defun f (x &rest) x)"));
+  EXPECT_TRUE(fails("(defun f (&optional o x) x)") == false)
+      << "&optional then plain symbol is legal";
+  EXPECT_TRUE(fails("(defun f (x) (car 1 2))")) << "prim arity checked";
+  EXPECT_TRUE(fails("(not-defun f (x) x)"));
+  EXPECT_TRUE(fails("(defun f (x) ((g) 1))")) << "computed callee needs funcall";
+}
+
+TEST_F(ConvertTest, VerifierAcceptsAllConversions) {
+  const char *Sources[] = {
+      "(defun a (x) (+ x 1))",
+      "(defun b (x) (let* ((y x) (z (* y y))) (cons y z)))",
+      "(defun c (n) (dotimes (i n (list i)) (f i)))",
+      "(defun d (l) (dolist (e l) (g e)))",
+      "(defun e (x) (and (or x (f)) (unless x 1)))",
+      "(defun g2 (x) (prog1 (f x) (h x) (h2 x)))",
+      "(defun h3 (x) (prog2 (f x) (g x) (h x)))",
+  };
+  for (const char *Src : Sources) {
+    Function *F = defun(Src);
+    DiagEngine Diags;
+    EXPECT_TRUE(verify(*F, Diags)) << Src << "\n" << Diags.str();
+  }
+}
+
+} // namespace

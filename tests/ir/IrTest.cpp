@@ -1,0 +1,181 @@
+//===- tests/ir/IrTest.cpp - Internal tree structural tests ---------------===//
+
+#include "ir/BackTranslate.h"
+#include "ir/Ir.h"
+#include "ir/Primitives.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::ir;
+using sexpr::Value;
+
+namespace {
+
+class IrTest : public ::testing::Test {
+protected:
+  Module M;
+  Function *F = M.addFunction("test");
+
+  const sexpr::Symbol *sym(const char *S) { return M.Syms.intern(S); }
+};
+
+TEST_F(IrTest, FactoriesSetParents) {
+  Node *Lit = F->makeLiteral(Value::fixnum(1));
+  Node *Nil = F->makeNil();
+  IfNode *If = F->makeIf(Lit, Nil, F->makeNil());
+  EXPECT_EQ(Lit->Parent, If);
+  EXPECT_EQ(Nil->Parent, If);
+  EXPECT_EQ(If->kind(), NodeKind::If);
+}
+
+TEST_F(IrTest, VariableBackPointers) {
+  Variable *V = F->makeVariable(sym("x"));
+  VarRefNode *R1 = F->makeVarRef(V);
+  SetqNode *S = F->makeSetq(V, F->makeLiteral(Value::fixnum(2)));
+  ASSERT_EQ(V->Refs.size(), 2u);
+  EXPECT_EQ(V->Refs[0], R1);
+  EXPECT_EQ(V->Refs[1], S);
+  EXPECT_TRUE(V->Written);
+}
+
+TEST_F(IrTest, ForEachChildOrder) {
+  Node *A = F->makeLiteral(Value::fixnum(1));
+  Node *B = F->makeLiteral(Value::fixnum(2));
+  Node *C = F->makeLiteral(Value::fixnum(3));
+  IfNode *If = F->makeIf(A, B, C);
+  std::vector<Node *> Seen;
+  forEachChild(If, [&Seen](Node *N) { Seen.push_back(N); });
+  EXPECT_EQ(Seen, (std::vector<Node *>{A, B, C}));
+}
+
+TEST_F(IrTest, ReplaceChild) {
+  Node *A = F->makeLiteral(Value::fixnum(1));
+  PrognNode *P = F->makeProgn({A, F->makeNil()});
+  Node *New = F->makeLiteral(Value::fixnum(9));
+  replaceChild(P, A, New);
+  EXPECT_EQ(P->Forms[0], New);
+  EXPECT_EQ(New->Parent, P);
+}
+
+TEST_F(IrTest, CloneRenamesBoundVariables) {
+  // ((lambda (x) x) 5): cloning must produce a fresh x.
+  LambdaNode *L = F->makeLambda();
+  Variable *X = F->makeVariable(sym("x"));
+  X->Binder = L;
+  L->Required = {X};
+  L->Body = F->makeVarRef(X);
+  L->Body->Parent = L;
+  CallNode *Call = F->makeCallExpr(L, {F->makeLiteral(Value::fixnum(5))});
+
+  auto *Copy = cast<CallNode>(cloneTree(*F, Call));
+  auto *CopyL = cast<LambdaNode>(Copy->CalleeExpr);
+  ASSERT_EQ(CopyL->Required.size(), 1u);
+  EXPECT_NE(CopyL->Required[0], X) << "bound variable must be freshened";
+  EXPECT_EQ(cast<VarRefNode>(CopyL->Body)->Var, CopyL->Required[0]);
+}
+
+TEST_F(IrTest, CloneKeepsFreeVariables) {
+  Variable *Free = F->makeVariable(sym("y"));
+  Node *Ref = F->makeVarRef(Free);
+  auto *Copy = cast<VarRefNode>(cloneTree(*F, Ref));
+  EXPECT_EQ(Copy->Var, Free);
+}
+
+TEST_F(IrTest, CloneRemapsProgBodyTargets) {
+  ProgBodyNode *PB = F->makeProgBody({});
+  GoNode *G = F->makeGo(sym("loop"), PB);
+  PB->Items = {{sym("loop"), nullptr}, {nullptr, G}};
+  G->Parent = PB;
+
+  auto *Copy = cast<ProgBodyNode>(cloneTree(*F, PB));
+  ASSERT_EQ(Copy->Items.size(), 2u);
+  auto *CopyGo = cast<GoNode>(Copy->Items[1].Stmt);
+  EXPECT_EQ(CopyGo->Target, Copy) << "go target remapped into the clone";
+}
+
+TEST_F(IrTest, TreeSize) {
+  Node *N = F->makeIf(F->makeNil(), F->makeNil(), F->makeNil());
+  EXPECT_EQ(treeSize(N), 4u);
+}
+
+TEST_F(IrTest, RepPredicates) {
+  EXPECT_TRUE(repIsPdlEligible(Rep::SWFLO));
+  EXPECT_TRUE(repIsPdlEligible(Rep::DWCPLX));
+  EXPECT_FALSE(repIsPdlEligible(Rep::SWFIX)) << "fixnums fit in the pointer";
+  EXPECT_FALSE(repIsPdlEligible(Rep::POINTER));
+  EXPECT_STREQ(repName(Rep::SWFLO), "SWFLO");
+}
+
+TEST_F(IrTest, EffectAlgebra) {
+  EffectInfo Pure;
+  EffectInfo Writes{EffectWrites};
+  EffectInfo Reads{EffectReads};
+  EffectInfo Alloc{EffectAllocates};
+  EXPECT_TRUE(Pure.pure());
+  EXPECT_TRUE(Pure.duplicable());
+  EXPECT_TRUE(Alloc.eliminable());
+  EXPECT_FALSE(Alloc.duplicable()) << "allocation must not be duplicated";
+  EXPECT_FALSE(Writes.eliminable());
+  EXPECT_TRUE(Pure.commutesWith(Writes));
+  EXPECT_FALSE(Writes.commutesWith(Reads));
+  EXPECT_FALSE(Writes.commutesWith(Writes));
+  EXPECT_TRUE(Reads.commutesWith(Reads));
+  EffectInfo Unknown{EffectUnknownCall};
+  EXPECT_TRUE(Pure.commutesWith(Unknown))
+      << "pure math moves past unknown calls (the frotz motion of §7)";
+  EXPECT_FALSE(Reads.commutesWith(Unknown));
+}
+
+TEST_F(IrTest, PrimitiveTable) {
+  const PrimInfo *Add = lookupPrim("+");
+  ASSERT_NE(Add, nullptr);
+  EXPECT_TRUE(Add->Assoc);
+  EXPECT_TRUE(Add->Commut);
+  EXPECT_TRUE(Add->Foldable);
+  EXPECT_EQ(*Add->FixIdentity, 0);
+
+  const PrimInfo *FAdd = lookupPrim("+$f");
+  ASSERT_NE(FAdd, nullptr);
+  EXPECT_EQ(FAdd->ArgRep, Rep::SWFLO);
+  EXPECT_EQ(FAdd->ResultRep, Rep::SWFLO);
+  EXPECT_EQ(*FAdd->FloatIdentity, 0.0);
+
+  const PrimInfo *ConsP = lookupPrim("cons");
+  ASSERT_NE(ConsP, nullptr);
+  EXPECT_TRUE(ConsP->Effects.eliminable());
+  EXPECT_FALSE(ConsP->Effects.duplicable());
+
+  const PrimInfo *Rplaca = lookupPrim("rplaca");
+  ASSERT_NE(Rplaca, nullptr);
+  EXPECT_FALSE(Rplaca->Effects.eliminable());
+
+  const PrimInfo *Lt = lookupPrim("<");
+  ASSERT_NE(Lt, nullptr);
+  EXPECT_TRUE(Lt->CompareLike);
+  EXPECT_EQ(Lt->ResultRep, Rep::BIT);
+
+  EXPECT_EQ(lookupPrim("no-such-fn"), nullptr);
+  EXPECT_FALSE(lookupPrim("eq")->acceptsArgCount(3));
+  EXPECT_TRUE(lookupPrim("list")->acceptsArgCount(17));
+}
+
+TEST_F(IrTest, VerifyCatchesBadParent) {
+  LambdaNode *L = F->makeLambda();
+  Node *Body = F->makeNil();
+  L->Body = Body; // deliberately not setting Body->Parent
+  Body->Parent = nullptr;
+  F->Root = L;
+  DiagEngine Diags;
+  EXPECT_FALSE(verify(*F, Diags));
+}
+
+TEST_F(IrTest, ModuleLookup) {
+  EXPECT_EQ(M.lookup("test"), F);
+  EXPECT_EQ(M.lookup("absent"), nullptr);
+  M.Specials.push_back(sym("*x*"));
+  EXPECT_TRUE(M.isSpecial(sym("*x*")));
+  EXPECT_FALSE(M.isSpecial(sym("y")));
+}
+
+} // namespace

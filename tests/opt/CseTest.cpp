@@ -1,0 +1,107 @@
+//===- tests/opt/CseTest.cpp - §4.3 common subexpression elimination ------===//
+
+#include "opt/Cse.h"
+
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "ir/BackTranslate.h"
+#include "sexpr/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::opt;
+using sexpr::Value;
+
+namespace {
+
+class CseTest : public ::testing::Test {
+protected:
+  ir::Module M;
+
+  std::string runCse(const std::string &Src, unsigned *Hoisted = nullptr) {
+    ir::Function *F = frontend::convertDefun(M, Src);
+    unsigned N = eliminateCommonSubexpressions(*F);
+    if (Hoisted)
+      *Hoisted = N;
+    return sexpr::toString(ir::backTranslate(*F, F->Root->Body));
+  }
+};
+
+TEST_F(CseTest, HoistsRepeatedPureExpression) {
+  unsigned Hoisted = 0;
+  std::string Out =
+      runCse("(defun f (a b) (+ (* a b a) (* a b a)))", &Hoisted);
+  EXPECT_EQ(Hoisted, 1u);
+  EXPECT_NE(Out.find("(lambda (cse)"), std::string::npos) << Out;
+  // The repeated (* a b a) appears exactly once afterwards.
+  size_t First = Out.find("(* a b a)");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Out.find("(* a b a)", First + 1), std::string::npos) << Out;
+}
+
+TEST_F(CseTest, LeavesSingleOccurrencesAlone) {
+  unsigned Hoisted = 9;
+  runCse("(defun f (a b) (+ (* a b a) (* b a b)))", &Hoisted);
+  EXPECT_EQ(Hoisted, 0u);
+}
+
+TEST_F(CseTest, RefusesEffectfulExpressions) {
+  unsigned Hoisted = 9;
+  runCse("(defun f (a) (+ (g a) (g a)))", &Hoisted);
+  EXPECT_EQ(Hoisted, 0u) << "unknown calls must not be deduplicated";
+  runCse("(defun f (a b) (list (cons a b) (cons a b)))", &Hoisted);
+  EXPECT_EQ(Hoisted, 0u) << "allocation must not be deduplicated (eq!)";
+}
+
+TEST_F(CseTest, RefusesSmallExpressions) {
+  unsigned Hoisted = 9;
+  runCse("(defun f (a) (+ (1+ a) (1+ a)))", &Hoisted);
+  EXPECT_EQ(Hoisted, 0u) << "below the complexity threshold";
+}
+
+TEST_F(CseTest, DoesNotCrossLambdaBoundaries) {
+  unsigned Hoisted = 9;
+  runCse("(defun f (a b) (lambda () (+ (* a b a) (* a b a))))", &Hoisted);
+  EXPECT_EQ(Hoisted, 0u)
+      << "hoisting out of a lambda would change evaluation frequency";
+}
+
+TEST_F(CseTest, MutatedVariablesBlockCse) {
+  unsigned Hoisted = 9;
+  runCse("(defun f (a b) (+ (* a b a) (progn (setq a 1) (* a b a))))",
+         &Hoisted);
+  EXPECT_EQ(Hoisted, 0u)
+      << "reads of a written variable are ordering-sensitive";
+}
+
+TEST_F(CseTest, SemanticsPreserved) {
+  const char *Src = "(defun f (a b)"
+                    "  (+ (* (+ a b) (+ a b) 2) (* (+ a b) (+ a b) 3)))";
+  for (int64_t A : {-3, 0, 5})
+    for (int64_t B : {1, 7}) {
+      ir::Module M1, M2;
+      frontend::convertDefun(M1, Src);
+      ir::Function *F2 = frontend::convertDefun(M2, Src);
+      eliminateCommonSubexpressions(*F2);
+      interp::Interpreter I1(M1), I2(M2);
+      auto R1 = I1.call("f", {interp::RtValue::data(Value::fixnum(A)),
+                              interp::RtValue::data(Value::fixnum(B))});
+      auto R2 = I2.call("f", {interp::RtValue::data(Value::fixnum(A)),
+                              interp::RtValue::data(Value::fixnum(B))});
+      ASSERT_TRUE(R1.Ok && R2.Ok);
+      EXPECT_EQ(R1.Value.str(), R2.Value.str()) << A << "," << B;
+    }
+}
+
+TEST_F(CseTest, TranscriptEntry) {
+  ir::Function *F =
+      frontend::convertDefun(M, "(defun f (a b) (+ (* a b a) (* a b a)))");
+  OptLog Log;
+  eliminateCommonSubexpressions(*F, {}, &Log);
+  ASSERT_EQ(Log.Entries.size(), 1u);
+  EXPECT_EQ(Log.Entries[0].Rule, "META-INTRODUCE-COMMON-SUBEXPRESSION");
+  EXPECT_NE(Log.Entries[0].Detail.find("2 occurrences"), std::string::npos);
+}
+
+} // namespace

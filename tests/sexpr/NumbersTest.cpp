@@ -1,0 +1,161 @@
+//===- tests/sexpr/NumbersTest.cpp - Numeric tower tests ------------------===//
+
+#include "sexpr/Numbers.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+namespace {
+
+class NumbersTest : public ::testing::Test {
+protected:
+  Heap H;
+
+  Value fx(int64_t N) { return Value::fixnum(N); }
+  Value fl(double D) { return Value::flonum(D); }
+  Value rat(int64_t N, int64_t D) { return H.makeRatio(N, D); }
+};
+
+TEST_F(NumbersTest, FixnumAdd) {
+  auto R = arith(H, ArithOp::Add, fx(2), fx(3));
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->fixnum(), 5);
+}
+
+TEST_F(NumbersTest, FlonumContagion) {
+  auto R = arith(H, ArithOp::Add, fx(2), fl(0.5));
+  ASSERT_TRUE(R);
+  ASSERT_TRUE(R->isFlonum());
+  EXPECT_DOUBLE_EQ(R->flonum(), 2.5);
+}
+
+TEST_F(NumbersTest, ExactDivisionYieldsRatio) {
+  auto R = arith(H, ArithOp::Div, fx(1), fx(3));
+  ASSERT_TRUE(R);
+  ASSERT_TRUE(R->isRatio());
+  EXPECT_EQ(R->ratio().Num, 1);
+  EXPECT_EQ(R->ratio().Den, 3);
+}
+
+TEST_F(NumbersTest, RatioArithmeticNormalizes) {
+  auto R = arith(H, ArithOp::Add, rat(1, 6), rat(1, 3));
+  ASSERT_TRUE(R);
+  ASSERT_TRUE(R->isRatio());
+  EXPECT_EQ(R->ratio().Num, 1);
+  EXPECT_EQ(R->ratio().Den, 2);
+}
+
+TEST_F(NumbersTest, RatioCollapse) {
+  auto R = arith(H, ArithOp::Add, rat(1, 2), rat(1, 2));
+  ASSERT_TRUE(R);
+  EXPECT_TRUE(R->isFixnum());
+  EXPECT_EQ(R->fixnum(), 1);
+}
+
+TEST_F(NumbersTest, DivisionByZeroFails) {
+  EXPECT_FALSE(arith(H, ArithOp::Div, fx(1), fx(0)));
+  EXPECT_FALSE(arith(H, ArithOp::Div, fl(1.0), fl(0.0)));
+  EXPECT_FALSE(arith(H, ArithOp::Mod, fx(1), fx(0)));
+}
+
+TEST_F(NumbersTest, OverflowDetected) {
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_FALSE(arith(H, ArithOp::Add, fx(Max), fx(1)));
+  EXPECT_FALSE(arith(H, ArithOp::Mul, fx(Max), fx(2)));
+  EXPECT_FALSE(negate(H, fx(std::numeric_limits<int64_t>::min())));
+}
+
+TEST_F(NumbersTest, FloorFamilyMatchesCommonLisp) {
+  // (floor 7 2) = 3, (floor -7 2) = -4, (ceiling -7 2) = -3,
+  // (truncate -7 2) = -3, (round 5 2) = 2 (ties to even), (round 7 2) = 4.
+  EXPECT_EQ(arith(H, ArithOp::Floor, fx(7), fx(2))->fixnum(), 3);
+  EXPECT_EQ(arith(H, ArithOp::Floor, fx(-7), fx(2))->fixnum(), -4);
+  EXPECT_EQ(arith(H, ArithOp::Ceiling, fx(-7), fx(2))->fixnum(), -3);
+  EXPECT_EQ(arith(H, ArithOp::Truncate, fx(-7), fx(2))->fixnum(), -3);
+  EXPECT_EQ(arith(H, ArithOp::Round, fx(5), fx(2))->fixnum(), 2);
+  EXPECT_EQ(arith(H, ArithOp::Round, fx(7), fx(2))->fixnum(), 4);
+}
+
+TEST_F(NumbersTest, ModRemSigns) {
+  // CL: (mod -7 2) = 1, (rem -7 2) = -1, (mod 7 -2) = -1.
+  EXPECT_EQ(arith(H, ArithOp::Mod, fx(-7), fx(2))->fixnum(), 1);
+  EXPECT_EQ(arith(H, ArithOp::Rem, fx(-7), fx(2))->fixnum(), -1);
+  EXPECT_EQ(arith(H, ArithOp::Mod, fx(7), fx(-2))->fixnum(), -1);
+}
+
+TEST_F(NumbersTest, MaxMinWithContagion) {
+  auto R = arith(H, ArithOp::Max, fx(2), fl(1.5));
+  ASSERT_TRUE(R);
+  ASSERT_TRUE(R->isFlonum());
+  EXPECT_DOUBLE_EQ(R->flonum(), 2.0);
+  auto M = arith(H, ArithOp::Min, fx(2), fx(7));
+  EXPECT_EQ(M->fixnum(), 2);
+}
+
+TEST_F(NumbersTest, ExptExactAndInexact) {
+  EXPECT_EQ(arith(H, ArithOp::Expt, fx(2), fx(10))->fixnum(), 1024);
+  auto R = arith(H, ArithOp::Expt, fl(2.0), fx(-1));
+  ASSERT_TRUE(R);
+  EXPECT_DOUBLE_EQ(R->flonum(), 0.5);
+  EXPECT_FALSE(arith(H, ArithOp::Expt, fx(10), fx(40))) << "overflow declines";
+}
+
+TEST_F(NumbersTest, CompareAcrossTypes) {
+  EXPECT_TRUE(*compare(CompareOp::Lt, rat(1, 3), fl(0.34)));
+  EXPECT_TRUE(*compare(CompareOp::Eq, fx(2), fl(2.0)))
+      << "numeric = compares value, unlike eql";
+  EXPECT_TRUE(*compare(CompareOp::Gt, rat(2, 3), rat(1, 2)));
+  EXPECT_FALSE(compare(CompareOp::Lt, fx(1), Value::nil()));
+}
+
+TEST_F(NumbersTest, Predicates) {
+  EXPECT_TRUE(*isZero(fx(0)));
+  EXPECT_TRUE(*isZero(fl(0.0)));
+  EXPECT_FALSE(*isZero(rat(1, 2)));
+  EXPECT_TRUE(*isOdd(fx(-3)));
+  EXPECT_TRUE(*isEven(fx(0)));
+  EXPECT_FALSE(isOdd(fl(3.0))) << "oddp applies to integers only";
+  EXPECT_TRUE(*isMinus(rat(-1, 2)));
+  EXPECT_TRUE(*isPlus(fl(0.5)));
+}
+
+TEST_F(NumbersTest, NegateAndAbs) {
+  EXPECT_EQ(negate(H, fx(5))->fixnum(), -5);
+  EXPECT_EQ(numAbs(H, rat(-2, 3))->ratio().Num, 2);
+  EXPECT_DOUBLE_EQ(numAbs(H, fl(-2.5))->flonum(), 2.5);
+}
+
+// Property sweep: floor/mod identity  a = floor(a,b)*b + mod(a,b).
+class FloorModProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(FloorModProperty, Identity) {
+  Heap H;
+  auto [A, B] = GetParam();
+  if (B == 0)
+    return;
+  Value Fa = Value::fixnum(A), Fb = Value::fixnum(B);
+  int64_t Q = arith(H, ArithOp::Floor, Fa, Fb)->fixnum();
+  int64_t M = arith(H, ArithOp::Mod, Fa, Fb)->fixnum();
+  EXPECT_EQ(Q * B + M, A);
+  // mod result has the sign of the divisor (or zero).
+  EXPECT_TRUE(M == 0 || (M > 0) == (B > 0));
+  EXPECT_LT(std::abs(M), std::abs(B));
+}
+
+std::vector<std::pair<int, int>> floorModCases() {
+  std::vector<std::pair<int, int>> Cases;
+  for (int A : {-17, -8, -1, 0, 1, 5, 16, 23})
+    for (int B : {-7, -3, -1, 1, 2, 5, 9})
+      Cases.push_back({A, B});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FloorModProperty,
+                         ::testing::ValuesIn(floorModCases()));
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/sexpr/ReaderTest.cpp - Reader tests --------------------------===//
+
+#include "sexpr/Printer.h"
+#include "sexpr/Reader.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+namespace {
+
+class ReaderTest : public ::testing::Test {
+protected:
+  SymbolTable Syms;
+  Heap H;
+
+  Value read1(std::string_view Src) { return readOne(Syms, H, Src); }
+
+  /// Read then print; the canonical round-trip check.
+  std::string roundTrip(std::string_view Src) { return toString(read1(Src)); }
+
+  bool failsToRead(std::string_view Src) {
+    DiagEngine Diags;
+    Reader R(Syms, H, Src, Diags);
+    auto V = R.read();
+    return !V || Diags.hasErrors();
+  }
+};
+
+TEST_F(ReaderTest, Atoms) {
+  EXPECT_TRUE(read1("nil").isNil());
+  EXPECT_EQ(read1("42").fixnum(), 42);
+  EXPECT_EQ(read1("-7").fixnum(), -7);
+  EXPECT_DOUBLE_EQ(read1("3.5").flonum(), 3.5);
+  EXPECT_DOUBLE_EQ(read1("1e3").flonum(), 1000.0);
+  EXPECT_DOUBLE_EQ(read1("-2.5e-2").flonum(), -0.025);
+  EXPECT_DOUBLE_EQ(read1(".5").flonum(), 0.5);
+  EXPECT_EQ(read1("2/4").ratio().Den, 2);
+  EXPECT_EQ(read1("foo").symbol()->name(), "foo");
+  EXPECT_EQ(read1("+").symbol()->name(), "+");
+  EXPECT_EQ(read1("+$f").symbol()->name(), "+$f");
+  EXPECT_EQ(read1("1+").symbol()->name(), "1+");
+  EXPECT_EQ(read1("a.b").symbol()->name(), "a.b");
+}
+
+TEST_F(ReaderTest, Lists) {
+  EXPECT_EQ(roundTrip("(a b c)"), "(a b c)");
+  EXPECT_EQ(roundTrip("()"), "nil");
+  EXPECT_EQ(roundTrip("(a (b c) d)"), "(a (b c) d)");
+  EXPECT_EQ(roundTrip("(a . b)"), "(a . b)");
+  EXPECT_EQ(roundTrip("(a b . c)"), "(a b . c)");
+}
+
+TEST_F(ReaderTest, QuoteSugar) {
+  EXPECT_EQ(roundTrip("'x"), "(quote x)");
+  EXPECT_EQ(roundTrip("'(1 2)"), "(quote (1 2))");
+}
+
+TEST_F(ReaderTest, Strings) {
+  EXPECT_EQ(read1("\"hi\"").stringValue(), "hi");
+  EXPECT_EQ(read1("\"a\\\"b\\\\c\\n\"").stringValue(), "a\"b\\c\n");
+}
+
+TEST_F(ReaderTest, Comments) {
+  EXPECT_EQ(roundTrip("; header\n(a ; mid\n b)"), "(a b)");
+  EXPECT_EQ(roundTrip("#| block #| nested |# |# (x)"), "(x)");
+}
+
+TEST_F(ReaderTest, MultipleForms) {
+  DiagEngine Diags;
+  auto Forms = readAll(Syms, H, "(a) 42 sym", Diags);
+  ASSERT_EQ(Forms.size(), 3u);
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_EQ(Forms[1].fixnum(), 42);
+}
+
+TEST_F(ReaderTest, SourceLocationsRecorded) {
+  Value V = read1("\n  (f x)");
+  ASSERT_TRUE(V.isCons());
+  EXPECT_EQ(V.consCell()->Loc.Line, 2u);
+  EXPECT_EQ(V.consCell()->Loc.Column, 3u);
+}
+
+TEST_F(ReaderTest, Errors) {
+  EXPECT_TRUE(failsToRead("(a b"));
+  EXPECT_TRUE(failsToRead(")"));
+  EXPECT_TRUE(failsToRead("\"unterminated"));
+  EXPECT_TRUE(failsToRead("(a . )"));
+  EXPECT_TRUE(failsToRead("(. b)"));
+  EXPECT_TRUE(failsToRead("(a . b c)"));
+  EXPECT_TRUE(failsToRead("#| never closed"));
+  EXPECT_TRUE(failsToRead(""));
+}
+
+TEST_F(ReaderTest, PaperQuadraticReads) {
+  const char *Src = "(defun quadratic (a b c)\n"
+                    "  (let ((d (- (* b b) (* 4.0 a c))))\n"
+                    "    (cond ((< d 0) '())\n"
+                    "          ((= d 0) (list (/ (- b) (* 2.0 a))))\n"
+                    "          (t (let ((two-a (* 2.0 a)) (sd (sqrt d)))\n"
+                    "               (list (/ (+ (- b) sd) two-a)\n"
+                    "                     (/ (- (- b) sd) two-a)))))))";
+  Value V = read1(Src);
+  EXPECT_TRUE(isProperList(V));
+  EXPECT_EQ(V.car().symbol()->name(), "defun");
+  EXPECT_EQ(listLength(V), 4u);
+}
+
+// Property: print(read(print(read(s)))) == print(read(s)) over a corpus.
+class RoundTripProperty : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RoundTripProperty, Stable) {
+  SymbolTable Syms;
+  Heap H;
+  Value V1 = readOne(Syms, H, GetParam());
+  std::string P1 = toString(V1);
+  Value V2 = readOne(Syms, H, P1);
+  EXPECT_EQ(toString(V2), P1);
+  EXPECT_TRUE(equal(V1, V2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTripProperty,
+    ::testing::Values("(lambda (x) (+ x 1))", "((a . b) (c . (d)))",
+                      "(1 2.5 3/4 \"s\" sym (nested (deep (er))))",
+                      "'(quote (quote x))", "(- -1 -2.0 -3/4)",
+                      "(if p (f) (g))", "(progn)", "(((())))",
+                      "(do ((i 0 (1+ i))) ((= i 10)) (f i))"));
+
+} // namespace

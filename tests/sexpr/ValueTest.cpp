@@ -1,0 +1,115 @@
+//===- tests/sexpr/ValueTest.cpp - Value model unit tests -----------------===//
+
+#include "sexpr/Printer.h"
+#include "sexpr/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::sexpr;
+
+namespace {
+
+class ValueTest : public ::testing::Test {
+protected:
+  SymbolTable Syms;
+  Heap H;
+};
+
+TEST_F(ValueTest, NilBasics) {
+  Value N = Value::nil();
+  EXPECT_TRUE(N.isNil());
+  EXPECT_TRUE(N.isAtom());
+  EXPECT_FALSE(N.isTrue());
+  EXPECT_TRUE(N.car().isNil());
+  EXPECT_TRUE(N.cdr().isNil());
+}
+
+TEST_F(ValueTest, SymbolInterning) {
+  const Symbol *A1 = Syms.intern("foo");
+  const Symbol *A2 = Syms.intern("foo");
+  const Symbol *B = Syms.intern("Foo");
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, B) << "symbols are case-sensitive";
+  EXPECT_EQ(A1->name(), "foo");
+}
+
+TEST_F(ValueTest, ConsAccessors) {
+  Value C = H.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_TRUE(C.isCons());
+  EXPECT_EQ(C.car().fixnum(), 1);
+  EXPECT_EQ(C.cdr().fixnum(), 2);
+}
+
+TEST_F(ValueTest, ListBuildAndFlatten) {
+  Value L = H.list({Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+  EXPECT_TRUE(isProperList(L));
+  EXPECT_EQ(listLength(L), 3u);
+  auto V = listToVector(L);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[2].fixnum(), 3);
+}
+
+TEST_F(ValueTest, ImproperListDetected) {
+  Value L = H.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_FALSE(isProperList(L));
+}
+
+TEST_F(ValueTest, RatioNormalization) {
+  Value R = H.makeRatio(4, 6);
+  ASSERT_TRUE(R.isRatio());
+  EXPECT_EQ(R.ratio().Num, 2);
+  EXPECT_EQ(R.ratio().Den, 3);
+}
+
+TEST_F(ValueTest, RatioCollapsesToFixnum) {
+  Value R = H.makeRatio(6, 3);
+  ASSERT_TRUE(R.isFixnum());
+  EXPECT_EQ(R.fixnum(), 2);
+}
+
+TEST_F(ValueTest, RatioSignNormalization) {
+  Value R = H.makeRatio(1, -2);
+  ASSERT_TRUE(R.isRatio());
+  EXPECT_EQ(R.ratio().Num, -1);
+  EXPECT_EQ(R.ratio().Den, 2);
+}
+
+TEST_F(ValueTest, EqlSemantics) {
+  EXPECT_TRUE(eql(Value::fixnum(3), Value::fixnum(3)));
+  EXPECT_FALSE(eql(Value::fixnum(3), Value::flonum(3.0)))
+      << "eql distinguishes exact from inexact";
+  Value C1 = H.cons(Value::nil(), Value::nil());
+  Value C2 = H.cons(Value::nil(), Value::nil());
+  EXPECT_TRUE(eql(C1, C1));
+  EXPECT_FALSE(eql(C1, C2));
+}
+
+TEST_F(ValueTest, EqualIsStructural) {
+  Value A = H.list({Value::fixnum(1), H.list({Value::fixnum(2)})});
+  Value B = H.list({Value::fixnum(1), H.list({Value::fixnum(2)})});
+  EXPECT_TRUE(equal(A, B));
+  Value C = H.list({Value::fixnum(1), H.list({Value::fixnum(3)})});
+  EXPECT_FALSE(equal(A, C));
+}
+
+TEST_F(ValueTest, PrinterRoundShapes) {
+  EXPECT_EQ(toString(Value::nil()), "nil");
+  EXPECT_EQ(toString(Value::fixnum(-42)), "-42");
+  EXPECT_EQ(toString(Value::flonum(3.0)), "3.0");
+  EXPECT_EQ(toString(H.makeRatio(1, 3)), "1/3");
+  EXPECT_EQ(toString(H.string("a\"b")), "\"a\\\"b\"");
+  Value L = H.list({Value::symbol(Syms.intern("f")), Value::fixnum(1)});
+  EXPECT_EQ(toString(L), "(f 1)");
+  Value Dotted = H.cons(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(toString(Dotted), "(1 . 2)");
+}
+
+TEST_F(ValueTest, FlonumPrintingRoundTrips) {
+  for (double D : {0.159154942, 1e30, -2.5e-7, 0.1, 12345.0}) {
+    std::string S = formatFlonum(D);
+    EXPECT_EQ(strtod(S.c_str(), nullptr), D) << S;
+  }
+}
+
+} // namespace

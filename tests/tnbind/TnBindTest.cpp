@@ -1,0 +1,117 @@
+//===- tests/tnbind/TnBindTest.cpp - storage allocation tests -------------===//
+
+#include "tnbind/TnBind.h"
+
+#include "annotate/Annotate.h"
+#include "frontend/Convert.h"
+#include "s1/Isa.h"
+
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::tnbind;
+
+namespace {
+
+class TnBindTest : public ::testing::Test {
+protected:
+  ir::Module M;
+
+  ir::Function *prep(const std::string &Src) {
+    ir::Function *F = frontend::convertDefun(M, Src);
+    annotate::annotate(*F);
+    return F;
+  }
+
+  Location locOf(const TnBindResult &R, const ir::Variable *V) {
+    auto It = R.VarLocs.find(V);
+    return It == R.VarLocs.end() ? Location() : It->second;
+  }
+};
+
+TEST_F(TnBindTest, LeafVariablesGetRegisters) {
+  ir::Function *F = prep("(defun f (a b) (+& a b))");
+  TnBindResult R = allocateVariables(F->Root);
+  EXPECT_EQ(R.VarsInRegisters, 2u);
+  EXPECT_EQ(R.VarsInFrame, 0u);
+  for (const ir::Variable *V : F->Root->Required)
+    EXPECT_TRUE(locOf(R, V).isRegister());
+}
+
+TEST_F(TnBindTest, VariablesLiveAcrossCallsGoToFrame) {
+  ir::Function *F = prep("(defun f (a) (g) (h a) a)");
+  TnBindResult R = allocateVariables(F->Root);
+  const ir::Variable *A = F->Root->Required[0];
+  EXPECT_TRUE(locOf(R, A).isFrame())
+      << "a is live across the calls to g and h";
+}
+
+TEST_F(TnBindTest, DisjointLifetimesShareRegisters) {
+  // x dies before y is born; the packer may reuse the register.
+  ir::Function *F = prep("(defun f (a)"
+                         "  (let ((x (+& a 1)))"
+                         "    (let ((y (+& x 1))) y)))");
+  TnBindResult R = allocateVariables(F->Root);
+  EXPECT_GE(R.VarsInRegisters, 3u);
+}
+
+TEST_F(TnBindTest, NaiveModePinsEverythingToFrame) {
+  ir::Function *F = prep("(defun f (a b) (+& a b))");
+  TnBindOptions Naive;
+  Naive.UseRegisters = false;
+  TnBindResult R = allocateVariables(F->Root, Naive);
+  EXPECT_EQ(R.VarsInRegisters, 0u);
+  EXPECT_EQ(R.VarsInFrame, 2u);
+  EXPECT_TRUE(R.RegistersUsed.empty());
+}
+
+TEST_F(TnBindTest, SpecialAndHeapVariablesAreSkipped) {
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M,
+      "(defvar *s*)"
+      "(defun f (a *s*) (lambda () a))",
+      Diags))
+      << Diags.str();
+  ir::Function *F = M.lookup("f");
+  annotate::annotate(*F);
+  TnBindResult R = allocateVariables(F->Root);
+  const ir::Variable *A = F->Root->Required[0];
+  const ir::Variable *S = F->Root->Required[1];
+  EXPECT_TRUE(A->HeapAllocated);
+  EXPECT_EQ(R.VarLocs.count(A), 0u) << "heap variables live in environments";
+  EXPECT_EQ(R.VarLocs.count(S), 0u) << "specials live on the binding stack";
+}
+
+TEST_F(TnBindTest, LoopVariablesStayDistinct) {
+  // The regression behind fib: loop-carried variables must not share
+  // registers even though their static last-use precedes the back edge.
+  ir::Function *F = prep("(defun f (n)"
+                         "  (do ((i 0 (1+ i)) (a 0 b) (b 1 (+ a b)))"
+                         "      ((= i n) a)))");
+  TnBindResult R = allocateVariables(F->Root);
+  std::vector<Location> Locs;
+  for (const ir::Variable *V : F->variables()) {
+    auto It = R.VarLocs.find(V);
+    if (It != R.VarLocs.end() && It->second.isRegister())
+      Locs.push_back(It->second);
+  }
+  for (size_t I = 0; I < Locs.size(); ++I)
+    for (size_t J = I + 1; J < Locs.size(); ++J)
+      EXPECT_FALSE(Locs[I].Reg == Locs[J].Reg &&
+                   // same register is fine only for genuinely disjoint
+                   // lifetimes; inside one loop nothing is disjoint, and
+                   // this function is a single loop.
+                   true)
+          << "two loop variables share R" << int(Locs[I].Reg);
+}
+
+TEST_F(TnBindTest, RegistersUsedReported) {
+  ir::Function *F = prep("(defun f (a b c) (+& a b c))");
+  TnBindResult R = allocateVariables(F->Root);
+  EXPECT_EQ(R.RegistersUsed.size(), 3u);
+  for (uint8_t Reg : R.RegistersUsed)
+    EXPECT_TRUE(s1::isAllocatableReg(Reg));
+}
+
+} // namespace

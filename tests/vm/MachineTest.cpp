@@ -1,0 +1,252 @@
+//===- tests/vm/MachineTest.cpp - Simulator unit tests --------------------===//
+//
+// Drives the S-1/64 simulator with hand-assembled programs, independent of
+// the compiler, to pin down the execution model: frame discipline, tail
+// calls, syscalls, encode/decode, certification, and traps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "sexpr/Printer.h"
+
+#include <functional>
+#include <gtest/gtest.h>
+
+using namespace s1lisp;
+using namespace s1lisp::s1;
+using namespace s1lisp::vm;
+using sexpr::Value;
+
+namespace {
+
+/// Builds the standard prologue/epilogue around a body emitted by \p Body.
+/// The body receives the argument count in the saved slot FP+1 and args at
+/// FP-2-argc+i; it must leave the result in RV.
+AsmFunction makeFunction(const std::string &Name, unsigned MinArgs,
+                         unsigned MaxArgs,
+                         const std::function<void(AsmFunction &)> &Body,
+                         unsigned FrameSlots = 4) {
+  AsmFunction F;
+  F.Name = Name;
+  F.MinArgs = MinArgs;
+  F.MaxArgs = MaxArgs;
+  auto E = [&F](Opcode Op, Operand A = {}, Operand B = {}, Operand X = {}) {
+    Instruction I;
+    I.Op = Op;
+    I.A = A;
+    I.B = B;
+    I.X = X;
+    F.emit(I);
+  };
+  E(Opcode::PUSH, Operand::reg(FP));
+  E(Opcode::MOV, Operand::reg(FP), Operand::reg(SP));
+  E(Opcode::PUSH, Operand::reg(ENV));
+  E(Opcode::PUSH, Operand::reg(RTA));
+  E(Opcode::ADD, Operand::reg(SP), Operand::imm(FrameSlots));
+  Body(F);
+  E(Opcode::MOV, Operand::reg(ENV), Operand::mem(FP, 0));
+  E(Opcode::MOV, Operand::reg(SP), Operand::reg(FP));
+  E(Opcode::POP, Operand::reg(FP));
+  E(Opcode::RET);
+  std::string Error;
+  EXPECT_TRUE(F.finalize(Error)) << Error;
+  return F;
+}
+
+class MachineTest : public ::testing::Test {
+protected:
+  sexpr::SymbolTable Syms;
+  sexpr::Heap H;
+
+  Machine makeMachine(Program &P) { return Machine(P, Syms, H); }
+};
+
+TEST_F(MachineTest, RawArithmeticAndReturn) {
+  Program P;
+  P.Functions.push_back(makeFunction("add40-2", 1, 1, [](AsmFunction &F) {
+    Instruction I;
+    // RV := raw(arg0) + 2, retagged as a fixnum.
+    I.Op = Opcode::PUSH;
+    I.A = Operand::mem(FP, -3);
+    F.emit(I);
+    Instruction S;
+    S.Op = Opcode::SYSCALL;
+    S.A = Operand::imm(static_cast<int64_t>(Syscall::UnboxFixnum));
+    S.B = Operand::imm(0);
+    S.X = Operand::imm(0);
+    F.emit(S);
+    Instruction A;
+    A.Op = Opcode::ADD;
+    A.A = Operand::reg(RV);
+    A.B = Operand::imm(2);
+    F.emit(A);
+    Instruction Pu;
+    Pu.Op = Opcode::PUSH;
+    Pu.A = Operand::reg(RV);
+    F.emit(Pu);
+    Instruction C;
+    C.Op = Opcode::SYSCALL;
+    C.A = Operand::imm(static_cast<int64_t>(Syscall::ConsFixnum));
+    C.B = Operand::imm(0);
+    C.X = Operand::imm(0);
+    F.emit(C);
+  }));
+  Machine M = makeMachine(P);
+  auto R = M.call("add40-2", {Value::fixnum(40)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Result->fixnum(), 42);
+}
+
+TEST_F(MachineTest, EncodeDecodeRoundTrip) {
+  Program P;
+  Machine M = makeMachine(P);
+  Value L = H.list({Value::fixnum(1), Value::flonum(2.5), H.makeRatio(1, 3),
+                    Value::symbol(Syms.intern("sym")), H.string("hi")});
+  uint64_t W = M.encode(L);
+  auto Back = M.decode(W);
+  ASSERT_TRUE(Back);
+  EXPECT_EQ(sexpr::toString(*Back), "(1 2.5 1/3 sym \"hi\")");
+}
+
+TEST_F(MachineTest, DecodeDepthLimit) {
+  Program P;
+  Machine M = makeMachine(P);
+  Value Deep = Value::nil();
+  for (int I = 0; I < 200; ++I)
+    Deep = H.cons(Value::fixnum(I), Deep);
+  auto Shallow = M.decode(M.encode(Deep), /*Depth=*/16);
+  EXPECT_FALSE(Shallow) << "depth limit must refuse very deep structures";
+  auto Full = M.decode(M.encode(Deep), /*Depth=*/512);
+  EXPECT_TRUE(Full);
+}
+
+TEST_F(MachineTest, ArrayAccessors) {
+  Program P;
+  Machine M = makeMachine(P);
+  uint64_t A = M.makeArrayF(3, 2);
+  M.writeArrayF(A, 2, 1, 6.5);
+  EXPECT_DOUBLE_EQ(M.readArrayF(A, 2, 1), 6.5);
+  EXPECT_DOUBLE_EQ(M.readArrayF(A, 0, 0), 0.0);
+}
+
+TEST_F(MachineTest, CertifyCopiesStackObjectsOnly) {
+  Program P;
+  P.Functions.push_back(makeFunction("certify-stack", 0, 0, [](AsmFunction &F) {
+    auto E = [&F](Instruction I) { F.emit(I); };
+    // Store a raw double into a frame slot, make a stack pointer to it,
+    // certify, and return the certified pointer.
+    Instruction St;
+    St.Op = Opcode::MOV;
+    St.A = Operand::mem(FP, 2);
+    St.B = Operand::fimm(3.25);
+    E(St);
+    Instruction Tag;
+    Tag.Op = Opcode::MOVTAG;
+    Tag.A = Operand::reg(RV);
+    Tag.B = Operand::mem(FP, 2);
+    Tag.X = Operand::imm(static_cast<int64_t>(Tag::SingleFlonum));
+    E(Tag);
+    Instruction Pu;
+    Pu.Op = Opcode::PUSH;
+    Pu.A = Operand::reg(RV);
+    E(Pu);
+    Instruction Cert;
+    Cert.Op = Opcode::SYSCALL;
+    Cert.A = Operand::imm(static_cast<int64_t>(Syscall::Certify));
+    Cert.B = Operand::imm(0);
+    Cert.X = Operand::imm(0);
+    E(Cert);
+  }));
+  Machine M = makeMachine(P);
+  auto R = M.call("certify-stack", {});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Result);
+  EXPECT_DOUBLE_EQ(R.Result->flonum(), 3.25);
+  EXPECT_FALSE(isStackAddress(addrOf(R.ResultWord)))
+      << "certification must have copied the pdl number into the heap";
+  EXPECT_GE(M.stats().HeapObjects, 1u);
+}
+
+TEST_F(MachineTest, GlobalSpecialsAndLookup) {
+  Program P;
+  P.Functions.push_back(makeFunction("read-special", 1, 1, [](AsmFunction &F) {
+    Instruction Pu;
+    Pu.Op = Opcode::PUSH;
+    Pu.A = Operand::mem(FP, -3); // the symbol argument
+    F.emit(Pu);
+    Instruction L;
+    L.Op = Opcode::SYSCALL;
+    L.A = Operand::imm(static_cast<int64_t>(Syscall::SpecLookup));
+    L.B = Operand::imm(0);
+    L.X = Operand::imm(0);
+    F.emit(L);
+    // RV holds the cell address; load the value through R0.
+    Instruction M1;
+    M1.Op = Opcode::MOV;
+    M1.A = Operand::reg(0);
+    M1.B = Operand::reg(RV);
+    F.emit(M1);
+    Instruction M2;
+    M2.Op = Opcode::MOV;
+    M2.A = Operand::reg(RV);
+    M2.B = Operand::mem(0, 0);
+    F.emit(M2);
+  }));
+  Machine M = makeMachine(P);
+  const sexpr::Symbol *S = Syms.intern("*g*");
+  M.setGlobalSpecial(S, Value::fixnum(99));
+  auto R = M.call("read-special", {Value::symbol(S)});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Result->fixnum(), 99);
+  EXPECT_EQ(M.stats().SpecialSearches, 1u);
+}
+
+TEST_F(MachineTest, FuelExhaustionTraps) {
+  Program P;
+  AsmFunction F;
+  F.Name = "spin";
+  int L = F.newLabel();
+  F.placeLabel(L);
+  Instruction J;
+  J.Op = Opcode::JMPA;
+  J.A = Operand::label(L);
+  F.emit(J);
+  std::string Error;
+  ASSERT_TRUE(F.finalize(Error));
+  P.Functions.push_back(std::move(F));
+  Machine M = makeMachine(P);
+  M.setFuel(1000);
+  auto R = M.call("spin", {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("fuel"), std::string::npos);
+}
+
+TEST_F(MachineTest, UndefinedFunction) {
+  Program P;
+  Machine M = makeMachine(P);
+  auto R = M.call("absent", {});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("undefined compiled function"), std::string::npos);
+}
+
+TEST_F(MachineTest, PerOpcodeCounters) {
+  Program P;
+  P.Functions.push_back(makeFunction("movs", 0, 0, [](AsmFunction &F) {
+    for (int I = 0; I < 3; ++I) {
+      Instruction M;
+      M.Op = Opcode::MOV;
+      M.A = Operand::reg(RV);
+      M.B = Operand::imm(0);
+      F.emit(M);
+    }
+  }));
+  Machine M = makeMachine(P);
+  ASSERT_TRUE(M.call("movs", {}).Ok);
+  // Three body MOVs plus the three frame-discipline MOVs of the
+  // prologue/epilogue helper.
+  EXPECT_EQ(M.stats().Movs, 6u);
+  EXPECT_GT(M.stats().Instructions, 6u);
+}
+
+} // namespace
