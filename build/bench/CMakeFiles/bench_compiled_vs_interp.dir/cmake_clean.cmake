@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compiled_vs_interp.dir/bench_compiled_vs_interp.cpp.o"
+  "CMakeFiles/bench_compiled_vs_interp.dir/bench_compiled_vs_interp.cpp.o.d"
+  "bench_compiled_vs_interp"
+  "bench_compiled_vs_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compiled_vs_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_compiled_vs_interp.
+# This may be replaced when dependencies are built.

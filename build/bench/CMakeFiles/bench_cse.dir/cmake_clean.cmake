@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cse.dir/bench_cse.cpp.o"
+  "CMakeFiles/bench_cse.dir/bench_cse.cpp.o.d"
+  "bench_cse"
+  "bench_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

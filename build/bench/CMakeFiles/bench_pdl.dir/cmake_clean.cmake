@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdl.dir/bench_pdl.cpp.o"
+  "CMakeFiles/bench_pdl.dir/bench_pdl.cpp.o.d"
+  "bench_pdl"
+  "bench_pdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phases.dir/bench_phases.cpp.o"
+  "CMakeFiles/bench_phases.dir/bench_phases.cpp.o.d"
+  "bench_phases"
+  "bench_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

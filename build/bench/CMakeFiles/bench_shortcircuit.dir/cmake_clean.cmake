@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shortcircuit.dir/bench_shortcircuit.cpp.o"
+  "CMakeFiles/bench_shortcircuit.dir/bench_shortcircuit.cpp.o.d"
+  "bench_shortcircuit"
+  "bench_shortcircuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shortcircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

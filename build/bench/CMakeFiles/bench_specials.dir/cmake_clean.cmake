@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_specials.dir/bench_specials.cpp.o"
+  "CMakeFiles/bench_specials.dir/bench_specials.cpp.o.d"
+  "bench_specials"
+  "bench_specials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_specials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tailcall.dir/bench_tailcall.cpp.o"
+  "CMakeFiles/bench_tailcall.dir/bench_tailcall.cpp.o.d"
+  "bench_tailcall"
+  "bench_tailcall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tailcall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

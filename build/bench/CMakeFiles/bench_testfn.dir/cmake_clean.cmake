@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_testfn.dir/bench_testfn.cpp.o"
+  "CMakeFiles/bench_testfn.dir/bench_testfn.cpp.o.d"
+  "bench_testfn"
+  "bench_testfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_testfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tnbind.cpp" "bench/CMakeFiles/bench_tnbind.dir/bench_tnbind.cpp.o" "gcc" "bench/CMakeFiles/bench_tnbind.dir/bench_tnbind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s1_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_tnbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_s1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tnbind.dir/bench_tnbind.cpp.o"
+  "CMakeFiles/bench_tnbind.dir/bench_tnbind.cpp.o.d"
+  "bench_tnbind"
+  "bench_tnbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tnbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_kernels.dir/numeric_kernels.cpp.o"
+  "CMakeFiles/numeric_kernels.dir/numeric_kernels.cpp.o.d"
+  "numeric_kernels"
+  "numeric_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

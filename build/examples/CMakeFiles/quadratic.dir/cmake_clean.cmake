@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadratic.dir/quadratic.cpp.o"
+  "CMakeFiles/quadratic.dir/quadratic.cpp.o.d"
+  "quadratic"
+  "quadratic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadratic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortcircuit_derivation.dir/shortcircuit_derivation.cpp.o"
+  "CMakeFiles/shortcircuit_derivation.dir/shortcircuit_derivation.cpp.o.d"
+  "shortcircuit_derivation"
+  "shortcircuit_derivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortcircuit_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

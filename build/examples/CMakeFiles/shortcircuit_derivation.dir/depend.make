@@ -1,0 +1,2 @@
+# Empty dependencies file for shortcircuit_derivation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testfn_transcript.dir/testfn_transcript.cpp.o"
+  "CMakeFiles/testfn_transcript.dir/testfn_transcript.cpp.o.d"
+  "testfn_transcript"
+  "testfn_transcript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testfn_transcript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

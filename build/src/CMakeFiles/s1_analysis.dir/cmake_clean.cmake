@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_analysis.dir/analysis/Analysis.cpp.o"
+  "CMakeFiles/s1_analysis.dir/analysis/Analysis.cpp.o.d"
+  "libs1_analysis.a"
+  "libs1_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_annotate.dir/annotate/Annotate.cpp.o"
+  "CMakeFiles/s1_annotate.dir/annotate/Annotate.cpp.o.d"
+  "libs1_annotate.a"
+  "libs1_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

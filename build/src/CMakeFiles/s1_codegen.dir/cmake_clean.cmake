@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_codegen.dir/codegen/Codegen.cpp.o"
+  "CMakeFiles/s1_codegen.dir/codegen/Codegen.cpp.o.d"
+  "libs1_codegen.a"
+  "libs1_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_driver.dir/driver/Compiler.cpp.o"
+  "CMakeFiles/s1_driver.dir/driver/Compiler.cpp.o.d"
+  "libs1_driver.a"
+  "libs1_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

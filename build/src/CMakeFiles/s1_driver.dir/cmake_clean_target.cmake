@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs1_driver.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_frontend.dir/frontend/Convert.cpp.o"
+  "CMakeFiles/s1_frontend.dir/frontend/Convert.cpp.o.d"
+  "libs1_frontend.a"
+  "libs1_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_interp.dir/interp/Interp.cpp.o"
+  "CMakeFiles/s1_interp.dir/interp/Interp.cpp.o.d"
+  "libs1_interp.a"
+  "libs1_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

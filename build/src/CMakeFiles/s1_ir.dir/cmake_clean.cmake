@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_ir.dir/ir/BackTranslate.cpp.o"
+  "CMakeFiles/s1_ir.dir/ir/BackTranslate.cpp.o.d"
+  "CMakeFiles/s1_ir.dir/ir/Ir.cpp.o"
+  "CMakeFiles/s1_ir.dir/ir/Ir.cpp.o.d"
+  "CMakeFiles/s1_ir.dir/ir/Primitives.cpp.o"
+  "CMakeFiles/s1_ir.dir/ir/Primitives.cpp.o.d"
+  "libs1_ir.a"
+  "libs1_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_opt.dir/opt/Cse.cpp.o"
+  "CMakeFiles/s1_opt.dir/opt/Cse.cpp.o.d"
+  "CMakeFiles/s1_opt.dir/opt/Fold.cpp.o"
+  "CMakeFiles/s1_opt.dir/opt/Fold.cpp.o.d"
+  "CMakeFiles/s1_opt.dir/opt/MetaEval.cpp.o"
+  "CMakeFiles/s1_opt.dir/opt/MetaEval.cpp.o.d"
+  "libs1_opt.a"
+  "libs1_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

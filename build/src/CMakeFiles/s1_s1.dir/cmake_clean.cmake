@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_s1.dir/s1/Isa.cpp.o"
+  "CMakeFiles/s1_s1.dir/s1/Isa.cpp.o.d"
+  "libs1_s1.a"
+  "libs1_s1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_s1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

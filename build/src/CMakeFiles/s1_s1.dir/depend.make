@@ -1,0 +1,2 @@
+# Empty dependencies file for s1_s1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sexpr/Numbers.cpp" "src/CMakeFiles/s1_sexpr.dir/sexpr/Numbers.cpp.o" "gcc" "src/CMakeFiles/s1_sexpr.dir/sexpr/Numbers.cpp.o.d"
+  "/root/repo/src/sexpr/Printer.cpp" "src/CMakeFiles/s1_sexpr.dir/sexpr/Printer.cpp.o" "gcc" "src/CMakeFiles/s1_sexpr.dir/sexpr/Printer.cpp.o.d"
+  "/root/repo/src/sexpr/Reader.cpp" "src/CMakeFiles/s1_sexpr.dir/sexpr/Reader.cpp.o" "gcc" "src/CMakeFiles/s1_sexpr.dir/sexpr/Reader.cpp.o.d"
+  "/root/repo/src/sexpr/Value.cpp" "src/CMakeFiles/s1_sexpr.dir/sexpr/Value.cpp.o" "gcc" "src/CMakeFiles/s1_sexpr.dir/sexpr/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

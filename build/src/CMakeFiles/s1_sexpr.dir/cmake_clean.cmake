@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_sexpr.dir/sexpr/Numbers.cpp.o"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Numbers.cpp.o.d"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Printer.cpp.o"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Printer.cpp.o.d"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Reader.cpp.o"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Reader.cpp.o.d"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Value.cpp.o"
+  "CMakeFiles/s1_sexpr.dir/sexpr/Value.cpp.o.d"
+  "libs1_sexpr.a"
+  "libs1_sexpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_sexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Diag.cpp" "src/CMakeFiles/s1_support.dir/support/Diag.cpp.o" "gcc" "src/CMakeFiles/s1_support.dir/support/Diag.cpp.o.d"
+  "/root/repo/src/support/SourceLocation.cpp" "src/CMakeFiles/s1_support.dir/support/SourceLocation.cpp.o" "gcc" "src/CMakeFiles/s1_support.dir/support/SourceLocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_support.dir/support/Diag.cpp.o"
+  "CMakeFiles/s1_support.dir/support/Diag.cpp.o.d"
+  "CMakeFiles/s1_support.dir/support/SourceLocation.cpp.o"
+  "CMakeFiles/s1_support.dir/support/SourceLocation.cpp.o.d"
+  "libs1_support.a"
+  "libs1_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_tnbind.dir/tnbind/TnBind.cpp.o"
+  "CMakeFiles/s1_tnbind.dir/tnbind/TnBind.cpp.o.d"
+  "libs1_tnbind.a"
+  "libs1_tnbind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_tnbind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1_vm.dir/vm/Machine.cpp.o"
+  "CMakeFiles/s1_vm.dir/vm/Machine.cpp.o.d"
+  "libs1_vm.a"
+  "libs1_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/annotate/AnnotateTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/annotate/AnnotateTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/annotate/AnnotateTest.cpp.o.d"
+  "/root/repo/tests/frontend/ConvertTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/frontend/ConvertTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/frontend/ConvertTest.cpp.o.d"
+  "/root/repo/tests/integration/CompiledVsInterpTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/integration/CompiledVsInterpTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/integration/CompiledVsInterpTest.cpp.o.d"
+  "/root/repo/tests/integration/RandomProgramTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/integration/RandomProgramTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/integration/RandomProgramTest.cpp.o.d"
+  "/root/repo/tests/interp/InterpTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/interp/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/interp/InterpTest.cpp.o.d"
+  "/root/repo/tests/ir/IrTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/ir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/ir/IrTest.cpp.o.d"
+  "/root/repo/tests/opt/CseTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/opt/CseTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/opt/CseTest.cpp.o.d"
+  "/root/repo/tests/opt/MetaEvalTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/opt/MetaEvalTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/opt/MetaEvalTest.cpp.o.d"
+  "/root/repo/tests/s1/IsaTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/s1/IsaTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/s1/IsaTest.cpp.o.d"
+  "/root/repo/tests/sexpr/NumbersTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/NumbersTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/NumbersTest.cpp.o.d"
+  "/root/repo/tests/sexpr/ReaderTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/ReaderTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/ReaderTest.cpp.o.d"
+  "/root/repo/tests/sexpr/ValueTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/sexpr/ValueTest.cpp.o.d"
+  "/root/repo/tests/tnbind/TnBindTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/tnbind/TnBindTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/tnbind/TnBindTest.cpp.o.d"
+  "/root/repo/tests/vm/MachineTest.cpp" "tests/CMakeFiles/s1lisp_tests.dir/vm/MachineTest.cpp.o" "gcc" "tests/CMakeFiles/s1lisp_tests.dir/vm/MachineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s1_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_tnbind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_s1.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_sexpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s1_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s1lisp_tests.dir/annotate/AnnotateTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/annotate/AnnotateTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/frontend/ConvertTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/frontend/ConvertTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/integration/CompiledVsInterpTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/integration/CompiledVsInterpTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/integration/RandomProgramTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/integration/RandomProgramTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/interp/InterpTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/interp/InterpTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/ir/IrTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/ir/IrTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/opt/CseTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/opt/CseTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/opt/MetaEvalTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/opt/MetaEvalTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/s1/IsaTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/s1/IsaTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/NumbersTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/NumbersTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/ReaderTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/ReaderTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/ValueTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/sexpr/ValueTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/tnbind/TnBindTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/tnbind/TnBindTest.cpp.o.d"
+  "CMakeFiles/s1lisp_tests.dir/vm/MachineTest.cpp.o"
+  "CMakeFiles/s1lisp_tests.dir/vm/MachineTest.cpp.o.d"
+  "s1lisp_tests"
+  "s1lisp_tests.pdb"
+  "s1lisp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s1lisp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
