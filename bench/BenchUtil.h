@@ -114,6 +114,48 @@ inline void tableHeader(const char *Title) {
   printf("\n=== %s ===\n", Title);
 }
 
+/// Collects reproduction-table counters and writes them to
+/// `BENCH_<name>.json` as `[{"bench": ..., "metric": ..., "value": ...},
+/// ...]` so CI and EXPERIMENTS.md tooling can diff the paper-shape
+/// numbers across revisions without scraping stdout.
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Bench(std::move(BenchName)) {}
+
+  /// Records one counter row.
+  void add(const std::string &Metric, uint64_t Value) {
+    Rows.push_back({Metric, Value});
+  }
+
+  /// Writes BENCH_<name>.json into the working directory; returns false
+  /// (after a diagnostic) if the file cannot be written.
+  bool write() const {
+    std::string Path = "BENCH_" + Bench + ".json";
+    FILE *F = fopen(Path.c_str(), "w");
+    if (!F) {
+      fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return false;
+    }
+    fprintf(F, "[");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      fprintf(F, "%s\n  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %llu}",
+              I ? "," : "", Bench.c_str(), Rows[I].Metric.c_str(),
+              static_cast<unsigned long long>(Rows[I].Value));
+    fprintf(F, Rows.empty() ? "]\n" : "\n]\n");
+    fclose(F);
+    printf("wrote %s (%zu counters)\n", Path.c_str(), Rows.size());
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Metric;
+    uint64_t Value;
+  };
+  std::string Bench;
+  std::vector<Row> Rows;
+};
+
 } // namespace bench
 } // namespace s1lisp
 

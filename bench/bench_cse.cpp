@@ -41,7 +41,7 @@ s1lisp::bench::Compiled compileWithCse(bool RunCse, unsigned *Hoisted) {
   if (Hoisted)
     *Hoisted = Total;
   auto Out = driver::compileModule(
-      *C.M, driver::CompilerOptions{false, {}, {}});
+      *C.M, bench::noOptConfig());
   if (!Out.Ok) {
     fprintf(stderr, "cse bench compile failed: %s\n", Out.Error.c_str());
     abort();
@@ -53,6 +53,7 @@ s1lisp::bench::Compiled compileWithCse(bool RunCse, unsigned *Hoisted) {
 
 void printTable() {
   tableHeader("F10 / §4.3: common subexpression elimination");
+  JsonReport Report("cse");
   printf("%-18s %10s %16s %12s\n", "configuration", "hoisted", "instrs/call",
          "result");
   const int N = 500;
@@ -64,7 +65,11 @@ void printTable() {
     printf("%-18s %10u %16.1f %12s\n", RunCse ? "with cse" : "without",
            Hoisted, static_cast<double>(P.VM->stats().Instructions) / N,
            sexpr::toString(*R.Result).c_str());
+    const char *Key = RunCse ? "cse" : "nocse";
+    Report.add(std::string("instructions.") + Key, P.VM->stats().Instructions);
+    Report.add(std::string("hoisted.") + Key, Hoisted);
   }
+  Report.write();
   printf("Shape check (paper): CSE helps, but modestly compared with the\n"
          "other techniques — exactly the paper's stated reason to defer it.\n");
 }

@@ -89,7 +89,7 @@ void printTable() {
 
   s1::Program Prog;
   double TCodegen = timeMs([&] {
-    auto Out = driver::compileModule(M, driver::CompilerOptions{false, {}, {}});
+    auto Out = driver::compileModule(M, bench::noOptConfig());
     Prog = std::move(Out.Program);
   });
 

@@ -26,6 +26,7 @@ const char *Source =
 
 void printTable() {
   tableHeader("T4 / §7: the testfn worked example");
+  JsonReport Report("testfn");
   Compiled P = compileOrDie(Source, fullConfig());
 
   printf("per supplied-argument-count dispatch (Table 4's four-way branch):\n");
@@ -40,6 +41,9 @@ void printTable() {
            static_cast<unsigned long long>(P.VM->stats().Instructions),
            static_cast<unsigned long long>(P.VM->stats().HeapObjects),
            sexpr::toString(*R.Result).c_str());
+    std::string N = std::to_string(Args.size());
+    Report.add("instructions." + N + "args", P.VM->stats().Instructions);
+    Report.add("heap_objects." + N + "args", P.VM->stats().HeapObjects);
   }
   P.VM->resetStats();
   auto RBad = P.VM->call("testfn", {});
@@ -52,6 +56,8 @@ void printTable() {
   runOrDie(PNoPdl, "testfn", {fl(0.25)});
   printf("heap allocs with pdl off: %llu (vs. above: d/e move to the heap)\n",
          static_cast<unsigned long long>(PNoPdl.VM->stats().HeapObjects));
+  Report.add("heap_objects.1args.nopdl", PNoPdl.VM->stats().HeapObjects);
+  Report.write();
 }
 
 void BM_TestfnOneArg(benchmark::State &State) {

@@ -82,6 +82,7 @@ KernelStats measureDriver(const driver::CompilerOptions &Opts, bool Hard, int N)
 }
 
 void printTable() {
+  JsonReport Report("tnbind");
   tableHeader("F5 / §6.1: data-movement MOVs in the subscripted kernels");
   printf("%-28s %-8s %14s %14s %16s\n", "configuration", "kernel",
          "movs/element", "instrs/element", "static MOVs");
@@ -99,6 +100,10 @@ void printTable() {
       KernelStats S = measureDriver(C.Opts, Hard, N);
       printf("%-28s %-8s %14.2f %14.2f %16u\n", C.Name, Hard ? "hard" : "easy",
              S.MovsExecuted / PerElem, S.Instructions / PerElem, S.StaticMovs);
+      std::string Key = std::string(Hard ? "hard." : "easy.") +
+                        (C.Opts.Codegen.TnBind.UseRegisters ? "tnbind" : "naive");
+      Report.add("kernel_movs." + Key, S.MovsExecuted);
+      Report.add("kernel_instrs." + Key, S.Instructions);
     }
   }
   printf("(per-element counts include the loop counters, which run through\n"
@@ -142,12 +147,16 @@ void printTable() {
       printf("%-28s %-8s %14u %14llu\n", C.Name, Which == 0 ? "easy" : "hard",
              Static,
              static_cast<unsigned long long>(P.VM->stats().Instructions));
+      std::string Key = std::string(Which == 0 ? "easy." : "hard.") +
+                        (C.Opts.Codegen.TnBind.UseRegisters ? "tnbind" : "naive");
+      Report.add("stmt_static_movs." + Key, Static);
     }
   }
   printf("Shape check (paper): for the statement itself TNBIND's RT-register\n"
          "targeting removes the data-movement MOVs between the subscript\n"
          "arithmetic and the floating-point operations; the naive allocator\n"
          "bounces every intermediate through a frame slot.\n");
+  Report.write();
 }
 
 void BM_KernelFull(benchmark::State &State) {

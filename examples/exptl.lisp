@@ -1,0 +1,10 @@
+; Integer exponentiation, the classic recursive benchmark shape: a
+; straight-line reduction the optimizer's constant-fold and
+; identity-elimination rules get to chew on.
+(defun exptl (b n)
+  (if (zerop n)
+      1
+      (* b (exptl b (1- n)))))
+
+(defun main ()
+  (exptl 2 10))

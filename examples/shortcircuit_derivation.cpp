@@ -12,6 +12,7 @@
 #include "frontend/Convert.h"
 #include "ir/BackTranslate.h"
 #include "opt/MetaEval.h"
+#include "stats/Remark.h"
 #include "sexpr/Printer.h"
 #include "vm/Machine.h"
 
@@ -37,7 +38,7 @@ int main() {
   printf("=== After preliminary conversion (AND/OR expanded per §5) ===\n%s\n\n",
          sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
 
-  opt::OptLog Log;
+  stats::RemarkStream Log;
   opt::metaEvaluate(*F, {}, &Log);
   printf("=== Derivation (every rewrite, in the paper's style) ===\n%s\n",
          Log.str().c_str());
@@ -48,7 +49,9 @@ int main() {
   for (const auto &Fn : M.functions())
     if (Fn->name() != "sc")
       opt::metaEvaluate(*Fn);
-  auto Out = driver::compileModule(M, driver::CompilerOptions{false, {}, {}});
+  driver::CompilerOptions NoOpt;
+  NoOpt.Optimize = false; // already optimized above
+  auto Out = driver::compileModule(M, NoOpt);
   if (!Out.Ok) {
     fprintf(stderr, "compile error: %s\n", Out.Error.c_str());
     return 1;

@@ -1,0 +1,15 @@
+; The paper's 7 worked example (Table 4).  TESTFN exercises &optional
+; defaulting, float-specific arithmetic, and a call to a substitutable
+; helper -- compile with --transcript or --remarks to watch the 5
+; rewrite rules fire.
+(defun frotz (a b c)
+  (if (eql a b) c a))
+
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))
+
+(defun main ()
+  (testfn 0.25 2.0 8.0))

@@ -13,6 +13,7 @@
 #include "frontend/Convert.h"
 #include "ir/BackTranslate.h"
 #include "opt/MetaEval.h"
+#include "stats/Remark.h"
 #include "sexpr/Printer.h"
 #include "vm/Machine.h"
 
@@ -42,7 +43,7 @@ int main() {
   printf("=== testfn before optimization ===\n%s\n\n",
          sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
 
-  opt::OptLog Log;
+  stats::RemarkStream Log;
   opt::metaEvaluate(*F, {}, &Log);
   printf("=== Optimizer transcript (the paper's debugging output) ===\n%s\n",
          Log.str().c_str());
@@ -50,9 +51,11 @@ int main() {
   printf("=== testfn after optimization ===\n%s\n\n",
          sexpr::toPrettyString(ir::backTranslateFunction(*F)).c_str());
 
-  opt::OptLog FrotzLog;
+  stats::RemarkStream FrotzLog;
   opt::metaEvaluate(*M.lookup("frotz"), {}, &FrotzLog);
-  auto Out = driver::compileModule(M, driver::CompilerOptions{false, {}, {}});
+  driver::CompilerOptions NoOpt;
+  NoOpt.Optimize = false; // already optimized above
+  auto Out = driver::compileModule(M, NoOpt);
   if (!Out.Ok) {
     fprintf(stderr, "compile error: %s\n", Out.Error.c_str());
     return 1;

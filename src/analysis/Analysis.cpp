@@ -3,6 +3,9 @@
 #include "analysis/Analysis.h"
 
 #include "ir/Primitives.h"
+#include "stats/Stats.h"
+
+S1_STAT(NumAnalyzeRuns, "analysis.runs", "full re-analyses of a function tree");
 
 using namespace s1lisp;
 using namespace s1lisp::analysis;
@@ -206,6 +209,8 @@ void markTails(Node *N, bool Tail) {
 void analysis::analyzeTails(Function &F) { markTails(F.Root, false); }
 
 void analysis::analyze(Function &F) {
+  stats::PhaseTimer Timer("analysis");
+  ++NumAnalyzeRuns;
   recomputeVariableRefs(F);
   forEachNode(static_cast<Node *>(F.Root), [](Node *N) {
     N->Ann.Effects = effectsOf(N);

@@ -4,8 +4,21 @@
 
 #include "analysis/Analysis.h"
 #include "ir/Primitives.h"
+#include "stats/Stats.h"
 
 #include <unordered_set>
+
+S1_STAT(NumOpenLambdas, "annotate.lambdas.open", "lambdas compiled open (LET)");
+S1_STAT(NumJumpLambdas, "annotate.lambdas.jump", "lambdas compiled as jumps");
+S1_STAT(NumFullClosures, "annotate.lambdas.closure",
+        "lambdas compiled as full closures");
+S1_STAT(NumHeapVars, "annotate.vars.heap", "variables given heap binding cells");
+S1_STAT(NumRawFloatVars, "annotate.vars.rawfloat",
+        "variables kept as raw machine floats");
+S1_STAT(NumRawFixnumVars, "annotate.vars.rawfixnum",
+        "variables kept as raw machine fixnums");
+S1_STAT(NumPdlSites, "annotate.pdl.sites",
+        "coercion sites authorized to stack-allocate boxes");
 
 using namespace s1lisp;
 using namespace s1lisp::annotate;
@@ -457,10 +470,18 @@ void annotatePdl(Function &F, bool Enable, AnnotateStats &Stats) {
 } // namespace
 
 AnnotateStats annotate::annotate(Function &F, const AnnotateOptions &Opts) {
+  stats::PhaseTimer Timer("annotate");
   AnnotateStats Stats;
   analysis::analyze(F);
   annotateBindings(F, Stats);
   annotateReps(F, Opts.RepAnalysis, Stats);
   annotatePdl(F, Opts.PdlNumbers, Stats);
+  NumOpenLambdas += Stats.OpenLambdas;
+  NumJumpLambdas += Stats.JumpLambdas;
+  NumFullClosures += Stats.FullClosures;
+  NumHeapVars += Stats.HeapVariables;
+  NumRawFloatVars += Stats.RawFloatVariables;
+  NumRawFixnumVars += Stats.RawFixnumVariables;
+  NumPdlSites += Stats.PdlSites;
   return Stats;
 }

@@ -6,10 +6,21 @@
 #include "ir/Primitives.h"
 #include "sexpr/Numbers.h"
 #include "sexpr/Printer.h"
+#include "stats/Stats.h"
 
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
+
+S1_STAT(NumFunctionsCompiled, "codegen.functions",
+        "functions (incl. lifted closures) compiled");
+S1_STAT(NumClosuresLifted, "codegen.closures.lifted",
+        "closure bodies lifted to their own units");
+S1_STAT(NumInstructionsEmitted, "codegen.instructions",
+        "assembly instructions emitted");
+S1_STAT(NumMovsEmitted, "codegen.movs", "data-movement MOVs emitted");
+S1_STAT(NumSpecialsCached, "codegen.specials.cached",
+        "special-variable binding addresses cached at entry");
 
 using namespace s1lisp;
 using namespace s1lisp::codegen;
@@ -442,6 +453,7 @@ uint64_t ModuleCompiler::encodeStatic(Value V) {
 
 int ModuleCompiler::liftClosure(const LambdaNode *L, ir::Function *IrF,
                                 int EnvLayoutId) {
+  ++NumClosuresLifted;
   // Module functions occupy indices [0, N); lifted closures follow in the
   // order they are queued, regardless of how many module functions have
   // been *compiled* so far.
@@ -901,6 +913,7 @@ bool FunctionCompiler::prologue() {
                   "Cache binding address of " + S->name());
       emit(Opcode::MOV, frameOp(Slot), Operand::reg(RV));
       SpecialCacheSlot[S] = Slot;
+      ++NumSpecialsCached;
     }
   }
   return !Failed;
@@ -936,8 +949,16 @@ Operand FunctionCompiler::currentEnvOperand() {
 } // namespace
 
 CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) {
+  stats::PhaseTimer Timer("codegen");
   CompileResult Result;
   ModuleCompiler MC(M, Opts);
   MC.run(Result);
+  if (Result.Ok) {
+    for (const s1::AsmFunction &F : Result.Program.Functions) {
+      ++NumFunctionsCompiled;
+      NumInstructionsEmitted += F.Code.size();
+      NumMovsEmitted += F.countOpcode(s1::Opcode::MOV);
+    }
+  }
   return Result;
 }

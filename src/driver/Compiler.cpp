@@ -3,6 +3,7 @@
 #include "driver/Compiler.h"
 
 #include "frontend/Convert.h"
+#include "stats/Stats.h"
 
 using namespace s1lisp;
 using namespace s1lisp::driver;
@@ -12,6 +13,9 @@ CompileOutcome driver::compileModule(ir::Module &M, const CompilerOptions &Opts)
   if (Opts.Optimize)
     for (const auto &F : M.functions())
       opt::metaEvaluate(*F, Opts.Opt);
+  if (Opts.Cse)
+    for (const auto &F : M.functions())
+      opt::eliminateCommonSubexpressions(*F, Opts.CseOpts);
   codegen::CompileResult R = codegen::compileModule(M, Opts.Codegen);
   if (!R.Ok) {
     Out.Error = R.Error;
@@ -24,17 +28,26 @@ CompileOutcome driver::compileModule(ir::Module &M, const CompilerOptions &Opts)
 
 CompileOutcome driver::compileSource(ir::Module &M, std::string_view Source,
                                      const CompilerOptions &Opts,
-                                     opt::OptLog *Log) {
+                                     stats::RemarkStream *Remarks) {
   CompileOutcome Out;
   DiagEngine Diags;
-  if (!frontend::convertSource(M, Source, Diags)) {
-    Out.Error = Diags.str();
-    return Out;
+  {
+    stats::PhaseTimer Timer("frontend.convert");
+    if (!frontend::convertSource(M, Source, Diags)) {
+      Out.Error = Diags.str();
+      return Out;
+    }
   }
   if (Opts.Optimize)
     for (const auto &F : M.functions())
-      opt::metaEvaluate(*F, Opts.Opt, Log);
-  return compileModule(M, CompilerOptions{false, Opts.Opt, Opts.Codegen});
+      opt::metaEvaluate(*F, Opts.Opt, Remarks);
+  if (Opts.Cse)
+    for (const auto &F : M.functions())
+      opt::eliminateCommonSubexpressions(*F, Opts.CseOpts, Remarks);
+  CompilerOptions Rest = Opts;
+  Rest.Optimize = false;
+  Rest.Cse = false;
+  return compileModule(M, Rest);
 }
 
 std::string driver::listing(const s1::Program &P) {

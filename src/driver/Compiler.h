@@ -13,7 +13,9 @@
 
 #include "codegen/Codegen.h"
 #include "ir/Ir.h"
+#include "opt/Cse.h"
 #include "opt/MetaEval.h"
+#include "stats/Remark.h"
 
 #include <string>
 #include <string_view>
@@ -23,7 +25,9 @@ namespace driver {
 
 struct CompilerOptions {
   bool Optimize = true; ///< run the §5 source-level optimizer
+  bool Cse = false;     ///< run the §4.3 CSE phase after the optimizer
   opt::OptOptions Opt;
+  opt::CseOptions CseOpts;
   codegen::CodegenOptions Codegen;
 };
 
@@ -34,11 +38,11 @@ struct CompileOutcome {
 };
 
 /// Reads, converts, optimizes and compiles every top-level form in
-/// \p Source into \p M. When \p Log is given, optimizer transcripts
-/// accumulate there.
+/// \p Source into \p M. When \p Remarks is given, every optimizer rewrite
+/// is recorded there as a structured remark.
 CompileOutcome compileSource(ir::Module &M, std::string_view Source,
                              const CompilerOptions &Opts = {},
-                             opt::OptLog *Log = nullptr);
+                             stats::RemarkStream *Remarks = nullptr);
 
 /// Compiles an already-converted (and possibly optimized) module.
 CompileOutcome compileModule(ir::Module &M, const CompilerOptions &Opts = {});

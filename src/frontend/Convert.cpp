@@ -5,8 +5,14 @@
 #include "ir/Primitives.h"
 #include "sexpr/Printer.h"
 #include "sexpr/Reader.h"
+#include "stats/Stats.h"
 
 #include <unordered_set>
+
+S1_STAT(NumTopLevelForms, "frontend.forms", "top-level forms converted");
+S1_STAT(NumDefuns, "frontend.defuns", "functions converted");
+S1_STAT(NumSpecialsProclaimed, "frontend.specials",
+        "special variables proclaimed");
 
 using namespace s1lisp;
 using namespace s1lisp::frontend;
@@ -838,6 +844,7 @@ ir::Function *frontend::convertTopLevel(Module &M, Value Form, DiagEngine &Diags
     return nullptr;
   }
   const std::string &Head = Form.car().symbol()->name();
+  ++NumTopLevelForms;
 
   if (Head == "defvar" || Head == "defparameter") {
     Value Rest = Form.cdr();
@@ -846,6 +853,7 @@ ir::Function *frontend::convertTopLevel(Module &M, Value Form, DiagEngine &Diags
       return nullptr;
     }
     M.Specials.push_back(Rest.car().symbol());
+    ++NumSpecialsProclaimed;
     return nullptr;
   }
   if (Head == "proclaim") {
@@ -857,8 +865,10 @@ ir::Function *frontend::convertTopLevel(Module &M, Value Form, DiagEngine &Diags
     if (Arg.isCons() && Arg.car().isSymbol() &&
         Arg.car().symbol()->name() == "special")
       for (Value S = Arg.cdr(); S.isCons(); S = S.cdr())
-        if (S.car().isSymbol())
+        if (S.car().isSymbol()) {
           M.Specials.push_back(S.car().symbol());
+          ++NumSpecialsProclaimed;
+        }
     return nullptr;
   }
   if (Head != "defun") {
@@ -889,6 +899,7 @@ ir::Function *frontend::convertTopLevel(Module &M, Value Form, DiagEngine &Diags
   bool Clean = verify(*F, VerifyDiags);
   assert(Clean && "converter produced an inconsistent tree");
   (void)Clean;
+  ++NumDefuns;
   return F;
 }
 

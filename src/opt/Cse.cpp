@@ -5,8 +5,11 @@
 #include "analysis/Analysis.h"
 #include "ir/BackTranslate.h"
 #include "sexpr/Printer.h"
+#include "stats/Stats.h"
 
 #include <map>
+
+S1_STAT(NumHoisted, "opt.cse.hoisted", "common subexpressions abstracted");
 
 using namespace s1lisp;
 using namespace s1lisp::opt;
@@ -68,7 +71,8 @@ bool isAncestor(const Node *Maybe, const Node *N) {
 } // namespace
 
 unsigned opt::eliminateCommonSubexpressions(Function &F, const CseOptions &Opts,
-                                            OptLog *Log) {
+                                            stats::RemarkStream *Log) {
+  stats::PhaseTimer Timer("opt.cse");
   unsigned Hoisted = 0;
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     analysis::analyze(F);
@@ -125,11 +129,17 @@ unsigned opt::eliminateCommonSubexpressions(Function &F, const CseOptions &Opts,
 
     recomputeVariableRefs(F);
     ++Hoisted;
-    if (Log)
-      Log->Entries.push_back({"META-INTRODUCE-COMMON-SUBEXPRESSION", Before,
-                              backTranslateToString(F, F.Root->Body),
-                              std::to_string(BestSites.size()) +
-                                  " occurrences hoisted"});
+    ++NumHoisted;
+    if (Log) {
+      stats::Remark R;
+      R.Phase = "opt.cse";
+      R.Rule = "META-INTRODUCE-COMMON-SUBEXPRESSION";
+      R.Function = F.name();
+      R.Before = Before;
+      R.After = backTranslateToString(F, F.Root->Body);
+      R.Detail = std::to_string(BestSites.size()) + " occurrences hoisted";
+      Log->remark(std::move(R));
+    }
   }
   if (Hoisted) {
     DiagEngine Diags;

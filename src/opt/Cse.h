@@ -37,7 +37,7 @@ struct CseOptions {
 /// introductions, per §4.3's phase separation).
 unsigned eliminateCommonSubexpressions(ir::Function &F,
                                        const CseOptions &Opts = {},
-                                       OptLog *Log = nullptr);
+                                       stats::RemarkStream *Remarks = nullptr);
 
 } // namespace opt
 } // namespace s1lisp

@@ -7,6 +7,7 @@
 #include "ir/Primitives.h"
 #include "opt/Fold.h"
 #include "sexpr/Printer.h"
+#include "stats/Stats.h"
 
 using namespace s1lisp;
 using namespace s1lisp::opt;
@@ -14,27 +15,10 @@ using namespace s1lisp::ir;
 using analysis::effectsOf;
 using sexpr::Value;
 
-std::string OptLog::str() const {
-  std::string Out;
-  for (const OptLogEntry &E : Entries) {
-    if (!E.Detail.empty()) {
-      Out += ";**** " + E.Detail + "\n";
-    } else {
-      Out += ";**** Optimizing this form: " + E.Before + "\n";
-      Out += ";**** to be this form: " + E.After + "\n";
-    }
-    Out += ";**** courtesy of " + E.Rule + "\n";
-  }
-  return Out;
-}
-
-unsigned OptLog::count(const std::string &Rule) const {
-  unsigned N = 0;
-  for (const OptLogEntry &E : Entries)
-    if (E.Rule == Rule)
-      ++N;
-  return N;
-}
+S1_STAT(NumRewrites, "opt.metaeval.rewrites", "source-level rewrites applied");
+S1_STAT(NumFolded, "opt.fold.folded", "calls evaluated at compile time");
+S1_STAT(NumPasses, "opt.metaeval.passes", "meta-evaluator fixpoint passes");
+S1_STAT(NumFunctions, "opt.metaeval.functions", "functions meta-evaluated");
 
 namespace {
 
@@ -138,12 +122,13 @@ bool isFirstEvaluated(Node *Root, const Node *Target) {
 
 class MetaEvaluator {
 public:
-  MetaEvaluator(Function &F, const OptOptions &Opts, OptLog *Log)
+  MetaEvaluator(Function &F, const OptOptions &Opts, stats::RemarkStream *Log)
       : F(F), Opts(Opts), Log(Log) {}
 
   unsigned run() {
     unsigned Total = 0;
     for (unsigned Pass = 0; Pass < Opts.MaxPasses; ++Pass) {
+      ++NumPasses;
       Changed = false;
       recomputeVariableRefs(F);
       Node *NewBody = rewrite(F.Root->Body);
@@ -172,14 +157,22 @@ public:
 private:
   Function &F;
   const OptOptions &Opts;
-  OptLog *Log;
+  stats::RemarkStream *Log;
   bool Changed = false;
   unsigned PassRewrites = 0;
 
   void log(const char *Rule, const std::string &Before, const std::string &After,
            std::string Detail = "") {
-    if (Log)
-      Log->Entries.push_back({Rule, Before, After, std::move(Detail)});
+    if (!Log)
+      return;
+    stats::Remark R;
+    R.Phase = "opt.metaeval";
+    R.Rule = Rule;
+    R.Function = F.name();
+    R.Before = Before;
+    R.After = After;
+    R.Detail = std::move(Detail);
+    Log->remark(std::move(R));
   }
 
   std::string render(Node *N) { return backTranslateToString(F, N); }
@@ -383,6 +376,7 @@ private:
     auto R = foldPrim(*P, Args, F.dataHeap(), F.symbols());
     if (!R)
       return nullptr;
+    ++NumFolded;
     return F.makeLiteral(*R);
   }
 
@@ -667,9 +661,13 @@ private:
 
 } // namespace
 
-unsigned opt::metaEvaluate(Function &F, const OptOptions &Opts, OptLog *Log) {
-  MetaEvaluator M(F, Opts, Log);
+unsigned opt::metaEvaluate(Function &F, const OptOptions &Opts,
+                           stats::RemarkStream *Remarks) {
+  stats::PhaseTimer Timer("opt.metaeval");
+  ++NumFunctions;
+  MetaEvaluator M(F, Opts, Remarks);
   unsigned N = M.run();
+  NumRewrites += N;
   DiagEngine Diags;
   [[maybe_unused]] bool Clean = verify(F, Diags);
   assert(Clean && "optimizer broke tree invariants");

@@ -21,9 +21,7 @@
 #define S1LISP_OPT_METAEVAL_H
 
 #include "ir/Ir.h"
-
-#include <string>
-#include <vector>
+#include "stats/Remark.h"
 
 namespace s1lisp {
 namespace opt {
@@ -44,31 +42,13 @@ struct OptOptions {
   unsigned MaxPasses = 100;
 };
 
-/// One recorded rewrite.
-struct OptLogEntry {
-  std::string Rule;
-  std::string Before;
-  std::string After;
-  std::string Detail; ///< e.g. "2 substitutions for the variable q"
-};
-
-/// The optimizer transcript.
-class OptLog {
-public:
-  std::vector<OptLogEntry> Entries;
-
-  /// Renders the transcript in the paper's ";**** courtesy of" style.
-  std::string str() const;
-
-  /// Number of applications of the named rule.
-  unsigned count(const std::string &Rule) const;
-};
-
 /// Runs the source-level optimizer to a fixpoint (bounded by MaxPasses).
 /// Returns the number of rewrites applied. The tree is left analyzed,
-/// verified, and back-translatable.
+/// verified, and back-translatable. When \p Remarks is given, every
+/// rewrite is recorded as a structured stats::Remark (rendered in the
+/// paper's ";**** courtesy of" style by RemarkStream::str()).
 unsigned metaEvaluate(ir::Function &F, const OptOptions &Opts = {},
-                      OptLog *Log = nullptr);
+                      stats::RemarkStream *Remarks = nullptr);
 
 } // namespace opt
 } // namespace s1lisp

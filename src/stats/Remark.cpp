@@ -1,0 +1,220 @@
+//===- stats/Remark.cpp ---------------------------------------------------===//
+
+#include "stats/Remark.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace s1lisp;
+using namespace s1lisp::stats;
+
+std::string RemarkStream::str() const {
+  std::string Out;
+  for (const Remark &R : Remarks) {
+    if (!R.Detail.empty()) {
+      Out += ";**** " + R.Detail + "\n";
+    } else {
+      Out += ";**** Optimizing this form: " + R.Before + "\n";
+      Out += ";**** to be this form: " + R.After + "\n";
+    }
+    Out += ";**** courtesy of " + R.Rule + "\n";
+  }
+  return Out;
+}
+
+unsigned RemarkStream::count(const std::string &Rule) const {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    if (R.Rule == Rule)
+      ++N;
+  return N;
+}
+
+std::string stats::jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+std::string RemarkStream::json() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const Remark &R : Remarks) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"phase\": " + jsonQuote(R.Phase) +
+           ", \"rule\": " + jsonQuote(R.Rule) +
+           ", \"function\": " + jsonQuote(R.Function) +
+           ", \"before\": " + jsonQuote(R.Before) +
+           ", \"after\": " + jsonQuote(R.After) +
+           ", \"detail\": " + jsonQuote(R.Detail) + "}";
+  }
+  Out += First ? "]" : "\n]";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Minimal parser for the subset of JSON the emitters above produce.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Parser {
+  const std::string &S;
+  size_t P = 0;
+
+  void skipWs() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+  bool parseString(std::string &Out) {
+    skipWs();
+    if (P >= S.size() || S[P] != '"')
+      return false;
+    ++P;
+    Out.clear();
+    while (P < S.size() && S[P] != '"') {
+      char C = S[P++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (P >= S.size())
+        return false;
+      char E = S[P++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (P + 4 > S.size())
+          return false;
+        unsigned V = 0;
+        for (int J = 0; J < 4; ++J) {
+          char H = S[P++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V += H - '0';
+          else if (H >= 'a' && H <= 'f')
+            V += H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            V += H - 'A' + 10;
+          else
+            return false;
+        }
+        // The emitter only escapes control characters this way.
+        if (V > 0x7f)
+          return false;
+        Out += static_cast<char>(V);
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    if (P >= S.size())
+      return false;
+    ++P; // closing quote
+    return true;
+  }
+};
+
+} // namespace
+
+bool stats::parseRemarksJson(const std::string &Json, std::vector<Remark> &Out) {
+  Out.clear();
+  Parser P{Json};
+  if (!P.eat('['))
+    return false;
+  P.skipWs();
+  if (P.eat(']')) {
+    P.skipWs();
+    return P.P == Json.size();
+  }
+  while (true) {
+    if (!P.eat('{'))
+      return false;
+    Remark R;
+    while (true) {
+      std::string Key, Val;
+      if (!P.parseString(Key) || !P.eat(':') || !P.parseString(Val))
+        return false;
+      if (Key == "phase")
+        R.Phase = Val;
+      else if (Key == "rule")
+        R.Rule = Val;
+      else if (Key == "function")
+        R.Function = Val;
+      else if (Key == "before")
+        R.Before = Val;
+      else if (Key == "after")
+        R.After = Val;
+      else if (Key == "detail")
+        R.Detail = Val;
+      else
+        return false;
+      if (P.eat('}'))
+        break;
+      if (!P.eat(','))
+        return false;
+    }
+    Out.push_back(std::move(R));
+    if (P.eat(']'))
+      break;
+    if (!P.eat(','))
+      return false;
+  }
+  P.skipWs();
+  return P.P == Json.size();
+}

@@ -1,0 +1,61 @@
+//===- stats/Remark.h - Structured optimization remarks ---------*- C++ -*-===//
+///
+/// \file
+/// Structured optimization remarks: every rewrite a phase performs is
+/// recorded with its rule name, enclosing function, and before/after
+/// renderings. The stream renders either as the paper's ";**** courtesy
+/// of" transcript (byte-identical to the old opt::OptLog output, which
+/// this class replaces) or as machine-readable JSON for `s1lispc
+/// --remarks=<file.json>` and downstream tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_STATS_REMARK_H
+#define S1LISP_STATS_REMARK_H
+
+#include <string>
+#include <vector>
+
+namespace s1lisp {
+namespace stats {
+
+/// One recorded rewrite.
+struct Remark {
+  std::string Phase;    ///< emitting phase, e.g. "opt.metaeval"
+  std::string Rule;     ///< e.g. "META-SUBSTITUTE"
+  std::string Function; ///< enclosing function name, when known
+  std::string Before;   ///< source rendering before the rewrite
+  std::string After;    ///< source rendering after the rewrite
+  std::string Detail;   ///< e.g. "2 substitutions for the variable q"
+
+  bool operator==(const Remark &O) const = default;
+};
+
+/// An append-only stream of remarks.
+class RemarkStream {
+public:
+  std::vector<Remark> Remarks;
+
+  void remark(Remark R) { Remarks.push_back(std::move(R)); }
+
+  /// Renders the transcript in the paper's ";**** courtesy of" style.
+  std::string str() const;
+
+  /// Number of remarks carrying the named rule.
+  unsigned count(const std::string &Rule) const;
+
+  /// The remarks as a JSON array of objects.
+  std::string json() const;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes the result).
+std::string jsonQuote(const std::string &S);
+
+/// Parses a JSON array previously produced by RemarkStream::json().
+/// Returns false (and leaves \p Out unspecified) on malformed input.
+bool parseRemarksJson(const std::string &Json, std::vector<Remark> &Out);
+
+} // namespace stats
+} // namespace s1lisp
+
+#endif // S1LISP_STATS_REMARK_H

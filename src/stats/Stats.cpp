@@ -1,0 +1,220 @@
+//===- stats/Stats.cpp ----------------------------------------------------===//
+
+#include "stats/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <map>
+
+using namespace s1lisp;
+using namespace s1lisp::stats;
+
+//===----------------------------------------------------------------------===//
+// Counter registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool StatsEnabled = false;
+
+std::vector<Statistic *> &registry() {
+  static std::vector<Statistic *> R;
+  return R;
+}
+
+std::string formatUnsigned(uint64_t V) { return std::to_string(V); }
+
+void appendJsonNumber(std::string &Out, double V) {
+  char Buf[64];
+  snprintf(Buf, sizeof(Buf), "%.9g", V);
+  Out += Buf;
+}
+
+} // namespace
+
+bool stats::enabled() { return StatsEnabled; }
+void stats::setEnabled(bool On) { StatsEnabled = On; }
+
+Statistic::Statistic(const char *Name, const char *Desc)
+    : Name(Name), Desc(Desc) {
+  registry().push_back(this);
+}
+
+Statistic::~Statistic() {
+  auto &R = registry();
+  R.erase(std::remove(R.begin(), R.end(), this), R.end());
+}
+
+std::vector<StatValue> stats::allStats(bool IncludeZeros) {
+  std::vector<StatValue> Out;
+  for (const Statistic *S : registry())
+    if (IncludeZeros || S->value() != 0)
+      Out.push_back({S->name(), S->desc(), S->value()});
+  std::sort(Out.begin(), Out.end(),
+            [](const StatValue &A, const StatValue &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+uint64_t stats::statValue(const std::string &Name) {
+  uint64_t Total = 0;
+  for (const Statistic *S : registry())
+    if (Name == S->name())
+      Total += S->value();
+  return Total;
+}
+
+void stats::resetStats() {
+  for (Statistic *S : registry())
+    S->reset();
+}
+
+std::string stats::reportStats() {
+  std::vector<StatValue> Values = allStats();
+  size_t ValueWidth = 0, NameWidth = 0;
+  for (const StatValue &V : Values) {
+    ValueWidth = std::max(ValueWidth, formatUnsigned(V.Value).size());
+    NameWidth = std::max(NameWidth, V.Name.size());
+  }
+  std::string Out;
+  Out += "===-------------------------------------------------------------===\n";
+  Out += "                        ... Statistics ...\n";
+  Out += "===-------------------------------------------------------------===\n";
+  for (const StatValue &V : Values) {
+    std::string Num = formatUnsigned(V.Value);
+    Out += std::string(ValueWidth - Num.size(), ' ') + Num + " " + V.Name +
+           std::string(NameWidth - V.Name.size(), ' ') + " - " + V.Desc + "\n";
+  }
+  return Out;
+}
+
+std::string stats::reportStatsJson(bool IncludeZeros) {
+  std::string Out = "{";
+  bool First = true;
+  for (const StatValue &V : allStats(IncludeZeros)) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"" + V.Name + "\": " + formatUnsigned(V.Value);
+  }
+  Out += First ? "}" : "\n}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase timing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool TimingEnabled = false;
+
+using WallClock = std::chrono::steady_clock;
+
+struct TimerFrame {
+  const char *Phase;
+  WallClock::time_point WallStart;
+  std::clock_t CpuStart;
+  double ChildWall = 0; ///< wall seconds consumed by nested phases
+};
+
+struct TimingState {
+  std::vector<TimerFrame> Stack;
+  /// Aggregation by phase name, in first-seen order.
+  std::map<std::string, PhaseTime> Records;
+};
+
+TimingState &timingState() {
+  static TimingState S;
+  return S;
+}
+
+} // namespace
+
+bool stats::timingEnabled() { return TimingEnabled; }
+void stats::setTimingEnabled(bool On) { TimingEnabled = On; }
+
+PhaseTimer::PhaseTimer(const char *Phase) : Active(TimingEnabled) {
+  if (!Active)
+    return;
+  timingState().Stack.push_back({Phase, WallClock::now(), std::clock(), 0});
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (!Active)
+    return;
+  TimingState &S = timingState();
+  assert(!S.Stack.empty() && "timer stack underflow");
+  TimerFrame F = S.Stack.back();
+  S.Stack.pop_back();
+  double Wall =
+      std::chrono::duration<double>(WallClock::now() - F.WallStart).count();
+  double Cpu =
+      static_cast<double>(std::clock() - F.CpuStart) / CLOCKS_PER_SEC;
+  PhaseTime &R = S.Records[F.Phase];
+  R.Name = F.Phase;
+  ++R.Invocations;
+  R.WallSeconds += Wall;
+  R.SelfWallSeconds += Wall - F.ChildWall;
+  R.CpuSeconds += Cpu;
+  if (!S.Stack.empty())
+    S.Stack.back().ChildWall += Wall;
+}
+
+std::vector<PhaseTime> stats::phaseTimes() {
+  std::vector<PhaseTime> Out;
+  for (const auto &[Name, R] : timingState().Records)
+    Out.push_back(R);
+  std::sort(Out.begin(), Out.end(), [](const PhaseTime &A, const PhaseTime &B) {
+    return A.WallSeconds > B.WallSeconds;
+  });
+  return Out;
+}
+
+void stats::resetPhaseTimes() { timingState().Records.clear(); }
+
+std::string stats::reportPhaseTimes() {
+  std::vector<PhaseTime> Times = phaseTimes();
+  double TotalWall = 0;
+  for (const PhaseTime &T : Times)
+    TotalWall += T.SelfWallSeconds;
+  std::string Out;
+  Out += "===-------------------------------------------------------------===\n";
+  Out += "                 ... Phase execution timing report ...\n";
+  Out += "===-------------------------------------------------------------===\n";
+  char Buf[160];
+  snprintf(Buf, sizeof(Buf), "  Total wall time: %.6f seconds\n\n", TotalWall);
+  Out += Buf;
+  Out += "   ---Wall Time---   ---Self Time---   --CPU Time--  -Runs-  Phase\n";
+  for (const PhaseTime &T : Times) {
+    double Pct = TotalWall > 0 ? 100.0 * T.SelfWallSeconds / TotalWall : 0;
+    snprintf(Buf, sizeof(Buf), "   %10.6f      %10.6f (%5.1f%%) %10.6f  %6llu  %s\n",
+             T.WallSeconds, T.SelfWallSeconds, Pct, T.CpuSeconds,
+             static_cast<unsigned long long>(T.Invocations), T.Name.c_str());
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string stats::reportPhaseTimesJson() {
+  std::string Out = "[";
+  bool First = true;
+  for (const PhaseTime &T : phaseTimes()) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"phase\": \"" + T.Name +
+           "\", \"invocations\": " + std::to_string(T.Invocations) +
+           ", \"wall\": ";
+    appendJsonNumber(Out, T.WallSeconds);
+    Out += ", \"self\": ";
+    appendJsonNumber(Out, T.SelfWallSeconds);
+    Out += ", \"cpu\": ";
+    appendJsonNumber(Out, T.CpuSeconds);
+    Out += "}";
+  }
+  Out += First ? "]" : "\n]";
+  return Out;
+}

@@ -1,0 +1,146 @@
+//===- stats/Stats.h - Compiler observability substrate ---------*- C++ -*-===//
+///
+/// \file
+/// LLVM-style self-registering named counters and nested phase timing.
+/// Every phase of the Table 1 pipeline (and the simulator) reports what it
+/// did through this registry, so the driver can render one coherent
+/// statistics report — the measurement substrate behind every number in
+/// EXPERIMENTS.md.
+///
+/// Counters are declared at namespace or function-local static scope:
+///
+///   S1_STAT(CseHoisted, "opt.cse.hoisted", "subexpressions abstracted");
+///   ...
+///   ++CseHoisted;
+///
+/// Counting is gated by a global enable flag (off by default) so the hot
+/// paths pay one predictable branch when observability is not requested.
+/// `Statistic` objects must outlive any registry report; give them static
+/// storage duration (they deregister on destruction, so the short-lived
+/// instances tests create are safe too).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_STATS_STATS_H
+#define S1LISP_STATS_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s1lisp {
+namespace stats {
+
+/// Master switch for counter collection. Off by default.
+bool enabled();
+void setEnabled(bool On);
+
+/// One named counter. Registers itself with the global registry on
+/// construction and deregisters on destruction.
+class Statistic {
+public:
+  Statistic(const char *Name, const char *Desc);
+  ~Statistic();
+  Statistic(const Statistic &) = delete;
+  Statistic &operator=(const Statistic &) = delete;
+
+  const char *name() const { return Name; }
+  const char *desc() const { return Desc; }
+  uint64_t value() const { return Value; }
+
+  Statistic &operator++() {
+    if (enabled())
+      ++Value;
+    return *this;
+  }
+  Statistic &operator+=(uint64_t N) {
+    if (enabled())
+      Value += N;
+    return *this;
+  }
+  /// Monotonic maximum (for high-water marks).
+  void updateMax(uint64_t N) {
+    if (enabled() && N > Value)
+      Value = N;
+  }
+  void reset() { Value = 0; }
+
+private:
+  const char *Name;
+  const char *Desc;
+  uint64_t Value = 0;
+};
+
+#define S1_STAT(VAR, NAME, DESC)                                               \
+  static ::s1lisp::stats::Statistic VAR(NAME, DESC)
+
+/// A point-in-time view of one counter.
+struct StatValue {
+  std::string Name;
+  std::string Desc;
+  uint64_t Value = 0;
+};
+
+/// All live counters, sorted by name. Zero-valued counters are included
+/// only when \p IncludeZeros is set.
+std::vector<StatValue> allStats(bool IncludeZeros = false);
+
+/// The counter's current value, or 0 when no such counter is live.
+uint64_t statValue(const std::string &Name);
+
+/// Zeroes every live counter.
+void resetStats();
+
+/// The LLVM `-stats`-style text report.
+std::string reportStats();
+
+/// The counters as one JSON object: {"opt.cse.hoisted": 3, ...}.
+std::string reportStatsJson(bool IncludeZeros = false);
+
+//===----------------------------------------------------------------------===//
+// Phase timing
+//===----------------------------------------------------------------------===//
+
+/// Master switch for phase timing. Off by default.
+bool timingEnabled();
+void setTimingEnabled(bool On);
+
+/// RAII wall/CPU timer for one dynamic phase execution. Scopes nest: time
+/// spent in an inner PhaseTimer is attributed to both the inner phase's
+/// total and subtracted from the enclosing phase's self time.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(const char *Phase);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  bool Active;
+};
+
+/// Accumulated timing for one phase name.
+struct PhaseTime {
+  std::string Name;
+  uint64_t Invocations = 0;
+  double WallSeconds = 0;     ///< total (inclusive of nested phases)
+  double SelfWallSeconds = 0; ///< exclusive of nested phases
+  double CpuSeconds = 0;
+};
+
+/// Accumulated records, sorted by descending wall time.
+std::vector<PhaseTime> phaseTimes();
+
+/// Forgets all timing records.
+void resetPhaseTimes();
+
+/// The `-time-passes`-style table.
+std::string reportPhaseTimes();
+
+/// Timing as a JSON array of {"phase","invocations","wall","self","cpu"}.
+std::string reportPhaseTimesJson();
+
+} // namespace stats
+} // namespace s1lisp
+
+#endif // S1LISP_STATS_STATS_H

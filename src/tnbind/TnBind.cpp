@@ -4,8 +4,16 @@
 
 #include "ir/Primitives.h"
 #include "s1/Isa.h"
+#include "stats/Stats.h"
 
 #include <algorithm>
+
+S1_STAT(NumUnits, "tnbind.units", "compilation units packed");
+S1_STAT(NumVarsInRegisters, "tnbind.vars.registers",
+        "variables packed into registers");
+S1_STAT(NumVarsInFrame, "tnbind.vars.frame",
+        "variables spilled to frame slots");
+S1_STAT(NumFrameSlots, "tnbind.frame.slots", "frame slots consumed by TNs");
 
 using namespace s1lisp;
 using namespace s1lisp::tnbind;
@@ -151,6 +159,8 @@ struct Linearizer {
 
 TnBindResult tnbind::allocateVariables(const LambdaNode *Unit,
                                        const TnBindOptions &Opts) {
+  stats::PhaseTimer Timer("tnbind");
+  ++NumUnits;
   Linearizer Lin;
   Lin.Root = Unit;
   Lin.walk(Unit);
@@ -210,5 +220,8 @@ TnBindResult tnbind::allocateVariables(const LambdaNode *Unit,
   for (uint8_t R = 0; R < s1::NumRegs; ++R)
     if (!RegUsers[R].empty())
       Result.RegistersUsed.push_back(R);
+  NumVarsInRegisters += Result.VarsInRegisters;
+  NumVarsInFrame += Result.VarsInFrame;
+  NumFrameSlots += Result.FrameSlots;
   return Result;
 }

@@ -4,9 +4,23 @@
 
 #include "sexpr/Numbers.h"
 #include "sexpr/Printer.h"
+#include "stats/Stats.h"
 
 #include <cmath>
 #include <cstring>
+
+S1_STAT(VmInstructions, "vm.instructions", "instructions retired");
+S1_STAT(VmMovs, "vm.movs", "MOV opcodes retired (the 6.1 metric)");
+S1_STAT(VmCalls, "vm.calls", "function calls executed");
+S1_STAT(VmTailCalls, "vm.tailcalls", "tail calls executed as jumps");
+S1_STAT(VmSyscalls, "vm.syscalls", "runtime (SQ routine) calls");
+S1_STAT(VmHeapObjects, "vm.heap.objects", "boxed objects allocated");
+S1_STAT(VmHeapWords, "vm.heap.words", "heap words allocated");
+S1_STAT(VmStackHighWater, "vm.stack.highwater", "max stack depth in words");
+S1_STAT(VmSpecialSearches, "vm.special.searches",
+        "deep-binding stack searches");
+S1_STAT(VmSpecialSearchSteps, "vm.special.searchsteps",
+        "bindings scanned during searches");
 
 using namespace s1lisp;
 using namespace s1lisp::vm;
@@ -193,8 +207,22 @@ void Machine::writeArrayF(uint64_t ArrayWord, size_t I, size_t J, double V) {
 // Execution
 //===----------------------------------------------------------------------===//
 
+void Machine::publishStats() const {
+  VmInstructions += Stats.Instructions;
+  VmMovs += Stats.Movs;
+  VmCalls += Stats.Calls;
+  VmTailCalls += Stats.TailCalls;
+  VmSyscalls += Stats.Syscalls;
+  VmHeapObjects += Stats.HeapObjects;
+  VmHeapWords += Stats.HeapWordsUsed;
+  VmStackHighWater.updateMax(Stats.StackHighWater);
+  VmSpecialSearches += Stats.SpecialSearches;
+  VmSpecialSearchSteps += Stats.SpecialSearchSteps;
+}
+
 Machine::RunResult Machine::call(const std::string &Name,
                                  const std::vector<Value> &Args) {
+  stats::PhaseTimer Timer("vm.run");
   RunResult R;
   int Idx = P.indexOf(Name);
   if (Idx < 0) {

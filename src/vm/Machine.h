@@ -91,6 +91,12 @@ public:
   MachineStats &stats() { return Stats; }
   void resetStats() { Stats = MachineStats(); }
 
+  /// Retires the execution counters into the global stats registry
+  /// (`vm.*` counters) so they appear alongside the per-phase compiler
+  /// statistics in `--stats` reports. Adds the current counter values;
+  /// callers normally publish once, after the runs they care about.
+  void publishStats() const;
+
   void setFuel(uint64_t F) { Fuel = F; }
   const std::string &output() const { return Out; }
   void clearOutput() { Out.clear(); }

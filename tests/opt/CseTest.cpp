@@ -97,11 +97,11 @@ TEST_F(CseTest, SemanticsPreserved) {
 TEST_F(CseTest, TranscriptEntry) {
   ir::Function *F =
       frontend::convertDefun(M, "(defun f (a b) (+ (* a b a) (* a b a)))");
-  OptLog Log;
+  stats::RemarkStream Log;
   eliminateCommonSubexpressions(*F, {}, &Log);
-  ASSERT_EQ(Log.Entries.size(), 1u);
-  EXPECT_EQ(Log.Entries[0].Rule, "META-INTRODUCE-COMMON-SUBEXPRESSION");
-  EXPECT_NE(Log.Entries[0].Detail.find("2 occurrences"), std::string::npos);
+  ASSERT_EQ(Log.Remarks.size(), 1u);
+  EXPECT_EQ(Log.Remarks[0].Rule, "META-INTRODUCE-COMMON-SUBEXPRESSION");
+  EXPECT_NE(Log.Remarks[0].Detail.find("2 occurrences"), std::string::npos);
 }
 
 } // namespace

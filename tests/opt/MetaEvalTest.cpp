@@ -10,6 +10,8 @@
 
 #include "opt/MetaEval.h"
 
+#include "stats/Remark.h"
+
 #include "frontend/Convert.h"
 #include "interp/Interp.h"
 #include "ir/BackTranslate.h"
@@ -30,7 +32,7 @@ protected:
 
   /// Converts a one-expression defun, optimizes, returns flat back-trans.
   std::string optimizeExpr(const std::string &Expr, OptOptions Opts = {},
-                           OptLog *Log = nullptr) {
+                           stats::RemarkStream *Log = nullptr) {
     static int Counter = 0;
     std::string Name = "opt-probe-" + std::to_string(Counter++);
     Function *F = frontend::convertDefun(
@@ -199,7 +201,7 @@ TEST_F(MetaEvalTest, IfOfLet) {
 TEST_F(MetaEvalTest, PaperBooleanShortCircuit) {
   // §5's centerpiece: (if (and a (or b c)) e1 e2) reduces to pure
   // conditional structure with the thunks f/g shared, not duplicated.
-  OptLog Log;
+  stats::RemarkStream Log;
   std::string Out = optimizeExpr("(if (and p (or q r)) (win) (lose))", {}, &Log);
   // The and/or and the nested ifs must be gone from test positions:
   // the result is a nest of ifs over p, q, r calling shared thunks.
@@ -218,7 +220,7 @@ TEST_F(MetaEvalTest, PaperBooleanShortCircuit) {
 }
 
 TEST_F(MetaEvalTest, TranscriptFormat) {
-  OptLog Log;
+  stats::RemarkStream Log;
   optimizeExpr("(+$f p q r)", {}, &Log);
   std::string T = Log.str();
   EXPECT_NE(T.find(";**** Optimizing this form: (+$f p q r)"), std::string::npos) << T;
@@ -237,7 +239,7 @@ TEST_F(MetaEvalTest, PaperTestfnPipeline) {
          "    (let ((q (sin$f e)))"
          "      (frotz d e (max$f d e))"
          "      q)))");
-  OptLog Log;
+  stats::RemarkStream Log;
   metaEvaluate(*F, {}, &Log);
   std::string Out = sexpr::toString(backTranslate(*F, F->Root->Body));
 

@@ -1,0 +1,292 @@
+//===- tools/s1lispc.cpp - The S1LISP command-line compiler driver --------===//
+//
+// Drives the whole Table 1 pipeline over real .lisp files: compile,
+// print listings, run on the S-1 simulator (or the interpreter, as the
+// semantic oracle), with every CompilerOptions ablation switch exposed
+// and the full observability surface — phase timing, the statistics
+// registry, and structured optimization remarks — on tap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "sexpr/Printer.h"
+#include "stats/Remark.h"
+#include "stats/Stats.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace s1lisp;
+
+namespace {
+
+const char *UsageText =
+    "usage: s1lispc [options] file.lisp...\n"
+    "\n"
+    "Compiles LISP source files with the S-1 pipeline (conversion ->\n"
+    "optimization -> annotation -> TNBIND -> code generation) and\n"
+    "optionally runs the result on the S-1/64 simulator.\n"
+    "\n"
+    "Execution:\n"
+    "  --run[=ENTRY]       compile, then call ENTRY (default \"main\") with\n"
+    "                      no arguments on the simulator\n"
+    "  --interp[=ENTRY]    evaluate ENTRY with the tree-walking interpreter\n"
+    "                      instead (the semantic oracle)\n"
+    "  --listing           print the generated assembly (Table 4 style)\n"
+    "\n"
+    "Optimization level:\n"
+    "  -O0                 disable the source-level optimizer\n"
+    "  -O2                 enable it (default)\n"
+    "  --cse               also run the 4.3 common-subexpression phase\n"
+    "\n"
+    "Per-phase ablations (mirror driver::CompilerOptions):\n"
+    "  --no-substitute --no-if-distribute --no-constant-fold\n"
+    "  --no-assoc-commut --no-identity-elim --no-redundant-test\n"
+    "  --no-machine-trig --no-dead-code --no-registers\n"
+    "  --no-register-temps --no-rep-analysis --no-pdl-numbers\n"
+    "  --no-special-cache --no-tail-calls\n"
+    "\n"
+    "Observability:\n"
+    "  --time-phases       print the per-phase timing report\n"
+    "  --stats[=json]      print the statistics registry (text or JSON)\n"
+    "  --remarks=FILE      write optimization remarks as JSON to FILE\n"
+    "                      (\"-\" writes to stdout)\n"
+    "  --transcript        print the paper-style ;**** rewrite transcript\n"
+    "\n"
+    "  --help              this text\n";
+
+struct CliOptions {
+  std::vector<std::string> Files;
+  driver::CompilerOptions Compiler;
+  bool Listing = false;
+  bool Run = false;
+  bool Interp = false;
+  std::string Entry = "main";
+  bool TimePhases = false;
+  bool Stats = false;
+  bool StatsJson = false;
+  std::string RemarksFile; ///< empty: none; "-": stdout
+  bool Transcript = false;
+};
+
+bool startsWith(const char *Arg, const char *Prefix) {
+  return std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0;
+}
+
+/// Parses argv; returns false (after printing a message) on bad usage.
+bool parseArgs(int Argc, char **Argv, CliOptions &O) {
+  struct BoolFlag {
+    const char *Name;
+    bool *Target;
+  };
+  const BoolFlag Ablations[] = {
+      {"--no-substitute", &O.Compiler.Opt.Substitute},
+      {"--no-if-distribute", &O.Compiler.Opt.IfDistribute},
+      {"--no-constant-fold", &O.Compiler.Opt.ConstantFold},
+      {"--no-assoc-commut", &O.Compiler.Opt.AssocCommut},
+      {"--no-identity-elim", &O.Compiler.Opt.IdentityElim},
+      {"--no-redundant-test", &O.Compiler.Opt.RedundantTest},
+      {"--no-machine-trig", &O.Compiler.Opt.MachineTrig},
+      {"--no-dead-code", &O.Compiler.Opt.DeadCode},
+      {"--no-registers", &O.Compiler.Codegen.TnBind.UseRegisters},
+      {"--no-register-temps", &O.Compiler.Codegen.RegisterTemps},
+      {"--no-rep-analysis", &O.Compiler.Codegen.Annotate.RepAnalysis},
+      {"--no-pdl-numbers", &O.Compiler.Codegen.Annotate.PdlNumbers},
+      {"--no-special-cache", &O.Compiler.Codegen.SpecialCache},
+      {"--no-tail-calls", &O.Compiler.Codegen.TailCalls},
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
+      fputs(UsageText, stdout);
+      std::exit(0);
+    } else if (std::strcmp(A, "--listing") == 0) {
+      O.Listing = true;
+    } else if (std::strcmp(A, "--run") == 0) {
+      O.Run = true;
+    } else if (startsWith(A, "--run=")) {
+      O.Run = true;
+      O.Entry = A + 6;
+    } else if (std::strcmp(A, "--interp") == 0) {
+      O.Interp = true;
+    } else if (startsWith(A, "--interp=")) {
+      O.Interp = true;
+      O.Entry = A + 9;
+    } else if (std::strcmp(A, "-O0") == 0) {
+      O.Compiler.Optimize = false;
+    } else if (std::strcmp(A, "-O2") == 0) {
+      O.Compiler.Optimize = true;
+    } else if (std::strcmp(A, "--cse") == 0) {
+      O.Compiler.Cse = true;
+    } else if (std::strcmp(A, "--time-phases") == 0) {
+      O.TimePhases = true;
+    } else if (std::strcmp(A, "--stats") == 0) {
+      O.Stats = true;
+    } else if (std::strcmp(A, "--stats=json") == 0) {
+      O.Stats = O.StatsJson = true;
+    } else if (startsWith(A, "--remarks=")) {
+      O.RemarksFile = A + 10;
+      if (O.RemarksFile.empty()) {
+        fprintf(stderr, "s1lispc: --remarks needs a file name (or -)\n");
+        return false;
+      }
+    } else if (std::strcmp(A, "--transcript") == 0) {
+      O.Transcript = true;
+    } else if (A[0] == '-' && A[1] != '\0') {
+      bool Matched = false;
+      for (const BoolFlag &F : Ablations)
+        if (std::strcmp(A, F.Name) == 0) {
+          *F.Target = false;
+          Matched = true;
+          break;
+        }
+      if (!Matched) {
+        fprintf(stderr, "s1lispc: unknown option '%s' (try --help)\n", A);
+        return false;
+      }
+    } else {
+      O.Files.push_back(A);
+    }
+  }
+  if (O.Files.empty()) {
+    fprintf(stderr, "s1lispc: no input files (try --help)\n");
+    return false;
+  }
+  if (O.Run && O.Interp) {
+    fprintf(stderr, "s1lispc: --run and --interp are mutually exclusive\n");
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool writeFileOrStdout(const std::string &Path, const std::string &Content) {
+  if (Path == "-") {
+    fputs(Content.c_str(), stdout);
+    if (!Content.empty() && Content.back() != '\n')
+      fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream OutF(Path, std::ios::binary | std::ios::trunc);
+  if (!OutF)
+    return false;
+  OutF << Content << '\n';
+  return OutF.good();
+}
+
+int runOnSimulator(ir::Module &M, const s1::Program &P, const CliOptions &O) {
+  vm::Machine VM(P, M.Syms, M.DataHeap);
+  if (P.indexOf(O.Entry) < 0) {
+    fprintf(stderr, "s1lispc: entry function '%s' is not defined", O.Entry.c_str());
+    fprintf(stderr, P.Functions.empty() ? "\n" : "; available:");
+    for (const s1::AsmFunction &F : P.Functions)
+      fprintf(stderr, " %s", F.Name.c_str());
+    if (!P.Functions.empty())
+      fputc('\n', stderr);
+    return 1;
+  }
+  auto R = VM.call(O.Entry, {});
+  if (O.Stats)
+    VM.publishStats();
+  if (!VM.output().empty())
+    fputs(VM.output().c_str(), stdout);
+  if (!R.Ok) {
+    fprintf(stderr, "s1lispc: runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  printf("=> %s\n", R.Result ? sexpr::toString(*R.Result).c_str()
+                             : "#<unprintable>");
+  return 0;
+}
+
+int runOnInterpreter(ir::Module &M, const CliOptions &O) {
+  if (!M.lookup(O.Entry)) {
+    fprintf(stderr, "s1lispc: entry function '%s' is not defined\n",
+            O.Entry.c_str());
+    return 1;
+  }
+  interp::Interpreter I(M);
+  auto R = I.call(O.Entry, {});
+  if (!I.output().empty())
+    fputs(I.output().c_str(), stdout);
+  if (!R.Ok) {
+    fprintf(stderr, "s1lispc: runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+  printf("=> %s\n", R.Value.str().c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+
+  stats::setEnabled(O.Stats);
+  stats::setTimingEnabled(O.TimePhases);
+
+  std::string Source;
+  for (const std::string &Path : O.Files) {
+    std::string Text;
+    if (!readFile(Path, Text)) {
+      fprintf(stderr, "s1lispc: cannot read '%s'\n", Path.c_str());
+      return 1;
+    }
+    Source += Text;
+    Source += '\n';
+  }
+
+  ir::Module M;
+  stats::RemarkStream Remarks;
+  bool WantRemarks = !O.RemarksFile.empty() || O.Transcript;
+  auto Out = driver::compileSource(M, Source, O.Compiler,
+                                   WantRemarks ? &Remarks : nullptr);
+  if (!Out.Ok) {
+    fprintf(stderr, "s1lispc: %s\n", Out.Error.c_str());
+    return 1;
+  }
+
+  if (O.Transcript)
+    fputs(Remarks.str().c_str(), stdout);
+  if (!O.RemarksFile.empty() &&
+      !writeFileOrStdout(O.RemarksFile, Remarks.json())) {
+    fprintf(stderr, "s1lispc: cannot write '%s'\n", O.RemarksFile.c_str());
+    return 1;
+  }
+  if (O.Listing)
+    fputs(driver::listing(Out.Program).c_str(), stdout);
+
+  int Status = 0;
+  if (O.Run)
+    Status = runOnSimulator(M, Out.Program, O);
+  else if (O.Interp)
+    Status = runOnInterpreter(M, O);
+
+  if (O.TimePhases)
+    fputs(stats::reportPhaseTimes().c_str(), stdout);
+  if (O.Stats)
+    fputs((O.StatsJson ? stats::reportStatsJson() : stats::reportStats()).c_str(),
+          stdout);
+  if (O.StatsJson)
+    fputc('\n', stdout);
+  return Status;
+}
