@@ -1,0 +1,52 @@
+//===- driver/Ablation.cpp ------------------------------------------------===//
+
+#include "driver/Ablation.h"
+
+using namespace s1lisp;
+using namespace s1lisp::driver;
+
+std::vector<AblationConfig> driver::ablationMatrix() {
+  std::vector<AblationConfig> Out;
+  auto Add = [&Out](const char *Name, auto &&Tweak) {
+    CompilerOptions O;
+    Tweak(O);
+    Out.push_back({Name, O});
+  };
+
+  Add("O2", [](CompilerOptions &) {});
+  Add("O0", [](CompilerOptions &O) { O.Optimize = false; });
+  Add("O2+cse", [](CompilerOptions &O) { O.Cse = true; });
+
+  Add("no-substitute", [](CompilerOptions &O) { O.Opt.Substitute = false; });
+  Add("no-if-distribute",
+      [](CompilerOptions &O) { O.Opt.IfDistribute = false; });
+  Add("no-constant-fold",
+      [](CompilerOptions &O) { O.Opt.ConstantFold = false; });
+  Add("no-assoc-commut", [](CompilerOptions &O) { O.Opt.AssocCommut = false; });
+  Add("no-identity-elim",
+      [](CompilerOptions &O) { O.Opt.IdentityElim = false; });
+  Add("no-redundant-test",
+      [](CompilerOptions &O) { O.Opt.RedundantTest = false; });
+  Add("no-machine-trig", [](CompilerOptions &O) { O.Opt.MachineTrig = false; });
+  Add("no-dead-code", [](CompilerOptions &O) { O.Opt.DeadCode = false; });
+
+  Add("no-registers",
+      [](CompilerOptions &O) { O.Codegen.TnBind.UseRegisters = false; });
+  Add("no-register-temps",
+      [](CompilerOptions &O) { O.Codegen.RegisterTemps = false; });
+  Add("no-rep-analysis",
+      [](CompilerOptions &O) { O.Codegen.Annotate.RepAnalysis = false; });
+  Add("no-pdl-numbers",
+      [](CompilerOptions &O) { O.Codegen.Annotate.PdlNumbers = false; });
+  Add("no-special-cache",
+      [](CompilerOptions &O) { O.Codegen.SpecialCache = false; });
+  Add("no-tail-calls", [](CompilerOptions &O) { O.Codegen.TailCalls = false; });
+  return Out;
+}
+
+std::optional<AblationConfig> driver::ablationByName(const std::string &Name) {
+  for (AblationConfig &C : ablationMatrix())
+    if (C.Name == Name)
+      return std::move(C);
+  return std::nullopt;
+}

@@ -1,0 +1,43 @@
+//===- driver/Ablation.h - Ablation-matrix enumeration ----------*- C++ -*-===//
+///
+/// \file
+/// One canonical enumeration of the compiler's ablation matrix: the
+/// baseline optimization levels plus every single-pass ablation of
+/// CompilerOptions, each under the stable name the CLI tools use
+/// (O0, O2, O2+cse, no-substitute, ...). The differential fuzzer runs
+/// every generated program through all of these; the benchmark harness
+/// and tests pick configurations from the same table so nobody grows a
+/// private, drifting copy of the switch list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_DRIVER_ABLATION_H
+#define S1LISP_DRIVER_ABLATION_H
+
+#include "driver/Compiler.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace s1lisp {
+namespace driver {
+
+/// One named point in the ablation matrix.
+struct AblationConfig {
+  std::string Name;
+  CompilerOptions Opts;
+};
+
+/// The full matrix: "O2" (everything on), "O0", "O2+cse", then one entry
+/// per single-pass ablation ("no-substitute", "no-tail-calls", ...), each
+/// of which is O2 with exactly that switch off. "O2" is always first.
+std::vector<AblationConfig> ablationMatrix();
+
+/// Looks a configuration up by its matrix name; nullopt when unknown.
+std::optional<AblationConfig> ablationByName(const std::string &Name);
+
+} // namespace driver
+} // namespace s1lisp
+
+#endif // S1LISP_DRIVER_ABLATION_H

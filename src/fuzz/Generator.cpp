@@ -1,0 +1,557 @@
+//===- fuzz/Generator.cpp -------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+using namespace s1lisp;
+using namespace s1lisp::fuzz;
+using sexpr::Value;
+
+bool fuzz::applyWeightOverride(GenWeights &W, std::string_view Spec) {
+  struct Field {
+    const char *Name;
+    unsigned GenWeights::*Member;
+  };
+  static const Field Fields[] = {
+      {"arith", &GenWeights::Arith},     {"if", &GenWeights::If},
+      {"let", &GenWeights::Let},         {"let*", &GenWeights::LetStar},
+      {"cond", &GenWeights::Cond},       {"case", &GenWeights::Case},
+      {"andor", &GenWeights::AndOr},     {"whenunless", &GenWeights::WhenUnless},
+      {"progn", &GenWeights::Progn},     {"setq", &GenWeights::Setq},
+      {"do", &GenWeights::Do},           {"listops", &GenWeights::ListOps},
+      {"float", &GenWeights::FloatArith},{"call", &GenWeights::Call},
+  };
+  while (!Spec.empty()) {
+    size_t Comma = Spec.find(',');
+    std::string_view Pair = Spec.substr(0, Comma);
+    Spec = Comma == std::string_view::npos ? std::string_view()
+                                           : Spec.substr(Comma + 1);
+    size_t Eq = Pair.find('=');
+    if (Eq == std::string_view::npos || Eq == 0 || Eq + 1 == Pair.size())
+      return false;
+    std::string_view Name = Pair.substr(0, Eq);
+    std::string_view Num = Pair.substr(Eq + 1);
+    unsigned V = 0;
+    for (char C : Num) {
+      if (C < '0' || C > '9')
+        return false;
+      V = V * 10 + static_cast<unsigned>(C - '0');
+    }
+    bool Found = false;
+    for (const Field &F : Fields)
+      if (Name == F.Name) {
+        W.*F.Member = V;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Static type a generated expression is steered toward. Most flows are
+/// type-correct; a few deliberately are not, so error paths get coverage.
+enum class Ty { Int, Float, List };
+
+struct ScopeVar {
+  std::string Name;
+  Ty T;
+  unsigned MinLen = 0; ///< for lists: how many elements are guaranteed
+};
+
+struct HelperSig {
+  std::string Name;
+  unsigned Required = 1;
+  unsigned Optionals = 0;
+  bool Rest = false;
+};
+
+class Gen {
+public:
+  Gen(uint32_t Seed, const GenOptions &O) : Rng(Seed), O(O) {}
+
+  GeneratedProgram run() {
+    GeneratedProgram P;
+    std::string Src;
+    for (unsigned H = 0; H < O.Helpers; ++H)
+      Src += helperDefun(H) + "\n\n";
+
+    // The entry function.
+    Scope = {{"a", Ty::Int}, {"b", Ty::Int}};
+    if (O.Floats)
+      Scope.push_back({"c", Ty::Float});
+    Budget = static_cast<int>(O.SizeBudget);
+    std::string Body = anyExpr(O.MaxDepth);
+    Src += "(defun " + P.Entry + " (a b" +
+           std::string(O.Floats ? " c" : "") + ")\n  " + Body + ")\n";
+
+    P.Source = std::move(Src);
+    static const int64_t As[] = {-5, 0, 1, 4, 2, -1};
+    static const int64_t Bs[] = {-2, 3, 7, -1, 2, 0};
+    static const double Cs[] = {0.5, -1.5, 2.25};
+    for (size_t I = 0; I < 6; ++I) {
+      std::vector<Value> Tuple{Value::fixnum(As[I]), Value::fixnum(Bs[I])};
+      if (O.Floats)
+        Tuple.push_back(Value::flonum(Cs[I % 3]));
+      P.ArgGrid.push_back(std::move(Tuple));
+    }
+    return P;
+  }
+
+private:
+  std::mt19937 Rng;
+  const GenOptions &O;
+  int Budget = 0;
+  unsigned NameCounter = 0;
+  std::vector<ScopeVar> Scope;
+  std::vector<HelperSig> Helpers; ///< helpers already emitted (callable)
+
+  int pick(int N) { return std::uniform_int_distribution<int>(0, N - 1)(Rng); }
+  bool chance(int Pct) { return pick(100) < Pct; }
+  std::string fresh(const char *Stem) {
+    return std::string(Stem) + std::to_string(NameCounter++);
+  }
+  bool spend() {
+    if (Budget <= 0)
+      return false;
+    --Budget;
+    return true;
+  }
+
+  /// Weighted choice over (weight, tag); -1 when all weights are zero.
+  int choose(const std::vector<std::pair<unsigned, int>> &C) {
+    unsigned Total = 0;
+    for (const auto &[W, Tag] : C)
+      Total += W;
+    if (Total == 0)
+      return -1;
+    unsigned R = std::uniform_int_distribution<unsigned>(0, Total - 1)(Rng);
+    for (const auto &[W, Tag] : C) {
+      if (R < W)
+        return Tag;
+      R -= W;
+    }
+    return C.back().second;
+  }
+
+  const ScopeVar *someVar(Ty T, unsigned MinLen = 0) {
+    std::vector<const ScopeVar *> Matches;
+    for (const ScopeVar &V : Scope)
+      if (V.T == T && (T != Ty::List || V.MinLen >= MinLen))
+        Matches.push_back(&V);
+    if (Matches.empty())
+      return nullptr;
+    return Matches[static_cast<size_t>(pick(static_cast<int>(Matches.size())))];
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Atoms
+  //===--------------------------------------------------------------------===//
+
+  std::string intAtom() {
+    if (const ScopeVar *V = chance(65) ? someVar(Ty::Int) : nullptr)
+      return V->Name;
+    static const int64_t Consts[] = {-3, -2, -1, 0, 1, 2, 3, 7};
+    return std::to_string(Consts[pick(8)]);
+  }
+
+  std::string floatAtom() {
+    if (const ScopeVar *V = chance(55) ? someVar(Ty::Float) : nullptr)
+      return V->Name;
+    // Binary-exact constants so folded and runtime arithmetic print alike
+    // down to the last digit on every engine.
+    static const char *Consts[] = {"0.5", "-1.5", "2.0", "0.25", "3.5", "-0.125"};
+    return Consts[pick(6)];
+  }
+
+  /// An atom of any numeric type — the deliberate wrong-type seed for
+  /// predicates like oddp, which only accept fixnums.
+  std::string numAtom() {
+    return (O.Floats && chance(30)) ? floatAtom() : intAtom();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression grammar
+  //===--------------------------------------------------------------------===//
+
+  std::string anyExpr(unsigned D) {
+    switch (choose({{6, 0}, {O.Floats ? 2u : 0u, 1}, {1, 2}, {1, 3}})) {
+    case 1:
+      return floatExpr(D);
+    case 2:
+      return listExpr(D, 0);
+    case 3:
+      return boolExpr(D);
+    default:
+      return intExpr(D);
+    }
+  }
+
+  std::string intExpr(unsigned D) {
+    if (D == 0 || !spend())
+      return intAtom();
+    const GenWeights &W = O.W;
+    int Tag = choose({{W.Arith, 0},
+                      {W.If, 1},
+                      {W.Let, 2},
+                      {W.LetStar, 3},
+                      {W.Cond, 4},
+                      {W.Case, 5},
+                      {W.Progn, 6},
+                      {W.Setq, 7},
+                      {W.Do, 8},
+                      {W.ListOps, 9},
+                      {Helpers.empty() ? 0u : W.Call, 10},
+                      {O.Floats ? W.FloatArith : 0u, 11}});
+    switch (Tag) {
+    default:
+      return arithExpr(D);
+    case 1:
+      return "(if " + boolExpr(D - 1) + " " + intExpr(D - 1) + " " +
+             intExpr(D - 1) + ")";
+    case 2:
+      return letExpr(D, /*Star=*/false);
+    case 3:
+      return letExpr(D, /*Star=*/true);
+    case 4:
+      return condExpr(D);
+    case 5:
+      return caseExpr(D);
+    case 6:
+      return "(progn " + statement(D - 1) + " " + intExpr(D - 1) + ")";
+    case 7:
+      return setqExpr(D);
+    case 8:
+      return doExpr(D);
+    case 9:
+      return pick(2) == 0 ? "(car " + listExpr(D - 1, 1) + ")"
+                          : "(length " + listExpr(D - 1, 0) + ")";
+    case 10:
+      return callExpr(D);
+    case 11:
+      // A float flowing back into an integer context through a generic
+      // comparison — cross-representation without changing the result type.
+      return "(if (< " + floatExpr(D - 1) + " " + intAtom() + ") " +
+             intExpr(D - 1) + " " + intExpr(D - 1) + ")";
+    }
+  }
+
+  std::string arithExpr(unsigned D) {
+    static const int64_t Divisors[] = {2, 3, 5, 7};
+    switch (pick(9)) {
+    case 0:
+      return "(+ " + intExpr(D - 1) + " " + intExpr(D - 1) + ")";
+    case 1:
+      return "(- " + intExpr(D - 1) + " " + intExpr(D - 1) + ")";
+    case 2:
+      return "(* " + intExpr(D - 1) + " " + intAtom() + ")";
+    case 3:
+      return "(1+ " + intExpr(D - 1) + ")";
+    case 4:
+      return "(1- " + intExpr(D - 1) + ")";
+    case 5:
+      return "(abs " + intExpr(D - 1) + ")";
+    case 6:
+      return "(mod " + intExpr(D - 1) + " " +
+             std::to_string(Divisors[pick(4)]) + ")";
+    case 7:
+      return "(floor " + intExpr(D - 1) + " " +
+             std::to_string(Divisors[pick(4)]) + ")";
+    default:
+      return std::string(pick(2) == 0 ? "(min " : "(max ") + intExpr(D - 1) +
+             " " + intExpr(D - 1) + ")";
+    }
+  }
+
+  std::string letExpr(unsigned D, bool Star) {
+    unsigned NBindings = Star ? 2 : 1 + static_cast<unsigned>(pick(2));
+    size_t Mark = Scope.size();
+    std::string Out = Star ? "(let* (" : "(let (";
+    std::vector<ScopeVar> Deferred; // plain let: inits must not see siblings
+    for (unsigned I = 0; I < NBindings; ++I) {
+      ScopeVar V{fresh("v"), Ty::Int, 0};
+      if (O.Floats && chance(20))
+        V.T = Ty::Float;
+      std::string Init = V.T == Ty::Float ? floatExpr(D - 1) : intExpr(D - 1);
+      Out += (I ? " (" : "(") + V.Name + " " + Init + ")";
+      if (Star)
+        Scope.push_back(V);
+      else
+        Deferred.push_back(V);
+    }
+    for (const ScopeVar &V : Deferred)
+      Scope.push_back(V);
+    Out += ") " + intExpr(D - 1) + ")";
+    Scope.resize(Mark);
+    return Out;
+  }
+
+  std::string condExpr(unsigned D) {
+    unsigned NClauses = 1 + static_cast<unsigned>(pick(2));
+    std::string Out = "(cond ";
+    for (unsigned I = 0; I < NClauses; ++I)
+      Out += "(" + boolExpr(D - 1) + " " + intExpr(D - 1) + ") ";
+    Out += "(t " + intExpr(D - 1) + "))";
+    return Out;
+  }
+
+  std::string caseExpr(unsigned D) {
+    std::string Out = "(case " + intExpr(D - 1) + " ((0 1) " + intExpr(D - 1) +
+                      ")";
+    if (chance(50))
+      Out += " (2 " + intExpr(D - 1) + ")";
+    if (chance(35))
+      Out += " ((-1 -2) " + intExpr(D - 1) + ")";
+    Out += " (t " + intExpr(D - 1) + "))";
+    return Out;
+  }
+
+  std::string setqExpr(unsigned D) {
+    const ScopeVar *V = someVar(Ty::Int);
+    if (!V)
+      return arithExpr(D);
+    // Copy the name: the recursion below may grow Scope and move it.
+    std::string Name = V->Name;
+    std::string Rest = intExpr(D - 1);
+    return "(progn (setq " + Name + " (+ " + Name + " " + intAtom() + ")) " +
+           Rest + ")";
+  }
+
+  std::string doExpr(unsigned D) {
+    std::string I = fresh("i"), Acc = fresh("acc");
+    std::string Init = intExpr(D - 1);
+    size_t Mark = Scope.size();
+    Scope.push_back({I, Ty::Int});
+    Scope.push_back({Acc, Ty::Int});
+    std::string Step = "(+ " + Acc + " " + (chance(60) ? I : intAtom()) + ")";
+    int Limit = 2 + pick(3);
+    std::string Body = chance(30) ? " " + statement(D - 1) : "";
+    Scope.resize(Mark);
+    return "(do ((" + I + " 0 (1+ " + I + ")) (" + Acc + " " + Init + " " +
+           Step + ")) ((= " + I + " " + std::to_string(Limit) + ") " + Acc +
+           ")" + Body + ")";
+  }
+
+  std::string callExpr(unsigned D) {
+    const HelperSig &H =
+        Helpers[static_cast<size_t>(pick(static_cast<int>(Helpers.size())))];
+    unsigned N = H.Required + static_cast<unsigned>(pick(static_cast<int>(H.Optionals) + 1));
+    if (H.Rest)
+      N += static_cast<unsigned>(pick(3));
+    std::string Out = "(" + H.Name;
+    for (unsigned A = 0; A < N; ++A)
+      Out += " " + (D > 1 && chance(50) ? intExpr(D - 1) : intAtom());
+    return Out + ")";
+  }
+
+  std::string boolExpr(unsigned D) {
+    if (D == 0 || !spend()) {
+      switch (pick(4)) {
+      case 0:
+        return "(oddp " + intAtom() + ")";
+      case 1:
+        return "(zerop " + intAtom() + ")";
+      case 2:
+        return "(minusp " + intAtom() + ")";
+      default:
+        return pick(2) == 0 ? "t" : "nil";
+      }
+    }
+    const GenWeights &W = O.W;
+    int Tag = choose({{W.Arith, 0},
+                      {W.AndOr, 1},
+                      {W.ListOps, 2},
+                      {O.Floats ? W.FloatArith : 0u, 3},
+                      {O.Floats ? 1u : 0u, 4}});
+    switch (Tag) {
+    default: {
+      static const char *Cmp[] = {"<", ">", "=", "<=", ">=", "/="};
+      if (chance(45))
+        return std::string("(") + Cmp[pick(6)] + " " + intExpr(D - 1) + " " +
+               intExpr(D - 1) + ")";
+      static const char *Pred[] = {"oddp", "evenp", "zerop", "plusp", "minusp"};
+      return std::string("(") + Pred[pick(5)] + " " + intExpr(D - 1) + ")";
+    }
+    case 1:
+      switch (pick(3)) {
+      case 0:
+        return "(and " + boolExpr(D - 1) + " " + boolExpr(D - 1) + ")";
+      case 1:
+        return "(or " + boolExpr(D - 1) + " " + boolExpr(D - 1) + ")";
+      default:
+        return "(not " + boolExpr(D - 1) + ")";
+      }
+    case 2:
+      return pick(2) == 0 ? "(consp " + listExpr(D - 1, 0) + ")"
+                          : "(null " + listExpr(D - 1, 0) + ")";
+    case 3: {
+      static const char *FCmp[] = {"<$f", ">$f", "<=$f", ">=$f", "=$f"};
+      return std::string("(") + FCmp[pick(5)] + " " + floatExpr(D - 1) + " " +
+             floatExpr(D - 1) + ")";
+    }
+    case 4:
+      // Deliberate wrong-type seed: oddp over an atom of either numeric
+      // type. The oracle checks both engines report the same error class.
+      return "(oddp " + numAtom() + ")";
+    }
+  }
+
+  std::string floatExpr(unsigned D) {
+    if (D == 0 || !spend())
+      return floatAtom();
+    switch (pick(8)) {
+    case 0:
+      return "(+$f " + floatExpr(D - 1) + " " + floatExpr(D - 1) + ")";
+    case 1:
+      return "(-$f " + floatExpr(D - 1) + " " + floatExpr(D - 1) + ")";
+    case 2:
+      return "(*$f " + floatExpr(D - 1) + " " + floatAtom() + ")";
+    case 3:
+      return std::string(pick(2) == 0 ? "(max$f " : "(min$f ") +
+             floatExpr(D - 1) + " " + floatExpr(D - 1) + ")";
+    case 4:
+      return pick(2) == 0 ? "(abs$f " + floatExpr(D - 1) + ")"
+                          : "(neg$f " + floatExpr(D - 1) + ")";
+    case 5:
+      return "(float " + intAtom() + ")";
+    case 6:
+      // Generic arithmetic over a fixnum/flonum mix (contagion to float).
+      return std::string(pick(2) == 0 ? "(+ " : "(* ") + intAtom() + " " +
+             floatExpr(D - 1) + ")";
+    default:
+      return "(if " + boolExpr(D - 1) + " " + floatExpr(D - 1) + " " +
+             floatAtom() + ")";
+    }
+  }
+
+  /// A list-typed expression with at least \p MinLen known elements.
+  std::string listExpr(unsigned D, unsigned MinLen) {
+    if (D == 0 || Budget <= 0) {
+      if (MinLen == 0 && chance(20))
+        return "nil";
+      std::string Out = "(list";
+      unsigned N = std::max(MinLen, 1 + static_cast<unsigned>(pick(2)));
+      for (unsigned I = 0; I < N; ++I)
+        Out += " " + intAtom();
+      return Out + ")";
+    }
+    if (MinLen == 0)
+      if (const ScopeVar *V = chance(25) ? someVar(Ty::List) : nullptr)
+        return V->Name;
+    spend();
+    switch (pick(4)) {
+    case 0: {
+      std::string Out = "(list";
+      unsigned N = std::max(MinLen, 1 + static_cast<unsigned>(pick(3)));
+      for (unsigned I = 0; I < N; ++I)
+        Out += " " + intExpr(D - 1);
+      return Out + ")";
+    }
+    case 1:
+      return "(cons " + intExpr(D - 1) + " " +
+             listExpr(D - 1, MinLen > 0 ? MinLen - 1 : 0) + ")";
+    case 2:
+      return "(reverse " + listExpr(D - 1, MinLen) + ")";
+    default:
+      return "(cdr " + listExpr(D - 1, MinLen + 1) + ")";
+    }
+  }
+
+  /// Statement position (progn/do bodies): value is discarded.
+  std::string statement(unsigned D) {
+    const GenWeights &W = O.W;
+    int Tag = choose({{W.WhenUnless, 0}, {W.Setq, 1}, {3, 2}});
+    switch (Tag) {
+    case 0:
+      return std::string(pick(2) == 0 ? "(when " : "(unless ") +
+             boolExpr(D - 1) + " " + intExpr(D - 1) + ")";
+    case 1: {
+      const ScopeVar *V = someVar(Ty::Int);
+      if (V) {
+        std::string Name = V->Name;
+        return "(setq " + Name + " (+ " + Name + " " + intAtom() + "))";
+      }
+      return intExpr(D - 1);
+    }
+    default:
+      return anyExpr(D - 1);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Helper defuns
+  //===--------------------------------------------------------------------===//
+
+  std::string helperDefun(unsigned Index) {
+    HelperSig Sig;
+    Sig.Name = "h" + std::to_string(Index);
+    Sig.Required = 1 + static_cast<unsigned>(pick(2));
+    Sig.Optionals = O.Optionals ? static_cast<unsigned>(pick(3)) : 0;
+    // The compiler does not accept &optional and &rest together, so a
+    // helper gets at most one of the two.
+    Sig.Rest = O.Rest && Sig.Optionals == 0 && chance(35);
+
+    Scope.clear();
+    std::string Header = "(defun " + Sig.Name + " (";
+    std::vector<std::string> Params;
+    for (unsigned I = 0; I < Sig.Required; ++I) {
+      std::string P = "p" + std::to_string(Index) + std::to_string(I);
+      Header += (I ? " " : "") + P;
+      Params.push_back(P);
+      Scope.push_back({P, Ty::Int});
+    }
+    if (Sig.Optionals) {
+      Header += " &optional";
+      for (unsigned I = 0; I < Sig.Optionals; ++I) {
+        std::string Q = "q" + std::to_string(Index) + std::to_string(I);
+        std::string Default;
+        switch (pick(3)) {
+        case 0:
+          Default = std::to_string(pick(5) - 2);
+          break;
+        case 1: // default referencing an earlier parameter
+          Default = Params[static_cast<size_t>(
+              pick(static_cast<int>(Params.size())))];
+          break;
+        default:
+          Default = "(+ " +
+                    Params[static_cast<size_t>(
+                        pick(static_cast<int>(Params.size())))] +
+                    " 1)";
+          break;
+        }
+        Header += " (" + Q + " " + Default + ")";
+        Params.push_back(Q);
+        Scope.push_back({Q, Ty::Int});
+      }
+    }
+    if (Sig.Rest) {
+      Header += " &rest r" + std::to_string(Index);
+      Scope.push_back({"r" + std::to_string(Index), Ty::List, 0});
+    }
+    Header += ")";
+
+    Budget = std::max(8, static_cast<int>(O.SizeBudget) / 3);
+    unsigned Depth = std::min(O.MaxDepth, 3u);
+    std::string Body = intExpr(Depth);
+    Helpers.push_back(Sig); // callable only by later functions
+    Scope.clear();
+    return Header + "\n  " + Body + ")";
+  }
+};
+
+} // namespace
+
+Generator::Generator(uint32_t Seed, GenOptions Opts)
+    : Opts(std::move(Opts)), Seed(Seed) {}
+
+GeneratedProgram Generator::generate() {
+  Gen G(Seed, Opts);
+  return G.run();
+}

@@ -1,0 +1,95 @@
+//===- fuzz/Generator.h - Grammar-aware random program generator -*- C++ -*-===//
+///
+/// \file
+/// A seeded generator of well-formed programs over the whole accepted
+/// source language: let/let*/cond/and/or/when/unless/progn/setq/do/case,
+/// lambda lists with &optional defaults and &rest, list primitives,
+/// fixnum/flonum mixes, and nested defun calls. Every program comes with
+/// an argument grid for the differential oracle (fuzz/Oracle.h).
+///
+/// Generation is type-directed (fixnum / flonum / boolean / list
+/// contexts) so most programs compute values rather than trip over type
+/// errors, but deliberate cross-type flows remain (car of a possibly
+/// empty list, generic arithmetic over mixes) so the error paths are
+/// exercised too — the oracle compares error outcomes, not just values.
+///
+/// A weights table scales each construct's share of the grammar so a
+/// soak run can stress one construct (s1lisp-fuzz --weights=do=20), and a
+/// size/depth budget bounds every program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_FUZZ_GENERATOR_H
+#define S1LISP_FUZZ_GENERATOR_H
+
+#include "sexpr/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s1lisp {
+namespace fuzz {
+
+/// Relative weights of the grammar's productions. Zero disables a
+/// construct entirely (the generated source will not contain it).
+struct GenWeights {
+  unsigned Arith = 8;      ///< + - * 1+ 1- abs mod floor min max
+  unsigned If = 4;
+  unsigned Let = 4;        ///< single- and two-binding let
+  unsigned LetStar = 2;
+  unsigned Cond = 2;
+  unsigned Case = 2;
+  unsigned AndOr = 3;      ///< and/or/not inside boolean contexts
+  unsigned WhenUnless = 2; ///< when/unless in statement positions
+  unsigned Progn = 2;
+  unsigned Setq = 2;
+  unsigned Do = 2;         ///< counted (do ...) accumulation loops
+  unsigned ListOps = 3;    ///< list/cons/reverse/car/cdr/length
+  unsigned FloatArith = 3; ///< $f operators and generic fixnum/flonum mixes
+  unsigned Call = 4;       ///< calls to the generated helper defuns
+};
+
+/// Per-name weight override, e.g. applyWeightOverride(W, "do=20").
+/// Accepts the lowercase field names: arith, if, let, let*, cond, case,
+/// andor, whenunless, progn, setq, do, listops, float, call.
+/// Returns false on an unknown name or malformed spec.
+bool applyWeightOverride(GenWeights &W, std::string_view Spec);
+
+struct GenOptions {
+  unsigned MaxDepth = 4;   ///< expression nesting budget
+  unsigned SizeBudget = 40;///< compound forms per program (approximate)
+  unsigned Helpers = 2;    ///< helper defuns the entry function may call
+  bool Floats = true;      ///< flonum subgrammar + one flonum entry param
+  bool Optionals = true;   ///< helpers may declare &optional parameters
+  bool Rest = true;        ///< helpers may declare &rest parameters
+  GenWeights W;
+};
+
+/// A generated program plus the argument grid the oracle runs it on.
+/// Grid values are immediates (fixnums/flonums), so no heap is needed.
+struct GeneratedProgram {
+  std::string Source;      ///< helper defuns followed by the entry defun
+  std::string Entry = "fut";
+  std::vector<std::vector<sexpr::Value>> ArgGrid;
+};
+
+/// One seeded generator instance. The same (seed, options) pair always
+/// produces the same program.
+class Generator {
+public:
+  explicit Generator(uint32_t Seed, GenOptions Opts = {});
+
+  GeneratedProgram generate();
+
+private:
+  struct Impl;
+  GenOptions Opts;
+  uint32_t Seed;
+};
+
+} // namespace fuzz
+} // namespace s1lisp
+
+#endif // S1LISP_FUZZ_GENERATOR_H

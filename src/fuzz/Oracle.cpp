@@ -1,0 +1,189 @@
+//===- fuzz/Oracle.cpp ----------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "sexpr/Printer.h"
+#include "stats/Stats.h"
+#include "vm/Machine.h"
+
+using namespace s1lisp;
+using namespace s1lisp::fuzz;
+using sexpr::Value;
+
+ErrorClass fuzz::classifyError(const std::string &Message) {
+  auto Has = [&](const char *Needle) {
+    return Message.find(Needle) != std::string::npos;
+  };
+  if (Has("stack overflow"))
+    return ErrorClass::Other;
+  if (Has("overflow"))
+    return ErrorClass::Overflow;
+  if (Has("wrong type"))
+    return ErrorClass::WrongType;
+  if (Has("wrong number of arguments"))
+    return ErrorClass::WrongArgCount;
+  if (Has("division by zero"))
+    return ErrorClass::DivisionByZero;
+  if (Has("fuel"))
+    return ErrorClass::Fuel;
+  if (Has("undefined function") || Has("not defined"))
+    return ErrorClass::Undefined;
+  if (Has("non-function"))
+    return ErrorClass::NotAFunction;
+  if (Has("unbound"))
+    return ErrorClass::Unbound;
+  return ErrorClass::Other;
+}
+
+Outcome Outcome::value(std::string Printed) {
+  Outcome O;
+  O.K = Kind::Value;
+  O.Text = std::move(Printed);
+  return O;
+}
+
+Outcome Outcome::error(std::string Message) {
+  Outcome O;
+  O.K = Kind::Error;
+  O.EC = classifyError(Message);
+  O.Text = std::move(Message);
+  return O;
+}
+
+Outcome Outcome::compileError(std::string Message) {
+  Outcome O;
+  O.K = Kind::CompileError;
+  O.EC = ErrorClass::Other;
+  O.Text = std::move(Message);
+  return O;
+}
+
+namespace {
+
+/// One interpreter run from a fresh evaluator (no state carries over
+/// between grid points, in particular after an error).
+Outcome interpRun(ir::Module &M, const std::string &Entry,
+                  const std::vector<Value> &Args, uint64_t Fuel) {
+  interp::Interpreter I(M);
+  I.setFuel(Fuel);
+  std::vector<interp::RtValue> RtArgs;
+  RtArgs.reserve(Args.size());
+  for (Value V : Args)
+    RtArgs.push_back(interp::RtValue::data(V));
+  interp::Interpreter::Result R = I.call(Entry, RtArgs);
+  if (!R.Ok)
+    return Outcome::error(R.Error);
+  return Outcome::value(R.Value.str());
+}
+
+/// One simulator run from a fresh machine (a trap leaves a machine in an
+/// undefined state, so each grid point gets its own address space).
+Outcome vmRun(const s1::Program &P, ir::Module &M, const std::string &Entry,
+              const std::vector<Value> &Args, uint64_t Fuel) {
+  vm::Machine VM(P, M.Syms, M.DataHeap);
+  VM.setFuel(Fuel);
+  vm::Machine::RunResult R = VM.call(Entry, Args);
+  if (!R.Ok)
+    return Outcome::error(R.Error);
+  return Outcome::value(R.Result ? sexpr::toString(*R.Result)
+                                 : "#<undecodable>");
+}
+
+/// The fixnum-width / fuel taint: either side overflowing (or running out
+/// of fuel) makes the grid point incomparable across engines.
+bool tainted(const Outcome &O) {
+  return O.EC == ErrorClass::Overflow || O.EC == ErrorClass::Fuel;
+}
+
+void compareOne(const Outcome &Ref, const Outcome &Act, bool Optimizes,
+                const std::string &Config, size_t ArgIndex,
+                const std::string &StatsJson, CheckResult &R) {
+  ++R.RowsCompared;
+  if (tainted(Ref) || tainted(Act)) {
+    ++R.ToleratedOverflows;
+    return;
+  }
+  if (Ref.K == Outcome::Kind::Error && Act.K == Outcome::Kind::Value &&
+      Optimizes) {
+    ++R.ToleratedElisions;
+    return;
+  }
+  bool Agree = false;
+  if (Ref.K == Outcome::Kind::Value && Act.K == Outcome::Kind::Value)
+    Agree = Ref.Text == Act.Text;
+  else if (Ref.K == Outcome::Kind::Error && Act.K == Outcome::Kind::Error)
+    Agree = Ref.EC == Act.EC;
+  if (!Agree)
+    R.Divergences.push_back({Config, ArgIndex, Ref, Act, StatsJson});
+}
+
+} // namespace
+
+CheckResult fuzz::checkProgram(const GeneratedProgram &P,
+                               const OracleOptions &O) {
+  CheckResult R;
+  std::vector<driver::AblationConfig> Matrix =
+      O.Configs.empty() ? driver::ablationMatrix() : O.Configs;
+
+  // The reference: the unoptimized interpreter over the converted tree.
+  ir::Module RefM;
+  DiagEngine Diags;
+  if (!frontend::convertSource(RefM, P.Source, Diags)) {
+    R.St = CheckResult::Status::ConvertError;
+    R.ConvertMessage = Diags.str();
+    return R;
+  }
+  std::vector<Outcome> Ref;
+  Ref.reserve(P.ArgGrid.size());
+  for (const std::vector<Value> &Args : P.ArgGrid)
+    Ref.push_back(interpRun(RefM, P.Entry, Args, O.InterpFuel));
+
+  // Counter collection is globally gated; deltas need it on.
+  bool PrevStatsEnabled = stats::enabled();
+  if (O.CaptureStats)
+    stats::setEnabled(true);
+
+  for (const driver::AblationConfig &Config : Matrix) {
+    ir::Module M;
+    stats::StatsSnapshot Before;
+    if (O.CaptureStats)
+      Before = stats::snapshotStats();
+    driver::CompileOutcome Out = driver::compileSource(M, P.Source, Config.Opts);
+    std::string StatsJson =
+        O.CaptureStats ? stats::reportStatsDeltaJson(Before) : std::string();
+    if (!Out.Ok) {
+      // The reference converted this program, so failing to compile it is
+      // itself a divergence, reported once against the first grid row.
+      R.Divergences.push_back({Config.Name, 0,
+                               Ref.empty() ? Outcome() : Ref.front(),
+                               Outcome::compileError(Out.Error), StatsJson});
+      continue;
+    }
+    bool Optimizes = Config.Opts.Optimize || Config.Opts.Cse;
+    for (size_t I = 0; I < P.ArgGrid.size(); ++I) {
+      Outcome Act = vmRun(Out.Program, M, P.Entry, P.ArgGrid[I], O.VmFuel);
+      compareOne(Ref[I], Act, Optimizes, Config.Name, I, StatsJson, R);
+    }
+  }
+  if (O.CaptureStats)
+    stats::setEnabled(PrevStatsEnabled);
+  R.St = R.Divergences.empty() ? CheckResult::Status::Agree
+                               : CheckResult::Status::Diverged;
+  return R;
+}
+
+std::vector<Divergence> fuzz::checkAgainstConfig(
+    const std::string &Source, const std::string &Entry,
+    const std::vector<std::vector<Value>> &Grid,
+    const driver::AblationConfig &Config, const OracleOptions &O) {
+  GeneratedProgram P;
+  P.Source = Source;
+  P.Entry = Entry;
+  P.ArgGrid = Grid;
+  OracleOptions Single = O;
+  Single.Configs = {Config};
+  // A candidate that no longer converts is simply not a failing candidate.
+  return checkProgram(P, Single).Divergences;
+}

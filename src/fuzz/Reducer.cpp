@@ -1,0 +1,308 @@
+//===- fuzz/Reducer.cpp ---------------------------------------------------===//
+
+#include "fuzz/Reducer.h"
+
+#include "sexpr/Printer.h"
+#include "sexpr/Reader.h"
+
+#include <fstream>
+
+using namespace s1lisp;
+using namespace s1lisp::fuzz;
+using sexpr::Value;
+
+namespace {
+
+/// Proper-list elements (a generated program has no dotted tails).
+std::vector<Value> elems(Value V) {
+  std::vector<Value> Out;
+  for (Value P = V; P.isCons(); P = P.cdr())
+    Out.push_back(P.car());
+  return Out;
+}
+
+Value buildList(const std::vector<Value> &E, sexpr::Heap &H) {
+  Value Out = Value::nil();
+  for (size_t I = E.size(); I > 0; --I)
+    Out = H.cons(E[I - 1], Out);
+  return Out;
+}
+
+/// Compound forms (list nodes) under \p V, counting \p V itself.
+unsigned countListNodes(Value V) {
+  if (!V.isCons())
+    return 0;
+  unsigned N = 1;
+  for (Value P = V; P.isCons(); P = P.cdr())
+    N += countListNodes(P.car());
+  return N;
+}
+
+Value getAt(Value Root, const std::vector<unsigned> &Path) {
+  for (unsigned I : Path)
+    Root = elems(Root)[I];
+  return Root;
+}
+
+Value replaceAt(Value Root, const std::vector<unsigned> &Path, size_t Pos,
+                Value Replacement, sexpr::Heap &H) {
+  if (Pos == Path.size())
+    return Replacement;
+  std::vector<Value> E = elems(Root);
+  E[Path[Pos]] = replaceAt(E[Path[Pos]], Path, Pos + 1, Replacement, H);
+  return buildList(E, H);
+}
+
+bool isDefunNamed(Value Root, const std::string &Name) {
+  if (!Root.isCons())
+    return false;
+  std::vector<Value> E = elems(Root);
+  return E.size() >= 2 && E[0].isSymbol() && E[0].symbol()->name() == "defun" &&
+         E[1].isSymbol() && E[1].symbol()->name() == Name;
+}
+
+/// Pre-order paths to every compound element under \p Node, recursing from
+/// element index \p StartIdx at the top level (2 skips a defun's operator
+/// and name, exposing the lambda list to deletion moves) and from 0 below.
+struct Site {
+  std::vector<unsigned> Path;
+  bool Compound; ///< atoms are deletion-only; compounds also get replaced
+};
+
+void collectSites(Value Node, std::vector<unsigned> &Path, unsigned StartIdx,
+                  std::vector<Site> &Out) {
+  std::vector<Value> E = elems(Node);
+  for (unsigned I = StartIdx; I < E.size(); ++I) {
+    Path.push_back(I);
+    Out.push_back({Path, E[I].isCons()});
+    if (E[I].isCons())
+      collectSites(E[I], Path, 0, Out);
+    Path.pop_back();
+  }
+}
+
+/// \p Root with the element at \p Path deleted from its parent list.
+Value deleteAt(Value Root, const std::vector<unsigned> &Path, size_t Pos,
+               sexpr::Heap &H) {
+  std::vector<Value> E = elems(Root);
+  if (Pos + 1 == Path.size()) {
+    E.erase(E.begin() + Path[Pos]);
+  } else {
+    E[Path[Pos]] = deleteAt(E[Path[Pos]], Path, Pos + 1, H);
+  }
+  return buildList(E, H);
+}
+
+struct Reduction {
+  sexpr::SymbolTable Syms;
+  sexpr::Heap H;
+  std::vector<Value> Roots;
+  std::string Entry;
+  std::vector<std::vector<Value>> Grid; ///< one tuple, immediates only
+  const driver::AblationConfig &Config;
+  OracleOptions Oracle;
+  unsigned MaxChecks;
+  unsigned Checks = 0;
+  std::vector<Divergence> LastDivs;
+  /// The failure class being reduced. A candidate only counts as "still
+  /// failing" when it diverges the same way (value mismatch stays a value
+  /// mismatch); otherwise shrinking drifts into unrelated compile errors.
+  Outcome::Kind WantRef = Outcome::Kind::Value;
+  Outcome::Kind WantAct = Outcome::Kind::Value;
+
+  Reduction(const driver::AblationConfig &Config) : Config(Config) {}
+
+  std::string render(const std::vector<Value> &Rs) const {
+    std::string Out;
+    for (Value R : Rs)
+      Out += sexpr::toString(R) + "\n";
+    return Out;
+  }
+
+  bool stillFails(const std::vector<Value> &Rs) {
+    if (Checks >= MaxChecks)
+      return false;
+    ++Checks;
+    std::vector<Divergence> Divs =
+        checkAgainstConfig(render(Rs), Entry, Grid, Config, Oracle);
+    for (Divergence &Dv : Divs) {
+      if (Dv.Reference.K != WantRef || Dv.Actual.K != WantAct)
+        continue;
+      LastDivs = {std::move(Dv)};
+      return true;
+    }
+    return false;
+  }
+
+  /// Greedily drops whole top-level forms the failure does not need.
+  void dropTopLevel() {
+    bool Changed = true;
+    while (Changed && Roots.size() > 1) {
+      Changed = false;
+      for (size_t I = 0; I < Roots.size(); ++I) {
+        if (isDefunNamed(Roots[I], Entry))
+          continue;
+        std::vector<Value> Candidate = Roots;
+        Candidate.erase(Candidate.begin() + static_cast<long>(I));
+        if (stillFails(Candidate)) {
+          Roots = std::move(Candidate);
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// One pass of subtree replacement; true when a candidate was accepted.
+  /// Every acceptance strictly shrinks the tree (a child is a proper
+  /// subtree; a constant is an atom), so the caller's loop terminates.
+  bool shrinkOnce() {
+    for (size_t Ri = 0; Ri < Roots.size(); ++Ri) {
+      Value Root = Roots[Ri];
+      bool IsDefun = Root.isCons() && !elems(Root).empty() &&
+                     elems(Root)[0].isSymbol() &&
+                     elems(Root)[0].symbol()->name() == "defun";
+      std::vector<Site> Sites;
+      std::vector<unsigned> Path;
+      collectSites(Root, Path, IsDefun ? 2 : 0, Sites);
+      for (const Site &S : Sites) {
+        // Deleting the element outright is the strongest shrink; it is
+        // what removes dead arguments, &optional binders, unused let
+        // bindings, and spare progn forms. Anything that breaks the
+        // program is vetoed by stillFails (a convert error never matches
+        // the failure class being reduced).
+        {
+          std::vector<Value> NewRoots = Roots;
+          NewRoots[Ri] = deleteAt(Root, S.Path, 0, H);
+          if (stillFails(NewRoots)) {
+            Roots = std::move(NewRoots);
+            return true;
+          }
+        }
+        if (S.Compound) {
+          Value Node = getAt(Root, S.Path);
+          std::vector<Value> Candidates{Value::fixnum(0), Value::nil()};
+          std::vector<Value> Children = elems(Node);
+          for (size_t C = 1; C < Children.size(); ++C)
+            Candidates.push_back(Children[C]);
+          for (Value Cand : Candidates) {
+            std::vector<Value> NewRoots = Roots;
+            NewRoots[Ri] = replaceAt(Root, S.Path, 0, Cand, H);
+            if (stillFails(NewRoots)) {
+              Roots = std::move(NewRoots);
+              return true;
+            }
+          }
+        }
+        if (Checks >= MaxChecks)
+          return false;
+      }
+    }
+    return false;
+  }
+};
+
+std::string describeOutcome(const Outcome &O) {
+  switch (O.K) {
+  case Outcome::Kind::Value:
+    return O.Text;
+  case Outcome::Kind::Error:
+    return "error: " + O.Text;
+  case Outcome::Kind::CompileError:
+    return "compile error: " + O.Text;
+  }
+  return O.Text;
+}
+
+} // namespace
+
+unsigned fuzz::countForms(const std::string &Source) {
+  sexpr::SymbolTable Syms;
+  sexpr::Heap H;
+  DiagEngine Diags;
+  unsigned N = 0;
+  for (Value V : sexpr::readAll(Syms, H, Source, Diags))
+    N += countListNodes(V);
+  return N;
+}
+
+std::optional<ReduceResult>
+fuzz::reduceDivergence(const GeneratedProgram &P, const Divergence &D,
+                       const driver::AblationConfig &Config,
+                       const ReduceOptions &O) {
+  Reduction Rd(Config);
+  Rd.Entry = P.Entry;
+  Rd.Oracle = O.Oracle;
+  Rd.MaxChecks = O.MaxChecks;
+  if (D.ArgIndex >= P.ArgGrid.size())
+    return std::nullopt;
+  Rd.Grid = {P.ArgGrid[D.ArgIndex]};
+  Rd.WantRef = D.Reference.K;
+  Rd.WantAct = D.Actual.K;
+
+  DiagEngine Diags;
+  Rd.Roots = sexpr::readAll(Rd.Syms, Rd.H, P.Source, Diags);
+  if (Diags.hasErrors() || Rd.Roots.empty())
+    return std::nullopt;
+  if (!Rd.stillFails(Rd.Roots))
+    return std::nullopt; // does not reproduce on the narrowed grid
+
+  Rd.dropTopLevel();
+  while (Rd.shrinkOnce())
+    ;
+
+  ReduceResult R;
+  std::string Pretty;
+  for (Value Root : Rd.Roots)
+    Pretty += sexpr::toPrettyString(Root) + "\n";
+  R.Source = std::move(Pretty);
+  R.Config = Config.Name;
+  R.Entry = P.Entry;
+  R.Args = Rd.Grid.front();
+  R.Final = Rd.LastDivs.front();
+  R.Forms = 0;
+  for (Value Root : Rd.Roots)
+    R.Forms += countListNodes(Root);
+  R.Checks = Rd.Checks;
+  return R;
+}
+
+bool fuzz::writeRepro(const std::string &Path, const ReduceResult &R,
+                      uint32_t Seed) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << ";; s1lisp-fuzz repro: minimal program diverging from the interpreter\n";
+  Out << ";; seed: " << Seed << "\n";
+  Out << ";; config: " << R.Config << "\n";
+  Out << ";; args:";
+  for (Value A : R.Args)
+    Out << " " << sexpr::toString(A);
+  Out << "\n";
+  Out << ";; reference (interpreter): " << describeOutcome(R.Final.Reference)
+      << "\n";
+  Out << ";; actual (" << R.Config << "): " << describeOutcome(R.Final.Actual)
+      << "\n";
+  if (!R.Final.StatsJson.empty()) {
+    Out << ";; compile stats delta:\n";
+    std::string Line;
+    for (char C : R.Final.StatsJson) {
+      if (C == '\n') {
+        Out << ";;   " << Line << "\n";
+        Line.clear();
+      } else {
+        Line += C;
+      }
+    }
+    if (!Line.empty())
+      Out << ";;   " << Line << "\n";
+  }
+  Out << "\n" << R.Source << "\n";
+  Out << ";; Replays the divergence: main calls the entry point on the\n";
+  Out << ";; failing arguments.\n";
+  Out << "(defun main ()\n  (" << R.Entry;
+  for (Value A : R.Args)
+    Out << " " << sexpr::toString(A);
+  Out << "))\n";
+  return static_cast<bool>(Out);
+}

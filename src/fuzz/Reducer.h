@@ -1,0 +1,68 @@
+//===- fuzz/Reducer.h - Delta-debugging reducer -----------------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a diverging program to a minimal failing form. Reduction is
+/// hierarchical delta debugging over the s-expression tree: first drop
+/// whole top-level defuns the failure does not need, then repeatedly
+/// replace compound subexpressions with one of their own children or with
+/// a constant, keeping a candidate only when the single offending
+/// configuration still diverges from the interpreter on the single
+/// offending argument tuple. Every accepted step strictly shrinks the
+/// tree, so reduction terminates.
+///
+/// The result can be written as a runnable repro file: a commented header
+/// (seed, configuration, arguments, both outcomes, and the src/stats
+/// counter delta of the offending compile), the minimal source, and a
+/// (defun main ...) wrapper that calls the entry point on the failing
+/// arguments — so `s1lispc --run repro.lisp` replays the miscompile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_FUZZ_REDUCER_H
+#define S1LISP_FUZZ_REDUCER_H
+
+#include "fuzz/Oracle.h"
+
+#include <optional>
+#include <string>
+
+namespace s1lisp {
+namespace fuzz {
+
+struct ReduceOptions {
+  /// Cap on oracle evaluations; reduction stops (keeping the best
+  /// candidate so far) when the budget runs out.
+  unsigned MaxChecks = 2000;
+  OracleOptions Oracle;
+};
+
+struct ReduceResult {
+  std::string Source;              ///< minimal failing source
+  std::string Config;              ///< offending configuration name
+  std::string Entry;               ///< entry function name
+  std::vector<sexpr::Value> Args;  ///< the one failing argument tuple
+  Divergence Final;                ///< divergence of the minimal program
+  unsigned Forms = 0;              ///< countForms(Source)
+  unsigned Checks = 0;             ///< oracle evaluations spent
+};
+
+/// Number of compound forms (list nodes) in \p Source — the metric the
+/// acceptance bar "reduces to <= 10 forms" is stated in.
+unsigned countForms(const std::string &Source);
+
+/// Shrinks \p P against \p Config, starting from divergence \p D (one of
+/// checkProgram's results for that configuration). Returns nullopt when
+/// the divergence does not reproduce (e.g. it was environmental).
+std::optional<ReduceResult> reduceDivergence(const GeneratedProgram &P,
+                                             const Divergence &D,
+                                             const driver::AblationConfig &Config,
+                                             const ReduceOptions &O = {});
+
+/// Writes the runnable repro file described above. \p Seed is recorded in
+/// the header; pass 0 when unknown. Returns false on I/O failure.
+bool writeRepro(const std::string &Path, const ReduceResult &R, uint32_t Seed);
+
+} // namespace fuzz
+} // namespace s1lisp
+
+#endif // S1LISP_FUZZ_REDUCER_H

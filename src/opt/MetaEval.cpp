@@ -376,6 +376,8 @@ private:
     auto R = foldPrim(*P, Args, F.dataHeap(), F.symbols());
     if (!R)
       return nullptr;
+    if (Opts.FaultConstantFold && P->Op == Prim::Add && R->isFixnum())
+      R = Value::fixnum(R->fixnum() + 1);
     ++NumFolded;
     return F.makeLiteral(*R);
   }

@@ -40,6 +40,11 @@ struct OptOptions {
   /// reference sites (the paper's conservative duplication heuristics).
   unsigned DuplicationLimit = 4;
   unsigned MaxPasses = 100;
+  /// Test-only fault injection: folded constant fixnum additions come out
+  /// off by one. Exists so the differential fuzzer's delta-debugging
+  /// reducer has a real, deterministic miscompile to find and shrink;
+  /// never set it outside that harness.
+  bool FaultConstantFold = false;
 };
 
 /// Runs the source-level optimizer to a fixpoint (bounded by MaxPasses).

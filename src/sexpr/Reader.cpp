@@ -148,8 +148,15 @@ std::optional<Value> Reader::readDatum() {
   SourceLocation Loc = here();
   char C = peek();
   if (C == '(') {
+    if (Depth >= MaxNestingDepth) {
+      Diags.error(Loc, "expression nesting too deep");
+      return std::nullopt;
+    }
     advance();
-    return readList(Loc);
+    ++Depth;
+    auto L = readList(Loc);
+    --Depth;
+    return L;
   }
   if (C == ')') {
     Diags.error(Loc, "unmatched ')'");
@@ -157,8 +164,14 @@ std::optional<Value> Reader::readDatum() {
     return std::nullopt;
   }
   if (C == '\'') {
+    if (Depth >= MaxNestingDepth) {
+      Diags.error(Loc, "expression nesting too deep");
+      return std::nullopt;
+    }
     advance();
+    ++Depth;
     auto Quoted = readDatum();
+    --Depth;
     if (!Quoted)
       return std::nullopt;
     return H.cons(Value::symbol(Symbols.quote()), H.cons(*Quoted, Value::nil(), Loc), Loc);
@@ -249,6 +262,7 @@ std::optional<Value> Reader::readString(SourceLocation Open) {
 }
 
 Value Reader::readAtom() {
+  SourceLocation Loc = here();
   size_t Start = Pos;
   while (!atEnd() && !isDelimiter(peek()))
     advance();
@@ -269,8 +283,12 @@ Value Reader::readAtom() {
     errno = 0;
     long long Num = strtoll(S.substr(0, Slash).c_str(), nullptr, 10);
     long long Den = strtoll(S.substr(Slash + 1).c_str(), nullptr, 10);
-    if (errno == ERANGE || Den == 0)
-      break;
+    if (errno == ERANGE)
+      break; // Out-of-range components become symbols, like fixnums.
+    if (Den == 0) {
+      Diags.error(Loc, "ratio with zero denominator: " + S);
+      return Value::nil();
+    }
     return H.makeRatio(Num, Den);
   }
   case AtomClass::Flonum:

@@ -23,6 +23,11 @@ namespace sexpr {
 /// A recursive-descent reader over one source buffer.
 class Reader {
 public:
+  /// Nesting bound for lists/quotes. The reader recurses per level, so a
+  /// hostile "((((..." would otherwise exhaust the C++ stack; beyond this
+  /// depth it reports "expression nesting too deep" instead.
+  static constexpr unsigned MaxNestingDepth = 1000;
+
   Reader(SymbolTable &Symbols, Heap &H, std::string_view Source, DiagEngine &Diags)
       : Symbols(Symbols), H(H), Src(Source), Diags(Diags) {}
 
@@ -52,6 +57,7 @@ private:
   size_t Pos = 0;
   uint32_t Line = 1;
   uint32_t Column = 1;
+  unsigned Depth = 0; ///< current readDatum nesting, bounded by MaxNestingDepth
 };
 
 /// Convenience: reads all forms from \p Source.

@@ -90,6 +90,28 @@ std::string stats::reportStats() {
   return Out;
 }
 
+StatsSnapshot stats::snapshotStats() { return allStats(/*IncludeZeros=*/true); }
+
+std::string stats::reportStatsDeltaJson(const StatsSnapshot &Base) {
+  std::map<std::string, uint64_t> Before;
+  for (const StatValue &V : Base)
+    Before[V.Name] += V.Value;
+  std::string Out = "{";
+  bool First = true;
+  for (const StatValue &V : allStats(/*IncludeZeros=*/true)) {
+    auto It = Before.find(V.Name);
+    uint64_t Old = It == Before.end() ? 0 : It->second;
+    if (V.Value <= Old)
+      continue;
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"" + V.Name + "\": " + formatUnsigned(V.Value - Old);
+  }
+  Out += First ? "}" : "\n}";
+  return Out;
+}
+
 std::string stats::reportStatsJson(bool IncludeZeros) {
   std::string Out = "{";
   bool First = true;

@@ -91,6 +91,16 @@ uint64_t statValue(const std::string &Name);
 /// Zeroes every live counter.
 void resetStats();
 
+/// A point-in-time capture of every live counter (zeros included), for
+/// per-configuration deltas: capture, run one configuration, then render
+/// what that run alone contributed with reportStatsDeltaJson().
+using StatsSnapshot = std::vector<StatValue>;
+StatsSnapshot snapshotStats();
+
+/// Counter increments since \p Base as one JSON object. Counters absent
+/// from \p Base count from zero; zero deltas are omitted.
+std::string reportStatsDeltaJson(const StatsSnapshot &Base);
+
 /// The LLVM `-stats`-style text report.
 std::string reportStats();
 

@@ -52,8 +52,7 @@ uint64_t makeRetWord(int Func, int Pc) {
 Machine::Machine(const Program &P, sexpr::SymbolTable &Syms,
                  sexpr::Heap &DecodeHeap)
     : P(P), Syms(Syms), DecodeHeap(DecodeHeap) {
-  Memory.assign(MemoryWords, 0);
-  // Load the static image.
+  // Load the static image (the rest of the address space starts zeroed).
   for (size_t I = 0; I < P.Static.size(); ++I)
     Memory[StaticBase + I] = P.Static[I];
   SymbolAddr = P.SymbolAddr;
@@ -559,18 +558,21 @@ bool Machine::step(std::string &Error) {
       Regs[1] = mem(addrOf(Fn) + 1);
       Target = static_cast<int>(mem(addrOf(Fn)));
     }
-    // New args were computed at the stack top; the frame records how many
-    // arguments the current activation received (slot FP+1) and the
-    // caller's environment (slot FP+0).
-    uint64_t OldArgc = mem(Regs[FP] + 1);
-    uint64_t ArgBase = Regs[FP] - 2 - OldArgc;
-    uint64_t RetW = mem(Regs[FP] - 2);
+    // New args were computed at the stack top. The original caller pops
+    // exactly the arguments it pushed after the eventual return, so the
+    // return word must stay put at FP-2 no matter how many arguments this
+    // activation received: the K new arguments are placed right-justified
+    // against it. Codegen only emits a tail call when K is at most the
+    // current function's minimum arity, so they always fit inside the
+    // activation's own argument area (slot FP+1 holds the received count).
+    if (K > mem(Regs[FP] + 1))
+      return trap(Error, "tail call passes more arguments than the frame holds");
+    uint64_t ArgBase = Regs[FP] - 2 - K;
     uint64_t OldFp = mem(Regs[FP] - 1);
     Regs[ENV] = mem(Regs[FP] + 0);
     for (uint64_t J = 0; J < K; ++J)
       mem(ArgBase + J) = mem(Regs[SP] - K + J);
-    mem(ArgBase + K) = RetW;
-    Regs[SP] = ArgBase + K + 1;
+    Regs[SP] = Regs[FP] - 1;
     Regs[FP] = OldFp;
     Regs[RTA] = K;
     CurFunc = Target;

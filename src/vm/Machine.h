@@ -20,6 +20,8 @@
 #include "sexpr/Value.h"
 
 #include <array>
+#include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -40,6 +42,28 @@ constexpr uint64_t MemoryWords = HeapBase + HeapWords;
 inline bool isStackAddress(uint64_t Addr) {
   return Addr >= StackBase && Addr < StackBase + StackWords;
 }
+
+/// The simulated address space. calloc-backed rather than a zero-filled
+/// std::vector so that constructing a Machine costs pages-touched, not a
+/// ~50 MB memset — the differential fuzzer builds thousands of Machines
+/// per run and only ever touches a sliver of each address space.
+class AddressSpace {
+public:
+  explicit AddressSpace(size_t NWords)
+      : Mem(static_cast<uint64_t *>(std::calloc(NWords, sizeof(uint64_t)))),
+        NWords(Mem ? NWords : 0) {}
+
+  uint64_t &operator[](size_t I) { return Mem.get()[I]; }
+  const uint64_t &operator[](size_t I) const { return Mem.get()[I]; }
+  size_t size() const { return NWords; }
+
+private:
+  struct FreeDeleter {
+    void operator()(uint64_t *P) const { std::free(P); }
+  };
+  std::unique_ptr<uint64_t[], FreeDeleter> Mem;
+  size_t NWords;
+};
 
 /// Execution counters.
 struct MachineStats {
@@ -134,7 +158,7 @@ private:
   sexpr::SymbolTable &Syms;
   sexpr::Heap &DecodeHeap;
 
-  std::vector<uint64_t> Memory;
+  AddressSpace Memory{MemoryWords};
   std::array<uint64_t, s1::NumRegs> Regs{};
   int CurFunc = -1;
   int Pc = 0;

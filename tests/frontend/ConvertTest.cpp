@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Convert.h"
+#include "interp/Interp.h"
 #include "ir/BackTranslate.h"
 #include "sexpr/Printer.h"
 #include "sexpr/Reader.h"
@@ -260,6 +261,89 @@ TEST_F(ConvertTest, Errors) {
   EXPECT_TRUE(fails("(defun f (x) (car 1 2))")) << "prim arity checked";
   EXPECT_TRUE(fails("(not-defun f (x) x)"));
   EXPECT_TRUE(fails("(defun f (x) ((g) 1))")) << "computed callee needs funcall";
+}
+
+//===----------------------------------------------------------------------===//
+// Lambda-list edge cases: defaulting chains and &rest boundaries, checked
+// both structurally and behaviorally (through the interpreter, the
+// semantic oracle the fuzzer also trusts).
+//===----------------------------------------------------------------------===//
+
+TEST_F(ConvertTest, OptionalDefaultMayReferenceEarlierOptional) {
+  // Defaults evaluate left to right, each in a scope that already holds
+  // the parameters before it — including earlier &optional ones.
+  Function *F = defun("(defun t2 (a &optional (b (+ a 1)) (c (* b 2))) c)");
+  ASSERT_EQ(F->Root->Optionals.size(), 2u);
+  // c's default (* b 2) must bind to the optional parameter b itself.
+  auto *CDefault = cast<CallNode>(F->Root->Optionals[1].Default);
+  auto *BRef = cast<VarRefNode>(CDefault->Args[0]);
+  EXPECT_EQ(BRef->Var, F->Root->Optionals[0].Var);
+}
+
+TEST_F(ConvertTest, OptionalDefaultChainEvaluatesLeftToRight) {
+  ir::Module M2;
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M2, "(defun f (a &optional (b (+ a 1)) (c (* b 2))) (+ a (+ b c)))",
+      Diags))
+      << Diags.str();
+  interp::Interpreter I(M2);
+  auto run = [&](std::vector<int64_t> Args) {
+    std::vector<interp::RtValue> Rt;
+    for (int64_t V : Args)
+      Rt.push_back(interp::RtValue::data(sexpr::Value::fixnum(V)));
+    auto R = I.call("f", Rt);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Value.str();
+  };
+  EXPECT_EQ(run({10}), "43");        // b=11, c=22
+  EXPECT_EQ(run({10, 4}), "22");     // b=4 supplied, c=8 from the chain
+  EXPECT_EQ(run({10, 4, 100}), "114"); // everything supplied
+}
+
+TEST_F(ConvertTest, RestWithZeroExtrasIsEmptyList) {
+  ir::Module M2;
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M2, "(defun f (a &rest r) (if (null r) (quote empty) (length r)))",
+      Diags))
+      << Diags.str();
+  interp::Interpreter I(M2);
+  auto run = [&](std::vector<int64_t> Args) {
+    std::vector<interp::RtValue> Rt;
+    for (int64_t V : Args)
+      Rt.push_back(interp::RtValue::data(sexpr::Value::fixnum(V)));
+    auto R = I.call("f", Rt);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Value.str();
+  };
+  EXPECT_EQ(run({1}), "empty");
+  EXPECT_EQ(run({1, 2}), "1");
+  EXPECT_EQ(run({1, 2, 3, 4}), "3");
+}
+
+TEST_F(ConvertTest, UnsuppliedOptionalFallsBackPerCallSite) {
+  // The same function called at different arities re-evaluates only the
+  // defaults for the parameters actually missing at that call.
+  ir::Module M2;
+  DiagEngine Diags;
+  ASSERT_TRUE(frontend::convertSource(
+      M2,
+      "(defun pad (x &optional (y x) (z (+ x y))) (list x y z))\n"
+      "(defun use1 () (pad 2))\n"
+      "(defun use2 () (pad 2 5))\n"
+      "(defun use3 () (pad 2 5 9))",
+      Diags))
+      << Diags.str();
+  interp::Interpreter I(M2);
+  auto run = [&](const char *Fn) {
+    auto R = I.call(Fn, {});
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return R.Value.str();
+  };
+  EXPECT_EQ(run("use1"), "(2 2 4)");
+  EXPECT_EQ(run("use2"), "(2 5 7)");
+  EXPECT_EQ(run("use3"), "(2 5 9)");
 }
 
 TEST_F(ConvertTest, VerifierAcceptsAllConversions) {

@@ -302,6 +302,24 @@ TEST(CompiledProperties, TailCallsUseConstantStack) {
   EXPECT_GE(VM.stats().TailCalls, 50000u);
 }
 
+// Regression: a tail call passing fewer arguments than the activation
+// received (here h1 entered with 3 words thanks to a supplied &optional,
+// tail-calling 2-arg h0) must not shift the return word — the caller pops
+// exactly what it pushed, and a slid stack let the callee's argument
+// words bleed into the caller's frame locals. Found by the seeded fuzzer.
+TEST(CompiledProperties, TailCallFromWiderActivationKeepsStackDiscipline) {
+  const char *Src = "(defun h0 (x y) 0)\n"
+                    "(defun h1 (p q &optional (r 9)) (h0 -1 q))\n"
+                    "(defun fut (a b) (let ((v (h1 (h1 a a 3) 0))) b))\n"
+                    "(defun main () (fut 0 3))";
+  EXPECT_EQ(interpResult(Src, "main", {}), "3");
+  driver::CompilerOptions O2;
+  EXPECT_EQ(compiledResult(Src, "main", {}, O2), "3");
+  driver::CompilerOptions O0;
+  O0.Optimize = false;
+  EXPECT_EQ(compiledResult(Src, "main", {}, O0), "3");
+}
+
 TEST(CompiledProperties, NonTailRecursionOverflowsGracefully) {
   ir::Module M;
   auto Out = driver::compileSource(

@@ -1,150 +1,48 @@
 //===- tests/integration/RandomProgramTest.cpp ----------------------------===//
 //
-// Property-based differential testing: a seeded generator produces random
-// well-formed programs over fixnum arithmetic, lets, conditionals and
-// list primitives; each program must evaluate identically in the
-// interpreter, the unoptimized compiler, and the fully optimized compiler
-// across an argument grid. This is the harness that caught most optimizer
-// ordering bugs during development.
+// The original seeded random-program property test, now a thin wrapper
+// over the src/fuzz library: a restricted grammar (fixnum arithmetic only,
+// no helper defuns) checked interpreter-vs-compiled at O2 and O0. The
+// full-grammar, full-ablation-matrix tier lives in
+// tests/fuzz/DifferentialFuzzTest.cpp.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Compiler.h"
-#include "frontend/Convert.h"
-#include "interp/Interp.h"
-#include "sexpr/Printer.h"
-#include "vm/Machine.h"
+#include "driver/Ablation.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
 
-#include <gtest/gtest.h>
-
-#include <random>
+#include "gtest/gtest.h"
 
 using namespace s1lisp;
-using sexpr::Value;
 
 namespace {
 
-/// Generates a random expression over the in-scope variables. All
-/// generated operations are total over fixnums (no division), so the only
-/// possible runtime error is fixnum overflow — excluded by keeping
-/// constants and depth small.
-class Generator {
-public:
-  explicit Generator(uint32_t Seed) : Rng(Seed) {}
+class RandomProgram : public ::testing::TestWithParam<unsigned> {};
 
-  std::string program() {
-    Vars = {"a", "b"};
-    return "(defun fut (a b) " + expr(3) + ")";
-  }
+TEST_P(RandomProgram, CompiledMatchesInterpreter) {
+  fuzz::GenOptions GO;
+  GO.MaxDepth = 3;
+  GO.Helpers = 0;
+  GO.Floats = false;
 
-private:
-  std::mt19937 Rng;
-  std::vector<std::string> Vars;
+  fuzz::OracleOptions OO;
+  OO.Configs = {*driver::ablationByName("O2"), *driver::ablationByName("O0")};
 
-  int pick(int N) { return std::uniform_int_distribution<int>(0, N - 1)(Rng); }
-
-  std::string var() { return Vars[pick(static_cast<int>(Vars.size()))]; }
-
-  std::string atom() {
-    switch (pick(3)) {
-    case 0:
-      return std::to_string(pick(7) - 3);
-    default:
-      return var();
-    }
-  }
-
-  std::string boolExpr(int Depth) {
-    if (Depth == 0)
-      return "(oddp " + atom() + ")";
-    switch (pick(5)) {
-    case 0:
-      return "(< " + expr(Depth - 1) + " " + expr(Depth - 1) + ")";
-    case 1:
-      return "(= " + expr(Depth - 1) + " " + expr(Depth - 1) + ")";
-    case 2:
-      return "(and " + boolExpr(Depth - 1) + " " + boolExpr(Depth - 1) + ")";
-    case 3:
-      return "(or " + boolExpr(Depth - 1) + " " + boolExpr(Depth - 1) + ")";
-    default:
-      return "(zerop (mod " + expr(Depth - 1) + " 7))";
-    }
-  }
-
-  std::string expr(int Depth) {
-    if (Depth == 0)
-      return atom();
-    switch (pick(8)) {
-    case 0:
-      return "(+ " + expr(Depth - 1) + " " + expr(Depth - 1) + ")";
-    case 1:
-      return "(- " + expr(Depth - 1) + " " + expr(Depth - 1) + ")";
-    case 2:
-      return "(* " + expr(Depth - 1) + " " + atom() + ")";
-    case 3:
-      return "(if " + boolExpr(Depth - 1) + " " + expr(Depth - 1) + " " +
-             expr(Depth - 1) + ")";
-    case 4: {
-      // (let ((v <init>)) <body with v in scope>)
-      std::string V = "v" + std::to_string(Vars.size());
-      std::string Init = expr(Depth - 1);
-      Vars.push_back(V);
-      std::string Body = expr(Depth - 1);
-      Vars.pop_back();
-      return "(let ((" + V + " " + Init + ")) " + Body + ")";
-    }
-    case 5:
-      return "(max " + expr(Depth - 1) + " " + expr(Depth - 1) + ")";
-    case 6:
-      return "(min " + atom() + " " + expr(Depth - 1) + ")";
-    default:
-      return "(car (list " + expr(Depth - 1) + " " + atom() + "))";
-    }
-  }
-};
-
-std::string evalInterp(const std::string &Src, int64_t A, int64_t B) {
-  ir::Module M;
-  DiagEngine Diags;
-  if (!frontend::convertSource(M, Src, Diags))
-    return "CONVERT-ERROR";
-  interp::Interpreter I(M);
-  auto R = I.call("fut", {interp::RtValue::data(Value::fixnum(A)),
-                          interp::RtValue::data(Value::fixnum(B))});
-  return R.Ok ? R.Value.str() : "ERROR";
-}
-
-std::string evalCompiled(const std::string &Src, int64_t A, int64_t B,
-                         bool Optimize) {
-  ir::Module M;
-  driver::CompilerOptions Opts;
-  Opts.Optimize = Optimize;
-  auto Out = driver::compileSource(M, Src, Opts);
-  if (!Out.Ok)
-    return "COMPILE-ERROR: " + Out.Error;
-  vm::Machine VM(Out.Program, M.Syms, M.DataHeap);
-  auto R = VM.call("fut", {Value::fixnum(A), Value::fixnum(B)});
-  if (!R.Ok)
-    return "ERROR";
-  return R.Result ? sexpr::toString(*R.Result) : "#<undecodable>";
-}
-
-class RandomProgram : public ::testing::TestWithParam<uint32_t> {};
-
-TEST_P(RandomProgram, AllThreeImplementationsAgree) {
-  Generator G(GetParam());
-  std::string Src = G.program();
-  SCOPED_TRACE(Src);
-  for (int64_t A : {-5, 0, 1, 4}) {
-    for (int64_t B : {-2, 3}) {
-      std::string I = evalInterp(Src, A, B);
-      ASSERT_NE(I, "CONVERT-ERROR");
-      EXPECT_EQ(I, evalCompiled(Src, A, B, /*Optimize=*/false))
-          << "unoptimized, args " << A << "," << B;
-      EXPECT_EQ(I, evalCompiled(Src, A, B, /*Optimize=*/true))
-          << "optimized, args " << A << "," << B;
-    }
-  }
+  fuzz::Generator G(GetParam(), GO);
+  fuzz::GeneratedProgram P = G.generate();
+  fuzz::CheckResult R = fuzz::checkProgram(P, OO);
+  ASSERT_NE(R.St, fuzz::CheckResult::Status::ConvertError)
+      << R.ConvertMessage << "\n"
+      << P.Source;
+  EXPECT_EQ(R.St, fuzz::CheckResult::Status::Agree)
+      << (R.Divergences.empty()
+              ? std::string()
+              : R.Divergences.front().Config + ": " +
+                    R.Divergences.front().Reference.Text + " vs " +
+                    R.Divergences.front().Actual.Text)
+      << "\n"
+      << P.Source;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram, ::testing::Range(1u, 41u));

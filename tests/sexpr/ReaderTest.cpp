@@ -26,6 +26,15 @@ protected:
     auto V = R.read();
     return !V || Diags.hasErrors();
   }
+
+  /// Read expecting failure; return the diagnostic text so tests can pin
+  /// down WHICH error fired, not just that one did.
+  std::string readError(std::string_view Src) {
+    DiagEngine Diags;
+    Reader R(Syms, H, Src, Diags);
+    (void)R.read();
+    return Diags.str();
+  }
 };
 
 TEST_F(ReaderTest, Atoms) {
@@ -91,6 +100,57 @@ TEST_F(ReaderTest, Errors) {
   EXPECT_TRUE(failsToRead("(a . b c)"));
   EXPECT_TRUE(failsToRead("#| never closed"));
   EXPECT_TRUE(failsToRead(""));
+}
+
+TEST_F(ReaderTest, UnterminatedFormsNameTheConstruct) {
+  EXPECT_NE(readError("\"no closing quote").find("unterminated string literal"),
+            std::string::npos);
+  EXPECT_NE(readError("\"escape at eof\\").find("unterminated string literal"),
+            std::string::npos);
+  EXPECT_NE(readError("(a (b c)").find("unterminated list"),
+            std::string::npos);
+  EXPECT_NE(readError("(").find("unterminated list"), std::string::npos);
+}
+
+TEST_F(ReaderTest, DottedListMisuseDiagnosed) {
+  EXPECT_NE(readError("(. b)").find("dotted pair with no car"),
+            std::string::npos);
+  EXPECT_NE(readError("(a . b c)").find("expected ')' after dotted tail"),
+            std::string::npos);
+  EXPECT_NE(readError("(a . b . c)").find("expected ')' after dotted tail"),
+            std::string::npos);
+  // A dot INSIDE a symbol is not dotted-pair syntax.
+  EXPECT_EQ(read1("(a.b)").car().symbol()->name(), "a.b");
+}
+
+TEST_F(ReaderTest, MalformedRatioDiagnosed) {
+  EXPECT_NE(readError("1/0").find("ratio with zero denominator"),
+            std::string::npos);
+  EXPECT_NE(readError("(+ 1 3/0)").find("ratio with zero denominator"),
+            std::string::npos);
+  // Non-numeric slash tokens are ordinary symbols, not broken ratios.
+  EXPECT_EQ(read1("a/b").symbol()->name(), "a/b");
+}
+
+TEST_F(ReaderTest, DeepNestingIsBoundedNotCrashing) {
+  // One past the limit must produce a diagnostic rather than a stack
+  // overflow; the reader recursion depth is capped at MaxNestingDepth.
+  unsigned Deep = Reader::MaxNestingDepth + 1;
+  std::string Src(Deep, '(');
+  Src += "x";
+  Src.append(Deep, ')');
+  EXPECT_NE(readError(Src).find("expression nesting too deep"),
+            std::string::npos);
+
+  // Well inside the limit still reads fine.
+  std::string Ok(100, '(');
+  Ok += "x";
+  Ok.append(100, ')');
+  DiagEngine Diags;
+  Reader R(Syms, H, Ok, Diags);
+  auto V = R.read();
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(Diags.hasErrors());
 }
 
 TEST_F(ReaderTest, PaperQuadraticReads) {
