@@ -1,0 +1,136 @@
+//===- bench/bench_fuzz_throughput.cpp - Parallel oracle throughput -------===//
+//
+// Measures the differential-fuzz oracle end to end: seeded generation,
+// one reference interpretation, then a compile-and-run of the full
+// ablation matrix — serial versus fanned out over worker threads — and
+// reports simulator machines per second (each (config, grid point) pair
+// boots a fresh machine). On a single-core host the parallel row
+// degenerates to serial throughput plus scheduling overhead; the
+// interesting number there is still machines/sec, which CI tracks across
+// revisions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <thread>
+
+using namespace s1lisp;
+using namespace s1lisp::bench;
+
+namespace {
+
+constexpr uint32_t FirstSeed = 5000;
+constexpr unsigned Budget = 12;
+
+struct Sweep {
+  double Ns = 0;
+  uint64_t Rows = 0; ///< fresh machines booted (config x grid point)
+  unsigned Divergent = 0;
+};
+
+Sweep runSweep(unsigned Jobs, vm::Engine Eng) {
+  fuzz::OracleOptions O;
+  O.Jobs = Jobs;
+  O.Engine = Eng;
+  Sweep S;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Budget; ++I) {
+    fuzz::Generator G(FirstSeed + I, {});
+    fuzz::GeneratedProgram P = G.generate();
+    fuzz::CheckResult R = fuzz::checkProgram(P, O);
+    S.Rows += R.RowsCompared;
+    if (R.St == fuzz::CheckResult::Status::Diverged)
+      ++S.Divergent;
+  }
+  auto End = std::chrono::steady_clock::now();
+  S.Ns = std::chrono::duration<double, std::nano>(End - Start).count();
+  return S;
+}
+
+int printTable() {
+  unsigned Hw = std::max(1u, std::thread::hardware_concurrency());
+  tableHeader("Differential-fuzz oracle throughput (ablation-matrix sweep)");
+  printf("hardware threads: %u; %u seeded programs per sweep\n", Hw, Budget);
+  printf("%-22s %6s %10s %12s %14s\n", "sweep", "jobs", "rows",
+         "machines/s", "wall ms");
+  JsonReport Report("fuzz_throughput");
+  struct Row {
+    const char *Name;
+    unsigned Jobs;
+    vm::Engine Eng;
+  } Rows[] = {
+      {"serial/threaded", 1, vm::Engine::Threaded},
+      {"parallel/threaded", Hw, vm::Engine::Threaded},
+      {"serial/legacy", 1, vm::Engine::Legacy},
+  };
+  double SerialNs = 0, ParallelNs = 0;
+  bool Clean = true;
+  for (const Row &R : Rows) {
+    Sweep S = runSweep(R.Jobs, R.Eng);
+    Clean = Clean && S.Divergent == 0;
+    double PerSec = S.Rows / (S.Ns / 1e9);
+    printf("%-22s %6u %10" PRIu64 " %12.0f %14.1f%s\n", R.Name, R.Jobs, S.Rows,
+           PerSec, S.Ns / 1e6, S.Divergent ? "  DIVERGED" : "");
+    std::string Prefix = R.Name;
+    for (char &C : Prefix)
+      if (C == '/')
+        C = '_';
+    Report.add(Prefix + ".jobs", R.Jobs);
+    Report.add(Prefix + ".rows", S.Rows);
+    Report.add(Prefix + ".machines_per_sec", static_cast<uint64_t>(PerSec));
+    Report.add(Prefix + ".wall_ns", static_cast<uint64_t>(S.Ns));
+    Report.add(Prefix + ".divergent", S.Divergent);
+    if (R.Jobs == 1 && R.Eng == vm::Engine::Threaded)
+      SerialNs = S.Ns;
+    if (R.Jobs > 1)
+      ParallelNs = S.Ns;
+  }
+  if (ParallelNs > 0) {
+    double Scaling = SerialNs / ParallelNs;
+    printf("parallel scaling: %.2fx over serial at %u jobs\n", Scaling, Hw);
+    Report.add("scaling_x100", static_cast<uint64_t>(Scaling * 100));
+  }
+  Report.write();
+  if (!Clean) {
+    fprintf(stderr, "FATAL: sweep reported divergences\n");
+    return 1;
+  }
+  return 0;
+}
+
+void BM_OracleSerial(benchmark::State &State) {
+  fuzz::Generator G(FirstSeed, {});
+  fuzz::GeneratedProgram P = G.generate();
+  fuzz::OracleOptions O;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fuzz::checkProgram(P, O).RowsCompared);
+}
+BENCHMARK(BM_OracleSerial);
+
+void BM_OracleParallel(benchmark::State &State) {
+  fuzz::Generator G(FirstSeed, {});
+  fuzz::GeneratedProgram P = G.generate();
+  fuzz::OracleOptions O;
+  O.Jobs = std::max(1u, std::thread::hardware_concurrency());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fuzz::checkProgram(P, O).RowsCompared);
+}
+BENCHMARK(BM_OracleParallel);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Status = printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return Status;
+}

@@ -1,0 +1,191 @@
+//===- bench/bench_vm_dispatch.cpp - VM dispatch-engine wall clock --------===//
+//
+// Times the same compiled programs on both dispatch engines: the legacy
+// per-step switch over s1::Instruction and the pre-decoded threaded loop
+// (fused operand handlers behind a computed goto where available). The
+// engines must agree on every architectural counter — Instructions, Movs,
+// SpecialSearchSteps, the PerOpcode histogram — so the wall-clock delta is
+// pure dispatch cost, not a semantic change. A third timing row runs the
+// threaded engine with detailed per-opcode accounting off, measuring what
+// the disabled-stats hot loop costs relative to the instrumented one.
+//
+// Methodology (see EXPERIMENTS.md): per workload and engine, one warm-up
+// call, then the minimum of five timed calls; ns/instruction divides that
+// by the engine-reported retired-instruction count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdlib>
+
+using namespace s1lisp;
+using namespace s1lisp::bench;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  const char *Source;
+  const char *Entry;
+  std::vector<sexpr::Value> Args;
+};
+
+// Dispatch-bound kernels: a straight-line accumulation loop, call-heavy
+// double recursion, and TAK (branchy, deeply recursive, argument
+// shuffling) — together they exercise the MOV/ALU/branch/call handlers
+// that dominate compiled LISP execution.
+const Workload Workloads[] = {
+    {"loop",
+     "(defun kernel (n)"
+     "  (let ((s 0)) (dotimes (i n) (setq s (+ s i))) s))",
+     "kernel",
+     {fx(60000)}},
+    {"fib",
+     "(defun kernel (n)"
+     "  (if (< n 2) n (+ (kernel (- n 1)) (kernel (- n 2)))))",
+     "kernel",
+     {fx(22)}},
+    {"tak",
+     "(defun tak (x y z)"
+     "  (if (< y x)"
+     "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))"
+     "      z))",
+     "tak",
+     {fx(18), fx(12), fx(6)}},
+};
+
+struct Timed {
+  double BestNs = 0;
+  vm::MachineStats Stats;
+};
+
+/// One warm-up call, then the best of five timed calls on a fresh stats
+/// window (counters are per-window, timing is per-call).
+Timed timeEngine(const Workload &W, vm::Engine Eng, bool DetailedStats) {
+  Compiled P = compileOrDie(W.Source);
+  P.VM->setEngine(Eng);
+  P.VM->setDetailedStats(DetailedStats);
+  runOrDie(P, W.Entry, W.Args);
+  Timed T;
+  T.BestNs = 1e300;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    P.VM->resetStats();
+    auto Start = std::chrono::steady_clock::now();
+    runOrDie(P, W.Entry, W.Args);
+    auto End = std::chrono::steady_clock::now();
+    double Ns = std::chrono::duration<double, std::nano>(End - Start).count();
+    if (Ns < T.BestNs) {
+      T.BestNs = Ns;
+      T.Stats = P.VM->stats();
+    }
+  }
+  return T;
+}
+
+bool sameCounters(const vm::MachineStats &A, const vm::MachineStats &B) {
+  return A.Instructions == B.Instructions && A.Movs == B.Movs &&
+         A.Calls == B.Calls && A.TailCalls == B.TailCalls &&
+         A.Syscalls == B.Syscalls && A.HeapObjects == B.HeapObjects &&
+         A.HeapWordsUsed == B.HeapWordsUsed &&
+         A.StackHighWater == B.StackHighWater &&
+         A.SpecialSearches == B.SpecialSearches &&
+         A.SpecialSearchSteps == B.SpecialSearchSteps &&
+         A.PerOpcode == B.PerOpcode;
+}
+
+int printTable() {
+  tableHeader("VM dispatch: legacy switch vs pre-decoded threaded loop");
+  printf("%-8s %14s %14s %14s %9s %14s\n", "kernel", "instructions",
+         "legacy ns/i", "threaded ns/i", "speedup", "nostats ns/i");
+  JsonReport Report("vm_dispatch");
+  bool AllIdentical = true;
+  double LegacyTotal = 0, ThreadedTotal = 0, NoStatsTotal = 0;
+  uint64_t InsnTotal = 0;
+  for (const Workload &W : Workloads) {
+    Timed Legacy = timeEngine(W, vm::Engine::Legacy, /*DetailedStats=*/true);
+    Timed Threaded = timeEngine(W, vm::Engine::Threaded, /*DetailedStats=*/true);
+    Timed NoStats = timeEngine(W, vm::Engine::Threaded, /*DetailedStats=*/false);
+    bool Identical = sameCounters(Legacy.Stats, Threaded.Stats);
+    AllIdentical = AllIdentical && Identical;
+    // With detail off only the histogram and Movs go dark; everything
+    // architectural must still match the instrumented run.
+    AllIdentical = AllIdentical &&
+                   NoStats.Stats.Instructions == Threaded.Stats.Instructions &&
+                   NoStats.Stats.SpecialSearchSteps ==
+                       Threaded.Stats.SpecialSearchSteps;
+    uint64_t Insns = Legacy.Stats.Instructions;
+    printf("%-8s %14" PRIu64 " %14.2f %14.2f %8.2fx %14.2f%s\n", W.Name, Insns,
+           Legacy.BestNs / Insns, Threaded.BestNs / Insns,
+           Legacy.BestNs / Threaded.BestNs, NoStats.BestNs / Insns,
+           Identical ? "" : "  COUNTER MISMATCH");
+    Report.add(std::string(W.Name) + ".instructions", Insns);
+    Report.add(std::string(W.Name) + ".legacy_ns",
+               static_cast<uint64_t>(Legacy.BestNs));
+    Report.add(std::string(W.Name) + ".threaded_ns",
+               static_cast<uint64_t>(Threaded.BestNs));
+    Report.add(std::string(W.Name) + ".threaded_nostats_ns",
+               static_cast<uint64_t>(NoStats.BestNs));
+    Report.add(std::string(W.Name) + ".counters_identical", Identical);
+    LegacyTotal += Legacy.BestNs;
+    ThreadedTotal += Threaded.BestNs;
+    NoStatsTotal += NoStats.BestNs;
+    InsnTotal += Insns;
+  }
+  double Speedup = LegacyTotal / ThreadedTotal;
+  printf("overall: %.2fx threaded speedup over legacy "
+         "(%.2f -> %.2f ns/instruction; %.2f with stats detail off), "
+         "counters %s\n",
+         Speedup, LegacyTotal / InsnTotal, ThreadedTotal / InsnTotal,
+         NoStatsTotal / InsnTotal, AllIdentical ? "identical" : "DIVERGED");
+  Report.add("total.instructions", InsnTotal);
+  Report.add("total.legacy_ns", static_cast<uint64_t>(LegacyTotal));
+  Report.add("total.threaded_ns", static_cast<uint64_t>(ThreadedTotal));
+  Report.add("total.threaded_nostats_ns", static_cast<uint64_t>(NoStatsTotal));
+  Report.add("total.speedup_x100", static_cast<uint64_t>(Speedup * 100));
+  Report.add("total.counters_identical", AllIdentical);
+  Report.write();
+  if (!AllIdentical) {
+    fprintf(stderr, "FATAL: engines disagree on architectural counters\n");
+    return 1;
+  }
+  return 0;
+}
+
+void BM_LegacyDispatch(benchmark::State &State) {
+  Compiled P = compileOrDie(Workloads[0].Source);
+  P.VM->setEngine(vm::Engine::Legacy);
+  for (auto _ : State)
+    runOrDie(P, "kernel", {fx(50000)});
+}
+BENCHMARK(BM_LegacyDispatch);
+
+void BM_ThreadedDispatch(benchmark::State &State) {
+  Compiled P = compileOrDie(Workloads[0].Source);
+  P.VM->setEngine(vm::Engine::Threaded);
+  for (auto _ : State)
+    runOrDie(P, "kernel", {fx(50000)});
+}
+BENCHMARK(BM_ThreadedDispatch);
+
+void BM_ThreadedDispatchNoStats(benchmark::State &State) {
+  Compiled P = compileOrDie(Workloads[0].Source);
+  P.VM->setEngine(vm::Engine::Threaded);
+  P.VM->setDetailedStats(false);
+  for (auto _ : State)
+    runOrDie(P, "kernel", {fx(50000)});
+}
+BENCHMARK(BM_ThreadedDispatchNoStats);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  int Status = printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return Status;
+}

@@ -6,7 +6,10 @@
 #include "interp/Interp.h"
 #include "sexpr/Printer.h"
 #include "stats/Stats.h"
+#include "support/Parallel.h"
 #include "vm/Machine.h"
+
+#include <algorithm>
 
 using namespace s1lisp;
 using namespace s1lisp::fuzz;
@@ -79,11 +82,17 @@ Outcome interpRun(ir::Module &M, const std::string &Entry,
 }
 
 /// One simulator run from a fresh machine (a trap leaves a machine in an
-/// undefined state, so each grid point gets its own address space).
+/// undefined state, so each grid point gets its own address space). The
+/// pre-decoded program is shared across every machine built for the same
+/// compile, so the grid pays for decoding once.
 Outcome vmRun(const s1::Program &P, ir::Module &M, const std::string &Entry,
-              const std::vector<Value> &Args, uint64_t Fuel) {
+              const std::vector<Value> &Args, uint64_t Fuel, vm::Engine Eng,
+              const std::shared_ptr<const vm::DecodedProgram> &Decoded) {
   vm::Machine VM(P, M.Syms, M.DataHeap);
   VM.setFuel(Fuel);
+  VM.setEngine(Eng);
+  if (Decoded)
+    VM.setDecodedProgram(Decoded);
   vm::Machine::RunResult R = VM.call(Entry, Args);
   if (!R.Ok)
     return Outcome::error(R.Error);
@@ -140,12 +149,22 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
   for (const std::vector<Value> &Args : P.ArgGrid)
     Ref.push_back(interpRun(RefM, P.Entry, Args, O.InterpFuel));
 
-  // Counter collection is globally gated; deltas need it on.
+  // Counter collection is globally gated; deltas need it on. Capturing
+  // per-configuration deltas snapshots the one shared registry, so it
+  // forces the serial path regardless of the requested job count.
   bool PrevStatsEnabled = stats::enabled();
   if (O.CaptureStats)
     stats::setEnabled(true);
+  unsigned Jobs = O.CaptureStats ? 1 : std::max(1u, O.Jobs);
 
-  for (const driver::AblationConfig &Config : Matrix) {
+  // Every configuration is independent: it compiles its own module and
+  // runs the grid on its own machines, merging into a per-config result
+  // slot. Worker threads have stats/timing collection off (thread-local),
+  // so concurrent compiles never touch the registry.
+  std::vector<CheckResult> PerConfig(Matrix.size());
+  support::parallelFor(Matrix.size(), Jobs, [&](size_t C) {
+    const driver::AblationConfig &Config = Matrix[C];
+    CheckResult &CR = PerConfig[C];
     ir::Module M;
     stats::StatsSnapshot Before;
     if (O.CaptureStats)
@@ -156,16 +175,27 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
     if (!Out.Ok) {
       // The reference converted this program, so failing to compile it is
       // itself a divergence, reported once against the first grid row.
-      R.Divergences.push_back({Config.Name, 0,
-                               Ref.empty() ? Outcome() : Ref.front(),
-                               Outcome::compileError(Out.Error), StatsJson});
-      continue;
+      CR.Divergences.push_back({Config.Name, 0,
+                                Ref.empty() ? Outcome() : Ref.front(),
+                                Outcome::compileError(Out.Error), StatsJson});
+      return;
     }
+    std::shared_ptr<const vm::DecodedProgram> Decoded =
+        O.Engine == vm::Engine::Threaded ? vm::predecode(Out.Program) : nullptr;
     bool Optimizes = Config.Opts.Optimize || Config.Opts.Cse;
     for (size_t I = 0; I < P.ArgGrid.size(); ++I) {
-      Outcome Act = vmRun(Out.Program, M, P.Entry, P.ArgGrid[I], O.VmFuel);
-      compareOne(Ref[I], Act, Optimizes, Config.Name, I, StatsJson, R);
+      Outcome Act = vmRun(Out.Program, M, P.Entry, P.ArgGrid[I], O.VmFuel,
+                          O.Engine, Decoded);
+      compareOne(Ref[I], Act, Optimizes, Config.Name, I, StatsJson, CR);
     }
+  });
+  // Merge in matrix order so reports are deterministic under any schedule.
+  for (CheckResult &CR : PerConfig) {
+    R.RowsCompared += CR.RowsCompared;
+    R.ToleratedOverflows += CR.ToleratedOverflows;
+    R.ToleratedElisions += CR.ToleratedElisions;
+    for (Divergence &D : CR.Divergences)
+      R.Divergences.push_back(std::move(D));
   }
   if (O.CaptureStats)
     stats::setEnabled(PrevStatsEnabled);

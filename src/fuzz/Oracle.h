@@ -28,6 +28,7 @@
 
 #include "driver/Ablation.h"
 #include "fuzz/Generator.h"
+#include "vm/Machine.h"
 
 #include <cstdint>
 #include <string>
@@ -83,6 +84,13 @@ struct OracleOptions {
   /// Capture a src/stats counter delta per configuration compile, attached
   /// to any divergence against that configuration (and to repro files).
   bool CaptureStats = false;
+  /// Worker threads fanning out over the ablation matrix (each
+  /// configuration compiles and runs its grid independently); 1 = serial.
+  /// Forced serial when CaptureStats is set, because per-configuration
+  /// deltas are snapshots of the one shared counter registry.
+  unsigned Jobs = 1;
+  /// Simulator dispatch engine for the compiled side of the comparison.
+  vm::Engine Engine = vm::Engine::Threaded;
 };
 
 struct CheckResult {

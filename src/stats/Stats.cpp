@@ -18,7 +18,10 @@ using namespace s1lisp::stats;
 
 namespace {
 
-bool StatsEnabled = false;
+// Thread-local so that fuzzing worker threads (which leave collection at
+// its default: off) never race the owning thread's counters; the registry
+// itself is only mutated during static init/teardown.
+thread_local bool StatsEnabled = false;
 
 std::vector<Statistic *> &registry() {
   static std::vector<Statistic *> R;
@@ -131,7 +134,7 @@ std::string stats::reportStatsJson(bool IncludeZeros) {
 
 namespace {
 
-bool TimingEnabled = false;
+thread_local bool TimingEnabled = false;
 
 using WallClock = std::chrono::steady_clock;
 
@@ -149,7 +152,7 @@ struct TimingState {
 };
 
 TimingState &timingState() {
-  static TimingState S;
+  static thread_local TimingState S;
   return S;
 }
 

@@ -31,7 +31,10 @@
 namespace s1lisp {
 namespace stats {
 
-/// Master switch for counter collection. Off by default.
+/// Master switch for counter collection. Off by default, and per-thread:
+/// a worker thread that never calls setEnabled(true) cannot race the
+/// reporting thread's counters, which is what lets the parallel fuzzing
+/// oracle compile on many threads against one registry.
 bool enabled();
 void setEnabled(bool On);
 

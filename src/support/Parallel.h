@@ -1,0 +1,56 @@
+//===- support/Parallel.h - Minimal task fan-out ----------------*- C++ -*-===//
+///
+/// \file
+/// parallelFor: run N independent tasks on up to J threads. Deliberately
+/// tiny — an atomic work index over std::thread, no pool reuse, no
+/// futures — because the only callers (the fuzzing oracle, the throughput
+/// bench) fan out coarse tasks whose runtime dwarfs thread start-up.
+///
+/// Tasks must be independent and must not assume which thread runs them.
+/// Note that stats collection and phase timing are thread-local and
+/// default to off on new threads (stats/Stats.h), so spawned tasks do not
+/// contribute to the spawning thread's counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SUPPORT_PARALLEL_H
+#define S1LISP_SUPPORT_PARALLEL_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace s1lisp {
+namespace support {
+
+/// Invokes Fn(I) for every I in [0, NumTasks), on the calling thread when
+/// Jobs <= 1 (or there is at most one task), otherwise on min(Jobs,
+/// NumTasks) worker threads. Returns after every task has completed.
+/// Exceptions must not escape Fn.
+template <typename FnT>
+void parallelFor(size_t NumTasks, unsigned Jobs, FnT Fn) {
+  if (Jobs <= 1 || NumTasks <= 1) {
+    for (size_t I = 0; I < NumTasks; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < NumTasks; I = Next.fetch_add(1))
+      Fn(I);
+  };
+  size_t NThreads = std::min<size_t>(Jobs, NumTasks);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NThreads);
+  for (size_t T = 0; T < NThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+} // namespace support
+} // namespace s1lisp
+
+#endif // S1LISP_SUPPORT_PARALLEL_H

@@ -6,6 +6,7 @@
 #include "sexpr/Printer.h"
 #include "stats/Stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -21,6 +22,15 @@ S1_STAT(VmSpecialSearches, "vm.special.searches",
         "deep-binding stack searches");
 S1_STAT(VmSpecialSearchSteps, "vm.special.searchsteps",
         "bindings scanned during searches");
+
+// Computed-goto dispatch needs the GNU labels-as-values extension; fall
+// back to a dense switch elsewhere or when disabled via CMake.
+#if defined(S1LISP_THREADED_DISPATCH) && S1LISP_THREADED_DISPATCH && \
+    (defined(__GNUC__) || defined(__clang__))
+#define S1_COMPUTED_GOTO 1
+#else
+#define S1_COMPUTED_GOTO 0
+#endif
 
 using namespace s1lisp;
 using namespace s1lisp::vm;
@@ -42,12 +52,44 @@ uint64_t fromDouble(double D) {
 }
 
 /// Return-address words: ((func+1) << 32) | pc, stored raw. Zero is the
-/// "return to host" sentinel.
+/// "return to host" sentinel. The pc half is in the executing engine's
+/// units (original index / decoded index); an engine only ever consumes
+/// return words it pushed itself, since the engine is fixed per call().
 uint64_t makeRetWord(int Func, int Pc) {
   return (static_cast<uint64_t>(Func + 1) << 32) | static_cast<uint32_t>(Pc);
 }
 
+bool condHolds(Cond C, int64_t Sign) {
+  switch (C) {
+  case Cond::EQ:
+    return Sign == 0;
+  case Cond::NEQ:
+    return Sign != 0;
+  case Cond::LT:
+    return Sign < 0;
+  case Cond::GT:
+    return Sign > 0;
+  case Cond::LE:
+    return Sign <= 0;
+  case Cond::GE:
+    return Sign >= 0;
+  }
+  return false;
+}
+
 } // namespace
+
+std::optional<Engine> vm::engineByName(std::string_view Name) {
+  if (Name == "legacy")
+    return Engine::Legacy;
+  if (Name == "threaded")
+    return Engine::Threaded;
+  return std::nullopt;
+}
+
+const char *vm::engineName(Engine E) {
+  return E == Engine::Legacy ? "legacy" : "threaded";
+}
 
 Machine::Machine(const Program &P, sexpr::SymbolTable &Syms,
                  sexpr::Heap &DecodeHeap)
@@ -62,10 +104,16 @@ Machine::Machine(const Program &P, sexpr::SymbolTable &Syms,
     StringContents[Addr] = Str;
 }
 
+const std::shared_ptr<const DecodedProgram> &Machine::decodedProgram() {
+  if (!Decoded)
+    Decoded = predecode(P);
+  return Decoded;
+}
+
 uint64_t &Machine::mem(uint64_t Addr) {
   static uint64_t Garbage = 0;
   if (Addr >= Memory.size()) {
-    Halted = true; // step() reports the trap
+    Halted = true; // the dispatch loop reports the trap
     return Garbage;
   }
   return Memory[Addr];
@@ -81,6 +129,12 @@ uint64_t Machine::symbolWord(const sexpr::Symbol *S) {
   SymbolAddr[S] = addrOf(W);
   AddrSymbol[addrOf(W)] = S;
   return W;
+}
+
+uint64_t Machine::trueWord() {
+  if (!CachedTWord)
+    CachedTWord = symbolWord(Syms.t());
+  return CachedTWord;
 }
 
 uint64_t Machine::allocate(Tag T, uint64_t NWords) {
@@ -233,6 +287,7 @@ Machine::RunResult Machine::call(const std::string &Name,
   Regs[FP] = StackBase;
   Regs[ENV] = NilWord;
   SpecTop = SpecBase;
+  SpecCache.clear();
   Catches.clear();
   Halted = false;
 
@@ -265,9 +320,20 @@ uint64_t Machine::pop() {
 
 bool Machine::trap(std::string &Error, const std::string &Msg) {
   Error = Msg;
-  if (CurFunc >= 0 && CurFunc < static_cast<int>(P.Functions.size()))
+  if (CurFunc >= 0 && CurFunc < static_cast<int>(P.Functions.size())) {
+    int ShowPc = Pc;
+    // The threaded engine counts pcs in decoded units; report them in
+    // original assembly-listing units like the legacy engine does.
+    if (Eng == Engine::Threaded && Decoded) {
+      const DecodedFunction &DF = Decoded->Functions[CurFunc];
+      if (Pc > 0 && Pc <= static_cast<int>(DF.OrigPc.size()))
+        ShowPc = DF.OrigPc[Pc - 1] + 1;
+      else if (Pc > static_cast<int>(DF.OrigPc.size()))
+        ShowPc = static_cast<int>(P.Functions[CurFunc].Code.size());
+    }
     Error += " [in " + P.Functions[CurFunc].Name + " at pc " +
-             std::to_string(Pc) + "]";
+             std::to_string(ShowPc) + "]";
+  }
   Halted = true;
   return false;
 }
@@ -275,6 +341,14 @@ bool Machine::trap(std::string &Error, const std::string &Msg) {
 bool Machine::run(int FuncIndex, std::string &Error) {
   CurFunc = FuncIndex;
   Pc = 0;
+  if (Eng == Engine::Threaded) {
+    decodedProgram(); // build lazily if no shared decode was injected
+    return DetailedStats ? runThreaded<true>(Error) : runThreaded<false>(Error);
+  }
+  return runLegacy(Error);
+}
+
+bool Machine::runLegacy(std::string &Error) {
   while (!Halted) {
     if (Stats.Instructions >= Fuel)
       return trap(Error, "instruction fuel exhausted");
@@ -326,38 +400,28 @@ void Machine::write(const Operand &O, uint64_t V) {
 
 bool Machine::step(std::string &Error) {
   const AsmFunction &F = P.Functions[CurFunc];
+  // LABELs are pseudo-ops: branches land on them, but they retire no
+  // instruction (and cost no fuel) — skip before fetching, exactly as the
+  // pre-decode pass strips them for the threaded engine.
+  while (Pc >= 0 && Pc < static_cast<int>(F.Code.size()) &&
+         F.Code[Pc].Op == Opcode::LABEL)
+    ++Pc;
   if (Pc < 0 || Pc >= static_cast<int>(F.Code.size()))
     return trap(Error, "pc out of range");
   const Instruction &I = F.Code[Pc++];
   ++Stats.Instructions;
-  Stats.PerOpcode[static_cast<size_t>(I.Op)]++;
-
-  auto CondHolds = [](Cond C, int64_t Sign) {
-    switch (C) {
-    case Cond::EQ:
-      return Sign == 0;
-    case Cond::NEQ:
-      return Sign != 0;
-    case Cond::LT:
-      return Sign < 0;
-    case Cond::GT:
-      return Sign > 0;
-    case Cond::LE:
-      return Sign <= 0;
-    case Cond::GE:
-      return Sign >= 0;
-    }
-    return false;
-  };
+  if (DetailedStats)
+    ++Stats.PerOpcode[static_cast<size_t>(I.Op)];
 
   switch (I.Op) {
-  case Opcode::LABEL:
-    return true;
+  case Opcode::LABEL: // unreachable: skipped before fetch
+    return trap(Error, "LABEL retired as an instruction");
   case Opcode::HALT:
     return trap(Error, "HALT executed");
 
   case Opcode::MOV:
-    ++Stats.Movs;
+    if (DetailedStats)
+      ++Stats.Movs;
     write(I.A, read(I.B));
     return true;
 
@@ -499,14 +563,14 @@ bool Machine::step(std::string &Error) {
     return true;
 
   case Opcode::JMPA:
-    Pc = F.LabelPos[I.A.Label] ;
+    Pc = F.LabelPos[I.A.Label];
     return true;
 
   case Opcode::JMPZ: {
     int64_t A = static_cast<int64_t>(read(I.A));
     int64_t B = static_cast<int64_t>(read(I.B));
     int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
-    if (CondHolds(I.C, Sign))
+    if (condHolds(I.C, Sign))
       Pc = F.LabelPos[I.X.Label];
     return true;
   }
@@ -515,7 +579,7 @@ bool Machine::step(std::string &Error) {
     double A = asDouble(read(I.A));
     double B = asDouble(read(I.B));
     int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
-    if ((std::isnan(A) || std::isnan(B)) ? I.C == Cond::NEQ : CondHolds(I.C, Sign))
+    if ((std::isnan(A) || std::isnan(B)) ? I.C == Cond::NEQ : condHolds(I.C, Sign))
       Pc = F.LabelPos[I.X.Label];
     return true;
   }
@@ -599,12 +663,635 @@ bool Machine::step(std::string &Error) {
     return true;
   }
 
-  case Opcode::SYSCALL:
+  case Opcode::SYSCALL: {
     ++Stats.Syscalls;
-    return doSyscall(static_cast<Syscall>(I.A.Imm), Error);
+    Syscall S = static_cast<Syscall>(I.A.Imm);
+    int HandlerPc = S == Syscall::PushCatch
+                        ? F.LabelPos[static_cast<int>(I.B.Imm)]
+                        : -1;
+    return doSyscall(S, I.B.Imm, I.X.Imm, HandlerPc, Error);
+  }
   }
   return trap(Error, "unimplemented opcode");
 }
+
+//===----------------------------------------------------------------------===//
+// Threaded engine
+//===----------------------------------------------------------------------===//
+
+uint64_t Machine::xea(const XMem &M) {
+  uint64_t Base = addrOf(Regs[M.Base]);
+  int64_t Idx = 0;
+  if (M.Index != 0xFF)
+    Idx = static_cast<int64_t>(Regs[M.Index]) << M.Scale;
+  return Base + static_cast<uint64_t>(M.Disp + Idx);
+}
+
+uint64_t Machine::xread(const XArg &A) {
+  switch (A.M) {
+  case XArg::Mode::Reg:
+    return Regs[A.R];
+  case XArg::Mode::Const:
+    return A.K;
+  case XArg::Mode::Mem:
+    return mem(xea(A.Mem));
+  default:
+    assert(false && "unreadable operand");
+    return 0;
+  }
+}
+
+void Machine::xwrite(const XArg &A, uint64_t V) {
+  switch (A.M) {
+  case XArg::Mode::Reg:
+    Regs[A.R] = V;
+    return;
+  case XArg::Mode::Mem:
+    mem(xea(A.Mem)) = V;
+    return;
+  default:
+    assert(false && "unwritable operand");
+  }
+}
+
+// Dispatch plumbing shared by the computed-goto and switch forms: each
+// handler is introduced by S1_CASE(op) and ends with S1_NEXT, which loops
+// back to the fetch/count/dispatch preamble at the top of the for-loop.
+#if S1_COMPUTED_GOTO
+#define S1_CASE(op) H_##op:
+#else
+#define S1_CASE(op) case XOp::op:
+#endif
+#define S1_NEXT continue;
+
+template <bool Detailed> bool Machine::runThreaded(std::string &Error) {
+  const DecodedProgram &DP = *Decoded;
+  const XInsn *Code = nullptr;
+  int Size = 0;
+  auto Reload = [&] {
+    const DecodedFunction &DF = DP.Functions[CurFunc];
+    Code = DF.Code.data();
+    Size = static_cast<int>(DF.Code.size());
+  };
+  Reload();
+  int LPc = Pc;
+  const XInsn *I = nullptr;
+
+  // Performs the frame surgery shared by TAILCALL/TAILCALLPTR; returns
+  // false when the argument count cannot fit (the caller traps).
+  auto TailTransfer = [&](uint64_t K, int Target) -> bool {
+    if (K > mem(Regs[FP] + 1))
+      return false;
+    uint64_t ArgBase = Regs[FP] - 2 - K;
+    uint64_t OldFp = mem(Regs[FP] - 1);
+    Regs[ENV] = mem(Regs[FP] + 0);
+    for (uint64_t J = 0; J < K; ++J)
+      mem(ArgBase + J) = mem(Regs[SP] - K + J);
+    Regs[SP] = Regs[FP] - 1;
+    Regs[FP] = OldFp;
+    Regs[RTA] = K;
+    CurFunc = Target;
+    Reload();
+    LPc = 0;
+    return true;
+  };
+
+  auto EaS = [&](const XMem &M) {
+    return addrOf(Regs[M.Base]) + static_cast<uint64_t>(M.Disp);
+  };
+  auto EaX = [&](const XMem &M) {
+    return addrOf(Regs[M.Base]) +
+           static_cast<uint64_t>(M.Disp +
+                                 (static_cast<int64_t>(Regs[M.Index]) << M.Scale));
+  };
+
+#if S1_COMPUTED_GOTO
+  // Must match the XOp enumerator order exactly.
+  static const void *Table[] = {
+      &&H_MovRR,  &&H_MovRK,  &&H_MovRM,  &&H_MovRX,
+      &&H_MovMR,  &&H_MovMK,  &&H_MovMM,  &&H_MovMX,
+      &&H_MovXR,  &&H_MovXK,  &&H_MovXM,  &&H_MovXX,
+      &&H_PushR,  &&H_PushK,  &&H_PushM,  &&H_PushX,
+      &&H_PopR,   &&H_PopM,
+      &&H_AddRR,  &&H_AddRK,  &&H_SubRR,  &&H_SubRK,
+      &&H_Alu2G,  &&H_Alu3G,
+      &&H_Jmp,    &&H_JmpzRR, &&H_JmpzRK, &&H_JmpzG,  &&H_FJmpzG,
+      &&H_Call,   &&H_CallPtr, &&H_TailCall, &&H_TailCallPtr, &&H_Ret,
+      &&H_MovTag, &&H_GetTag, &&H_Lea,
+      &&H_FAlu2,  &&H_FAlu3,  &&H_FUnary, &&H_FAtan,  &&H_Itof, &&H_Ftoi,
+      &&H_Alloc,  &&H_Syscall, &&H_Halt,
+  };
+#endif
+
+  for (;;) {
+    // Identical trap ordering to runLegacy: halted, fuel, pc range —
+    // checked before the instruction is fetched or counted.
+    if (Halted) {
+      Pc = LPc;
+      return trap(Error,
+                  "machine halted unexpectedly (memory fault or heap full)");
+    }
+    if (Stats.Instructions >= Fuel) {
+      Pc = LPc;
+      return trap(Error, "instruction fuel exhausted");
+    }
+    if (LPc < 0 || LPc >= Size) {
+      Pc = LPc;
+      return trap(Error, "pc out of range");
+    }
+    I = &Code[LPc++];
+    ++Stats.Instructions;
+    if constexpr (Detailed)
+      ++Stats.PerOpcode[static_cast<size_t>(I->OrigOp)];
+
+#if S1_COMPUTED_GOTO
+    goto *Table[static_cast<size_t>(I->Op)];
+#else
+    switch (I->Op) {
+#endif
+
+    S1_CASE(MovRR) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      Regs[I->A] = Regs[I->B];
+    }
+    S1_NEXT
+
+    S1_CASE(MovRK) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      Regs[I->A] = I->K;
+    }
+    S1_NEXT
+
+    S1_CASE(MovRM) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      Regs[I->A] = mem(EaS(I->MB));
+    }
+    S1_NEXT
+
+    S1_CASE(MovRX) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      Regs[I->A] = mem(EaX(I->MB));
+    }
+    S1_NEXT
+
+    S1_CASE(MovMR) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      mem(EaS(I->MA)) = Regs[I->B];
+    }
+    S1_NEXT
+
+    S1_CASE(MovMK) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      mem(EaS(I->MA)) = I->K;
+    }
+    S1_NEXT
+
+    S1_CASE(MovMM) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      uint64_t V = mem(EaS(I->MB));
+      mem(EaS(I->MA)) = V;
+    }
+    S1_NEXT
+
+    S1_CASE(MovMX) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      uint64_t V = mem(EaX(I->MB));
+      mem(EaS(I->MA)) = V;
+    }
+    S1_NEXT
+
+    S1_CASE(MovXR) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      mem(EaX(I->MA)) = Regs[I->B];
+    }
+    S1_NEXT
+
+    S1_CASE(MovXK) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      mem(EaX(I->MA)) = I->K;
+    }
+    S1_NEXT
+
+    S1_CASE(MovXM) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      uint64_t V = mem(EaS(I->MB));
+      mem(EaX(I->MA)) = V;
+    }
+    S1_NEXT
+
+    S1_CASE(MovXX) {
+      if constexpr (Detailed)
+        ++Stats.Movs;
+      uint64_t V = mem(EaX(I->MB));
+      mem(EaX(I->MA)) = V;
+    }
+    S1_NEXT
+
+    S1_CASE(PushR) {
+      if (Regs[SP] + 1 >= StackBase + StackWords) {
+        Pc = LPc;
+        return trap(Error, "stack overflow");
+      }
+      push(Regs[I->B]);
+    }
+    S1_NEXT
+
+    S1_CASE(PushK) {
+      if (Regs[SP] + 1 >= StackBase + StackWords) {
+        Pc = LPc;
+        return trap(Error, "stack overflow");
+      }
+      push(I->K);
+    }
+    S1_NEXT
+
+    S1_CASE(PushM) {
+      if (Regs[SP] + 1 >= StackBase + StackWords) {
+        Pc = LPc;
+        return trap(Error, "stack overflow");
+      }
+      push(mem(EaS(I->MB)));
+    }
+    S1_NEXT
+
+    S1_CASE(PushX) {
+      if (Regs[SP] + 1 >= StackBase + StackWords) {
+        Pc = LPc;
+        return trap(Error, "stack overflow");
+      }
+      push(mem(EaX(I->MB)));
+    }
+    S1_NEXT
+
+    S1_CASE(PopR) {
+      Regs[I->A] = pop();
+    }
+    S1_NEXT
+
+    S1_CASE(PopM) {
+      uint64_t V = pop();
+      xwrite(I->GA, V);
+    }
+    S1_NEXT
+
+    S1_CASE(AddRR) {
+      Regs[I->A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I->A]) +
+                                         static_cast<int64_t>(Regs[I->B]));
+    }
+    S1_NEXT
+
+    S1_CASE(AddRK) {
+      Regs[I->A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I->A]) +
+                                         static_cast<int64_t>(I->K));
+    }
+    S1_NEXT
+
+    S1_CASE(SubRR) {
+      Regs[I->A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I->A]) -
+                                         static_cast<int64_t>(Regs[I->B]));
+    }
+    S1_NEXT
+
+    S1_CASE(SubRK) {
+      Regs[I->A] = static_cast<uint64_t>(static_cast<int64_t>(Regs[I->A]) -
+                                         static_cast<int64_t>(I->K));
+    }
+    S1_NEXT
+
+    S1_CASE(Alu2G) {
+      int64_t A = static_cast<int64_t>(xread(I->GA));
+      int64_t B = static_cast<int64_t>(xread(I->GB));
+      int64_t R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::ADD:
+        R = A + B;
+        break;
+      case Opcode::SUB:
+        R = A - B;
+        break;
+      case Opcode::MULT:
+        R = A * B;
+        break;
+      default:
+        if (B == 0) {
+          Pc = LPc;
+          return trap(Error, rtErrorMessage(RtError::DivisionByZero));
+        }
+        R = A / B;
+        break;
+      }
+      xwrite(I->GA, static_cast<uint64_t>(R));
+    }
+    S1_NEXT
+
+    S1_CASE(Alu3G) {
+      int64_t A = static_cast<int64_t>(xread(I->GB));
+      int64_t B = static_cast<int64_t>(xread(I->GX));
+      int64_t R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::ADD:
+        R = A + B;
+        break;
+      case Opcode::SUB:
+        R = A - B;
+        break;
+      case Opcode::MULT:
+        R = A * B;
+        break;
+      default:
+        if (B == 0) {
+          Pc = LPc;
+          return trap(Error, rtErrorMessage(RtError::DivisionByZero));
+        }
+        R = A / B;
+        break;
+      }
+      xwrite(I->GA, static_cast<uint64_t>(R));
+    }
+    S1_NEXT
+
+    S1_CASE(Jmp) {
+      LPc = I->Target;
+    }
+    S1_NEXT
+
+    S1_CASE(JmpzRR) {
+      int64_t A = static_cast<int64_t>(Regs[I->A]);
+      int64_t B = static_cast<int64_t>(Regs[I->B]);
+      int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+      if (condHolds(I->C, Sign))
+        LPc = I->Target;
+    }
+    S1_NEXT
+
+    S1_CASE(JmpzRK) {
+      int64_t A = static_cast<int64_t>(Regs[I->A]);
+      int64_t B = static_cast<int64_t>(I->K);
+      int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+      if (condHolds(I->C, Sign))
+        LPc = I->Target;
+    }
+    S1_NEXT
+
+    S1_CASE(JmpzG) {
+      int64_t A = static_cast<int64_t>(xread(I->GA));
+      int64_t B = static_cast<int64_t>(xread(I->GB));
+      int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+      if (condHolds(I->C, Sign))
+        LPc = I->Target;
+    }
+    S1_NEXT
+
+    S1_CASE(FJmpzG) {
+      double A = asDouble(xread(I->GA));
+      double B = asDouble(xread(I->GB));
+      int64_t Sign = A < B ? -1 : (A > B ? 1 : 0);
+      if ((std::isnan(A) || std::isnan(B)) ? I->C == Cond::NEQ
+                                           : condHolds(I->C, Sign))
+        LPc = I->Target;
+    }
+    S1_NEXT
+
+    S1_CASE(Call) {
+      ++Stats.Calls;
+      if (Regs[SP] + 4 >= StackBase + StackWords) {
+        Pc = LPc;
+        return trap(Error, "stack overflow");
+      }
+      push(makeRetWord(CurFunc, LPc));
+      CurFunc = I->Target;
+      Reload();
+      LPc = 0;
+    }
+    S1_NEXT
+
+    S1_CASE(CallPtr) {
+      ++Stats.Calls;
+      uint64_t Fn = xread(I->GA);
+      if (tagOf(Fn) != Tag::Function) {
+        Pc = LPc;
+        return trap(Error, rtErrorMessage(RtError::NotAFunction));
+      }
+      Regs[1] = mem(addrOf(Fn) + 1); // closure environment for the prologue
+      push(makeRetWord(CurFunc, LPc));
+      CurFunc = static_cast<int>(mem(addrOf(Fn)));
+      Reload();
+      LPc = 0;
+    }
+    S1_NEXT
+
+    S1_CASE(TailCall) {
+      ++Stats.TailCalls;
+      if (!TailTransfer(static_cast<uint64_t>(I->S2), I->Target)) {
+        Pc = LPc;
+        return trap(Error,
+                    "tail call passes more arguments than the frame holds");
+      }
+    }
+    S1_NEXT
+
+    S1_CASE(TailCallPtr) {
+      ++Stats.TailCalls;
+      uint64_t Fn = xread(I->GA);
+      if (tagOf(Fn) != Tag::Function) {
+        Pc = LPc;
+        return trap(Error, rtErrorMessage(RtError::NotAFunction));
+      }
+      Regs[1] = mem(addrOf(Fn) + 1);
+      if (!TailTransfer(static_cast<uint64_t>(I->S2),
+                        static_cast<int>(mem(addrOf(Fn))))) {
+        Pc = LPc;
+        return trap(Error,
+                    "tail call passes more arguments than the frame holds");
+      }
+    }
+    S1_NEXT
+
+    S1_CASE(Ret) {
+      uint64_t RetW = pop();
+      if (RetW == makeRetWord(-1, 0)) {
+        CurFunc = -1; // back to host
+        Pc = 0;
+        return true;
+      }
+      CurFunc = static_cast<int>((RetW >> 32) - 1);
+      LPc = static_cast<int>(RetW & 0xFFFFFFFF);
+      Reload();
+    }
+    S1_NEXT
+
+    S1_CASE(MovTag) {
+      uint64_t Addr = I->GB.M == XArg::Mode::Mem ? xea(I->GB.Mem)
+                                                 : addrOf(xread(I->GB));
+      xwrite(I->GA, makePointer(static_cast<Tag>(I->S1), Addr));
+    }
+    S1_NEXT
+
+    S1_CASE(GetTag) {
+      xwrite(I->GA, static_cast<uint64_t>(tagOf(xread(I->GB))));
+    }
+    S1_NEXT
+
+    S1_CASE(Lea) {
+      xwrite(I->GA, xea(I->GB.Mem));
+    }
+    S1_NEXT
+
+    S1_CASE(FAlu2) {
+      double A = asDouble(xread(I->GA));
+      double B = asDouble(xread(I->GB));
+      double R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::FADD:
+        R = A + B;
+        break;
+      case Opcode::FSUB:
+        R = A - B;
+        break;
+      case Opcode::FMULT:
+        R = A * B;
+        break;
+      case Opcode::FDIV:
+        R = A / B;
+        break;
+      case Opcode::FMAX:
+        R = std::max(A, B);
+        break;
+      default:
+        R = std::min(A, B);
+        break;
+      }
+      xwrite(I->GA, fromDouble(R));
+    }
+    S1_NEXT
+
+    S1_CASE(FAlu3) {
+      double A = asDouble(xread(I->GB));
+      double B = asDouble(xread(I->GX));
+      double R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::FADD:
+        R = A + B;
+        break;
+      case Opcode::FSUB:
+        R = A - B;
+        break;
+      case Opcode::FMULT:
+        R = A * B;
+        break;
+      case Opcode::FDIV:
+        R = A / B;
+        break;
+      case Opcode::FMAX:
+        R = std::max(A, B);
+        break;
+      default:
+        R = std::min(A, B);
+        break;
+      }
+      xwrite(I->GA, fromDouble(R));
+    }
+    S1_NEXT
+
+    S1_CASE(FUnary) {
+      double X = asDouble(xread(I->GB));
+      double R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::FNEG:
+        R = -X;
+        break;
+      case Opcode::FABS:
+        R = std::fabs(X);
+        break;
+      case Opcode::FSQRT:
+        R = std::sqrt(X);
+        break;
+      case Opcode::FSIN:
+        R = std::sin(X * 2.0 * M_PI); // the S-1 trig unit takes cycles
+        break;
+      case Opcode::FCOS:
+        R = std::cos(X * 2.0 * M_PI);
+        break;
+      case Opcode::FEXP:
+        R = std::exp(X);
+        break;
+      default:
+        R = std::log(X);
+        break;
+      }
+      xwrite(I->GA, fromDouble(R));
+    }
+    S1_NEXT
+
+    S1_CASE(FAtan) {
+      double Y = asDouble(xread(I->GB));
+      double X = asDouble(xread(I->GX));
+      xwrite(I->GA, fromDouble(std::atan2(Y, X)));
+    }
+    S1_NEXT
+
+    S1_CASE(Itof) {
+      xwrite(I->GA, fromDouble(static_cast<double>(
+                        static_cast<int64_t>(xread(I->GB)))));
+    }
+    S1_NEXT
+
+    S1_CASE(Ftoi) {
+      xwrite(I->GA, static_cast<uint64_t>(
+                        static_cast<int64_t>(asDouble(xread(I->GB)))));
+    }
+    S1_NEXT
+
+    S1_CASE(Alloc) {
+      uint64_t W = allocate(static_cast<Tag>(I->S1),
+                            static_cast<uint64_t>(I->S2));
+      if (Halted) {
+        Pc = LPc;
+        return trap(Error, "heap exhausted");
+      }
+      xwrite(I->GA, W);
+    }
+    S1_NEXT
+
+    S1_CASE(Syscall) {
+      ++Stats.Syscalls;
+      Pc = LPc;
+      if (!doSyscall(static_cast<Syscall>(I->S1), I->S2, I->S3, I->Target,
+                     Error))
+        return false;
+      // Throw may have transferred control to another function's handler.
+      Reload();
+      LPc = Pc;
+    }
+    S1_NEXT
+
+    S1_CASE(Halt) {
+      Pc = LPc;
+      return trap(Error, "HALT executed");
+    }
+    S1_NEXT
+
+#if !S1_COMPUTED_GOTO
+    }
+    Pc = LPc;
+    return trap(Error, "unimplemented opcode");
+#endif
+  }
+}
+
+#undef S1_CASE
+#undef S1_NEXT
 
 //===----------------------------------------------------------------------===//
 // Runtime services
@@ -647,9 +1334,18 @@ uint64_t Machine::certify(uint64_t W) {
   }
 }
 
-bool Machine::doSyscall(Syscall S, std::string &Error) {
-  const Instruction &I = P.Functions[CurFunc].Code[Pc - 1];
+void Machine::invalidateSpecCacheAbove(uint64_t NewTop) {
+  if (SpecCache.empty())
+    return;
+  // Erase the cache entry of every symbol bound in the popped region.
+  // Erasing a symbol whose topmost binding survives below merely costs a
+  // re-scan (and re-cache) on its next lookup.
+  for (uint64_t A = NewTop; A < SpecTop; A += 2)
+    SpecCache.erase(mem(A));
+}
 
+bool Machine::doSyscall(Syscall S, int64_t SubCode, int64_t XImm,
+                        int HandlerPc, std::string &Error) {
   auto DecodeNum = [this](uint64_t W) -> std::optional<Value> {
     switch (tagOf(W)) {
     case Tag::Fixnum:
@@ -685,9 +1381,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
       return NilWord;
     }
   };
-  auto TBool = [this](bool B) {
-    Regs[RV] = B ? symbolWord(Syms.t()) : NilWord;
-  };
+  auto TBool = [this](bool B) { Regs[RV] = B ? trueWord() : NilWord; };
   auto TypeError = [this, &Error] {
     return trap(Error, rtErrorMessage(RtError::WrongTypeOfArgument));
   };
@@ -699,6 +1393,23 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
   case Syscall::GenericDiv:
   case Syscall::GenericArith2: {
     uint64_t BW = pop(), AW = pop();
+    // Fixnum fast path for the three closed operations: exact 64-bit
+    // arithmetic on 32-bit inputs cannot wrap, and the 32-bit range check
+    // reproduces EncodeNum's overflow trap exactly. Division may produce
+    // a ratio and Arith2 has per-subcode semantics — both take the
+    // generic route.
+    if (tagOf(AW) == Tag::Fixnum && tagOf(BW) == Tag::Fixnum &&
+        (S == Syscall::GenericAdd || S == Syscall::GenericSub ||
+         S == Syscall::GenericMul)) {
+      int64_t A = fixnumValue(AW), B = fixnumValue(BW);
+      int64_t R = S == Syscall::GenericAdd   ? A + B
+                  : S == Syscall::GenericSub ? A - B
+                                             : A * B;
+      if (R < INT32_MIN || R > INT32_MAX)
+        return trap(Error, "fixnum overflow (compiled fixnums are 32-bit)");
+      Regs[RV] = makeFixnum(R);
+      return true;
+    }
     auto A = DecodeNum(AW), B = DecodeNum(BW);
     if (!A || !B)
       return TypeError();
@@ -717,7 +1428,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
       Op = sexpr::ArithOp::Div;
       break;
     default:
-      switch (static_cast<ArithCode>(I.B.Imm)) {
+      switch (static_cast<ArithCode>(SubCode)) {
       case ArithCode::Floor:
         Op = sexpr::ArithOp::Floor;
         break;
@@ -758,11 +1469,40 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
 
   case Syscall::GenericUnary: {
     uint64_t AW = pop();
+    UnaryCode UC = static_cast<UnaryCode>(SubCode);
+    if (tagOf(AW) == Tag::Fixnum) {
+      int64_t V = fixnumValue(AW);
+      bool Fast = true;
+      int64_t R = 0;
+      switch (UC) {
+      case UnaryCode::Neg:
+        R = -V;
+        break;
+      case UnaryCode::Abs:
+        R = V < 0 ? -V : V;
+        break;
+      case UnaryCode::Add1:
+        R = V + 1;
+        break;
+      case UnaryCode::Sub1:
+        R = V - 1;
+        break;
+      default: // Sqrt / ToFloat produce flonums
+        Fast = false;
+        break;
+      }
+      if (Fast) {
+        if (R < INT32_MIN || R > INT32_MAX)
+          return trap(Error, "fixnum overflow (compiled fixnums are 32-bit)");
+        Regs[RV] = makeFixnum(R);
+        return true;
+      }
+    }
     auto A = DecodeNum(AW);
     if (!A)
       return TypeError();
     std::optional<Value> R;
-    switch (static_cast<UnaryCode>(I.B.Imm)) {
+    switch (UC) {
     case UnaryCode::Neg:
       R = sexpr::negate(DecodeHeap, *A);
       break;
@@ -797,11 +1537,37 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
 
   case Syscall::GenericCompare: {
     uint64_t BW = pop(), AW = pop();
+    if (tagOf(AW) == Tag::Fixnum && tagOf(BW) == Tag::Fixnum) {
+      int64_t A = fixnumValue(AW), B = fixnumValue(BW);
+      bool R;
+      switch (static_cast<Cond>(SubCode)) {
+      case Cond::EQ:
+        R = A == B;
+        break;
+      case Cond::NEQ:
+        R = A != B;
+        break;
+      case Cond::LT:
+        R = A < B;
+        break;
+      case Cond::GT:
+        R = A > B;
+        break;
+      case Cond::LE:
+        R = A <= B;
+        break;
+      default:
+        R = A >= B;
+        break;
+      }
+      TBool(R);
+      return true;
+    }
     auto A = DecodeNum(AW), B = DecodeNum(BW);
     if (!A || !B)
       return TypeError();
     sexpr::CompareOp Op;
-    switch (static_cast<Cond>(I.B.Imm)) {
+    switch (static_cast<Cond>(SubCode)) {
     case Cond::EQ:
       Op = sexpr::CompareOp::Eq;
       break;
@@ -830,11 +1596,34 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
 
   case Syscall::GenericNumPred: {
     uint64_t AW = pop();
+    if (tagOf(AW) == Tag::Fixnum) {
+      int64_t V = fixnumValue(AW);
+      bool R;
+      switch (static_cast<PredCode>(SubCode)) {
+      case PredCode::Zerop:
+        R = V == 0;
+        break;
+      case PredCode::Oddp:
+        R = (V % 2) != 0;
+        break;
+      case PredCode::Evenp:
+        R = (V % 2) == 0;
+        break;
+      case PredCode::Plusp:
+        R = V > 0;
+        break;
+      default:
+        R = V < 0;
+        break;
+      }
+      TBool(R);
+      return true;
+    }
     auto A = DecodeNum(AW);
     if (!A)
       return TypeError();
     std::optional<bool> R;
-    switch (static_cast<PredCode>(I.B.Imm)) {
+    switch (static_cast<PredCode>(SubCode)) {
     case PredCode::Zerop:
       R = sexpr::isZero(*A);
       break;
@@ -897,7 +1686,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
   }
 
   case Syscall::ListPrim: {
-    ListCode Code = static_cast<ListCode>(I.B.Imm);
+    ListCode Code = static_cast<ListCode>(SubCode);
     auto IsList = [this](uint64_t W) {
       return tagOf(W) == Tag::Nil || tagOf(W) == Tag::Cons;
     };
@@ -1009,7 +1798,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
       return true;
     }
     case ListCode::ListN: {
-      int64_t N = I.X.Imm;
+      int64_t N = XImm;
       uint64_t R = NilWord;
       for (int64_t J = 0; J < N; ++J) {
         uint64_t W = allocate(Tag::Cons, 2);
@@ -1032,21 +1821,39 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
     uint64_t V = pop(), Sym = pop();
     mem(SpecTop) = Sym;
     mem(SpecTop + 1) = V;
+    SpecCache[Sym] = SpecTop + 1; // this pair is now the topmost binding
     SpecTop += 2;
     return true;
   }
 
-  case Syscall::SpecUnbind:
-    SpecTop -= 2 * static_cast<uint64_t>(I.B.Imm);
+  case Syscall::SpecUnbind: {
+    uint64_t NewTop = SpecTop - 2 * static_cast<uint64_t>(SubCode);
+    invalidateSpecCacheAbove(NewTop);
+    SpecTop = NewTop;
     return true;
+  }
 
   case Syscall::SpecLookup: {
     uint64_t Sym = pop();
     ++Stats.SpecialSearches;
+    auto It = SpecCache.find(Sym);
+    if (It != SpecCache.end()) {
+      // Shallow-cache hit: skip the scan but charge SpecialSearchSteps
+      // exactly what the linear search below would have counted, so the
+      // §4.4 deep-binding cost tables stay honest.
+      uint64_t Cell = It->second;
+      if (Cell >= SpecBase && Cell < SpecTop)
+        Stats.SpecialSearchSteps += (SpecTop - Cell + 1) / 2;
+      else
+        Stats.SpecialSearchSteps += (SpecTop - SpecBase) / 2; // full scan
+      Regs[RV] = Cell;
+      return true;
+    }
     for (uint64_t A = SpecTop; A > SpecBase; A -= 2) {
       ++Stats.SpecialSearchSteps;
       if (mem(A - 2) == Sym) {
         Regs[RV] = A - 1;
+        SpecCache.emplace(Sym, A - 1);
         return true;
       }
     }
@@ -1054,13 +1861,14 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
     // still a valid cache target: reads check for UnboundWord, and a setq
     // through it creates the global binding.
     Regs[RV] = addrOf(Sym);
+    SpecCache.emplace(Sym, addrOf(Sym));
     return true;
   }
 
   case Syscall::MakeClosure: {
     uint64_t Env = pop();
     uint64_t W = allocate(Tag::Function, 2);
-    mem(addrOf(W)) = static_cast<uint64_t>(I.B.Imm);
+    mem(addrOf(W)) = static_cast<uint64_t>(SubCode);
     mem(addrOf(W) + 1) = Env;
     Regs[RV] = W;
     return true;
@@ -1068,7 +1876,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
 
   case Syscall::MakeEnv: {
     uint64_t Parent = pop();
-    uint64_t Size = static_cast<uint64_t>(I.B.Imm);
+    uint64_t Size = static_cast<uint64_t>(SubCode);
     uint64_t W = allocate(Tag::Environment, 1 + Size);
     mem(addrOf(W)) = Parent;
     Regs[RV] = W;
@@ -1120,7 +1928,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
   }
 
   case Syscall::Error:
-    return trap(Error, rtErrorMessage(static_cast<RtError>(I.B.Imm)));
+    return trap(Error, rtErrorMessage(static_cast<RtError>(SubCode)));
 
   case Syscall::Print: {
     uint64_t W = pop();
@@ -1140,7 +1948,10 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
         Regs[SP] = C.Sp;
         Regs[FP] = C.Fp;
         Regs[ENV] = C.Env;
-        SpecTop = SpecBase + 2 * C.SpecDepth;
+        uint64_t NewTop = SpecBase + 2 * C.SpecDepth;
+        if (NewTop < SpecTop)
+          invalidateSpecCacheAbove(NewTop);
+        SpecTop = NewTop;
         CurFunc = C.Func;
         Pc = C.Pc;
         Regs[RV] = V;
@@ -1156,7 +1967,7 @@ bool Machine::doSyscall(Syscall S, std::string &Error) {
     CatchFrame C;
     C.TagWord = TagW;
     C.Func = CurFunc;
-    C.Pc = P.Functions[CurFunc].LabelPos[static_cast<int>(I.B.Imm)];
+    C.Pc = HandlerPc; // in the executing engine's pc units
     C.Sp = Regs[SP];
     C.Fp = Regs[FP];
     C.Env = Regs[ENV];

@@ -6,10 +6,27 @@
 /// stack (§4.4), catch/throw unwinding, and the generic-arithmetic and
 /// list "SQ routines" compiled code calls into.
 ///
-/// The machine keeps detailed counters — instructions retired, MOV count,
-/// heap words/objects allocated, special-variable search steps, stack
-/// high-water — which are the measurements behind every benchmark table
-/// in EXPERIMENTS.md.
+/// Two execution engines share one runtime-service layer:
+///
+///  * **Legacy** — the original interpretive switch over s1::Instruction,
+///    decoding operand modes on every step. Kept as the semantic baseline
+///    the pre-decoded engine is differentially tested against.
+///  * **Threaded** (default) — executes the pre-decoded internal form
+///    (vm/Predecode.h): labels stripped, branch targets resolved, operand
+///    modes fused into specialized handlers, dispatched by computed goto
+///    where the compiler supports it (portable switch fallback behind the
+///    S1LISP_THREADED_DISPATCH CMake option).
+///
+/// Both engines retire **bit-identical architectural counters**
+/// (Instructions, Movs, PerOpcode, SpecialSearchSteps, ...) — the
+/// measurements behind every benchmark table in EXPERIMENTS.md — which is
+/// asserted over fuzzed programs by tests/vm/EngineEquivalenceTest.
+///
+/// Special-variable lookups additionally go through a per-symbol shallow
+/// cache over the deep-binding stack: hits skip the linear search but
+/// charge SpecialSearchSteps exactly what the search would have cost, so
+/// the §4.4 tables stay honest; the cache is invalidated on rebinding and
+/// unwinding.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,12 +35,14 @@
 
 #include "s1/Isa.h"
 #include "sexpr/Value.h"
+#include "vm/Predecode.h"
 
 #include <array>
 #include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -80,6 +99,16 @@ struct MachineStats {
   std::array<uint64_t, 64> PerOpcode{};
 };
 
+/// Which dispatch loop executes compiled code.
+enum class Engine : uint8_t {
+  Legacy,   ///< interpretive switch over s1::Instruction
+  Threaded, ///< pre-decoded fused handlers (computed goto / dense switch)
+};
+
+/// "legacy" / "threaded" -> Engine; nullopt for anything else.
+std::optional<Engine> engineByName(std::string_view Name);
+const char *engineName(Engine E);
+
 /// The simulator. One instance owns one address space; reusable across
 /// many calls into the same program.
 class Machine {
@@ -121,6 +150,27 @@ public:
   /// callers normally publish once, after the runs they care about.
   void publishStats() const;
 
+  /// Selects the dispatch loop. Threaded is the default; Legacy remains
+  /// available as the differential baseline (tools expose --engine).
+  void setEngine(Engine E) { Eng = E; }
+  Engine engine() const { return Eng; }
+
+  /// Gates the per-retired-instruction detail counters (the PerOpcode
+  /// histogram and the MOV count). On by default; switching them off
+  /// removes their cost from the hot loop entirely (the threaded engine
+  /// compiles a counter-free instantiation of its dispatch loop).
+  /// Instructions is always counted — it drives the fuel limit.
+  void setDetailedStats(bool On) { DetailedStats = On; }
+  bool detailedStats() const { return DetailedStats; }
+
+  /// The pre-decoded form of the program, built lazily on first threaded
+  /// run. Pass a shared decode in to amortize decoding across the many
+  /// short-lived Machines a fuzzing sweep builds for one Program.
+  void setDecodedProgram(std::shared_ptr<const DecodedProgram> DP) {
+    Decoded = std::move(DP);
+  }
+  const std::shared_ptr<const DecodedProgram> &decodedProgram();
+
   void setFuel(uint64_t F) { Fuel = F; }
   const std::string &output() const { return Out; }
   void clearOutput() { Out.clear(); }
@@ -129,23 +179,30 @@ private:
   struct CatchFrame {
     uint64_t TagWord;
     int Func;
-    int Pc; ///< resolved instruction index of the handler label
+    int Pc; ///< handler pc, in the executing engine's pc units
     uint64_t Sp, Fp, Env;
     size_t SpecDepth;
     size_t CatchDepth;
   };
 
-  // Execution engine.
+  // Execution engines.
   bool run(int FuncIndex, std::string &Error);
+  bool runLegacy(std::string &Error);
   bool step(std::string &Error);
+  template <bool Detailed> bool runThreaded(std::string &Error);
   uint64_t &mem(uint64_t Addr);
   uint64_t effectiveAddress(const s1::Operand &O);
   uint64_t read(const s1::Operand &O);
   void write(const s1::Operand &O, uint64_t V);
+  uint64_t xea(const XMem &M);
+  uint64_t xread(const XArg &A);
+  void xwrite(const XArg &A, uint64_t V);
   bool trap(std::string &Error, const std::string &Msg);
 
-  // Runtime services.
-  bool doSyscall(s1::Syscall S, std::string &Error);
+  // Runtime services. Immediate operands and the resolved catch-handler
+  // pc travel as arguments so both engines share one implementation.
+  bool doSyscall(s1::Syscall S, int64_t SubCode, int64_t XImm, int HandlerPc,
+                 std::string &Error);
   uint64_t pop();
   void push(uint64_t W);
   bool wordEql(uint64_t A, uint64_t B);
@@ -153,6 +210,11 @@ private:
   uint64_t boxFlonum(double D);
   uint64_t certify(uint64_t W);
   uint64_t symbolWord(const sexpr::Symbol *S);
+  uint64_t trueWord();
+
+  /// Drops every shallow-cache entry whose binding lives at or above
+  /// \p NewTop (called before the special stack pops back to NewTop).
+  void invalidateSpecCacheAbove(uint64_t NewTop);
 
   const s1::Program &P;
   sexpr::SymbolTable &Syms;
@@ -169,6 +231,15 @@ private:
   std::unordered_map<const sexpr::Symbol *, uint64_t> SymbolAddr;
   std::unordered_map<uint64_t, const sexpr::Symbol *> AddrSymbol;
   std::unordered_map<uint64_t, std::string> StringContents;
+
+  /// §4.4 shallow cache: symbol word -> value-cell address of its topmost
+  /// deep binding (or its global cell when unbound on the stack).
+  std::unordered_map<uint64_t, uint64_t> SpecCache;
+  uint64_t CachedTWord = 0; ///< memoized symbolWord(t); 0 = not yet built
+
+  Engine Eng = Engine::Threaded;
+  bool DetailedStats = true;
+  std::shared_ptr<const DecodedProgram> Decoded;
 
   MachineStats Stats;
   uint64_t Fuel = 500'000'000;

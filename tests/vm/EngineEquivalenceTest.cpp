@@ -1,0 +1,208 @@
+//===- tests/vm/EngineEquivalenceTest.cpp ---------------------------------===//
+//
+// The two dispatch engines — the legacy per-step switch and the
+// pre-decoded threaded loop — must be observably indistinguishable: same
+// printed values, same error classes, and bit-identical MachineStats
+// (including the per-opcode histogram, which is why the legacy engine may
+// not retire LABEL pseudo-ops). A block of fuzz seeds drives both engines
+// over each program's argument grid, and targeted cases pin down the
+// spots where the engines are easiest to get wrong: traps, special-
+// variable lookup caching, and detailed-stats gating.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+#include "sexpr/Printer.h"
+#include "vm/Machine.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace s1lisp;
+using sexpr::Value;
+
+namespace {
+
+struct EngineRun {
+  bool Ok = false;
+  std::string Text; ///< printed value, or the error message
+  vm::MachineStats Stats;
+};
+
+EngineRun runOn(const s1::Program &P, ir::Module &M, const std::string &Entry,
+                const std::vector<Value> &Args, vm::Engine Eng,
+                bool DetailedStats = true) {
+  vm::Machine VM(P, M.Syms, M.DataHeap);
+  VM.setEngine(Eng);
+  VM.setDetailedStats(DetailedStats);
+  VM.setFuel(2'000'000);
+  vm::Machine::RunResult R = VM.call(Entry, Args);
+  EngineRun Out;
+  Out.Ok = R.Ok;
+  Out.Text = R.Ok ? (R.Result ? sexpr::toString(*R.Result) : "#<undecodable>")
+                  : R.Error;
+  Out.Stats = VM.stats();
+  return Out;
+}
+
+std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T) {
+  std::ostringstream Out;
+  auto Cmp = [&](const char *Name, uint64_t A, uint64_t B) {
+    if (A != B)
+      Out << "  " << Name << ": legacy " << A << " vs threaded " << B << "\n";
+  };
+  Cmp("Instructions", L.Instructions, T.Instructions);
+  Cmp("Movs", L.Movs, T.Movs);
+  Cmp("Calls", L.Calls, T.Calls);
+  Cmp("TailCalls", L.TailCalls, T.TailCalls);
+  Cmp("Syscalls", L.Syscalls, T.Syscalls);
+  Cmp("HeapObjects", L.HeapObjects, T.HeapObjects);
+  Cmp("HeapWordsUsed", L.HeapWordsUsed, T.HeapWordsUsed);
+  Cmp("StackHighWater", L.StackHighWater, T.StackHighWater);
+  Cmp("SpecialSearches", L.SpecialSearches, T.SpecialSearches);
+  Cmp("SpecialSearchSteps", L.SpecialSearchSteps, T.SpecialSearchSteps);
+  for (size_t I = 0; I < L.PerOpcode.size(); ++I)
+    if (L.PerOpcode[I] != T.PerOpcode[I])
+      Out << "  PerOpcode[" << I << "]: legacy " << L.PerOpcode[I]
+          << " vs threaded " << T.PerOpcode[I] << "\n";
+  return Out.str();
+}
+
+/// Compiles and runs one grid point on both engines, asserting
+/// observational equivalence.
+void expectEquivalent(const std::string &Source, const std::string &Entry,
+                      const std::vector<Value> &Args,
+                      const driver::CompilerOptions &Opts = {}) {
+  ir::Module M;
+  driver::CompileOutcome Out = driver::compileSource(M, Source, Opts);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EngineRun L = runOn(Out.Program, M, Entry, Args, vm::Engine::Legacy);
+  EngineRun T = runOn(Out.Program, M, Entry, Args, vm::Engine::Threaded);
+  ASSERT_EQ(L.Ok, T.Ok) << "legacy: " << L.Text << "\nthreaded: " << T.Text;
+  if (L.Ok)
+    EXPECT_EQ(L.Text, T.Text);
+  else
+    EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+        << "legacy: " << L.Text << "\nthreaded: " << T.Text;
+  EXPECT_EQ(diffStats(L.Stats, T.Stats), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzzed tier: 200 seeded programs, every grid point on both engines.
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned BatchSize = 25;
+
+class EngineEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineEquivalence, FuzzSeedsAgree) {
+  for (unsigned Seed = GetParam(); Seed < GetParam() + BatchSize; ++Seed) {
+    fuzz::Generator G(Seed, {});
+    fuzz::GeneratedProgram P = G.generate();
+    ir::Module M;
+    driver::CompileOutcome Out = driver::compileSource(M, P.Source, {});
+    ASSERT_TRUE(Out.Ok) << "seed " << Seed << ": " << Out.Error;
+    for (size_t Row = 0; Row < P.ArgGrid.size(); ++Row) {
+      EngineRun L =
+          runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], vm::Engine::Legacy);
+      EngineRun T =
+          runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], vm::Engine::Threaded);
+      ASSERT_EQ(L.Ok, T.Ok) << "seed " << Seed << " row " << Row
+                            << "\n  legacy:   " << L.Text
+                            << "\n  threaded: " << T.Text << "\n"
+                            << P.Source;
+      if (L.Ok)
+        EXPECT_EQ(L.Text, T.Text) << "seed " << Seed << " row " << Row;
+      else
+        EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+            << "seed " << Seed << " row " << Row << "\n  legacy:   " << L.Text
+            << "\n  threaded: " << T.Text;
+      EXPECT_EQ(diffStats(L.Stats, T.Stats), "")
+          << "seed " << Seed << " row " << Row << "\n"
+          << P.Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
+                         ::testing::Range(2000u, 2200u, BatchSize));
+
+//===----------------------------------------------------------------------===//
+// Targeted cases
+//===----------------------------------------------------------------------===//
+
+TEST(EngineEquivalenceFixed, RecursionAndArithmetic) {
+  expectEquivalent("(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) "
+                   "(fib (- n 2)))))",
+                   "fib", {Value::fixnum(15)});
+}
+
+TEST(EngineEquivalenceFixed, LoopsCountLabelsIdentically) {
+  // dotimes compiles to backward branches over stripped LABELs; the
+  // legacy engine must not retire those pseudo-ops as instructions.
+  expectEquivalent("(defun k (n) (let ((s 0)) (dotimes (i n) "
+                   "(setq s (+ s i))) s))",
+                   "k", {Value::fixnum(500)});
+}
+
+TEST(EngineEquivalenceFixed, SpecialLookupStepsMatch) {
+  // The threaded engine's per-symbol lookup cache must charge exactly the
+  // steps the legacy linear search counts, across rebinds and unbinds.
+  expectEquivalent("(defvar *v*)"
+                   "(defvar *pad*)"
+                   "(defun poll (n)"
+                   "  (let ((s 0)) (dotimes (i n) (setq s (+ s *v*))) s))"
+                   "(defun nest (depth n)"
+                   "  (if (zerop depth)"
+                   "      (poll n)"
+                   "      (let ((*pad* depth) (*v* depth))"
+                   "        (+ (nest (1- depth) n) *v*))))",
+                   "nest", {Value::fixnum(12), Value::fixnum(40)});
+}
+
+TEST(EngineEquivalenceFixed, TrapsAgree) {
+  expectEquivalent("(defun boom (n) (/ n 0))", "boom", {Value::fixnum(7)});
+  expectEquivalent("(defun deep (n) (+ 1 (deep n)))", "deep",
+                   {Value::fixnum(1)});
+  expectEquivalent("(defun car-of-fixnum (n) (car n))", "car-of-fixnum",
+                   {Value::fixnum(3)});
+}
+
+TEST(EngineEquivalenceFixed, UnoptimizedCodeAgrees) {
+  driver::CompilerOptions NoOpt;
+  NoOpt.Optimize = false;
+  NoOpt.Codegen.TnBind.UseRegisters = false;
+  expectEquivalent("(defun k (n) (let ((s 0)) (dotimes (i n) "
+                   "(setq s (+ s i))) s))",
+                   "k", {Value::fixnum(200)}, NoOpt);
+}
+
+TEST(EngineEquivalenceFixed, DisabledDetailGatesOnlyDetailCounters) {
+  const char *Source = "(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) "
+                       "(fib (- n 2)))))";
+  ir::Module M;
+  driver::CompileOutcome Out = driver::compileSource(M, Source, {});
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  for (vm::Engine Eng : {vm::Engine::Legacy, vm::Engine::Threaded}) {
+    EngineRun On = runOn(Out.Program, M, "fib", {Value::fixnum(12)}, Eng,
+                         /*DetailedStats=*/true);
+    EngineRun Off = runOn(Out.Program, M, "fib", {Value::fixnum(12)}, Eng,
+                          /*DetailedStats=*/false);
+    EXPECT_EQ(On.Text, Off.Text);
+    // Architectural counters survive; only the detail set goes dark.
+    EXPECT_EQ(On.Stats.Instructions, Off.Stats.Instructions);
+    EXPECT_EQ(On.Stats.Calls, Off.Stats.Calls);
+    EXPECT_EQ(On.Stats.SpecialSearchSteps, Off.Stats.SpecialSearchSteps);
+    EXPECT_EQ(Off.Stats.Movs, 0u);
+    EXPECT_GT(On.Stats.Movs, 0u);
+    uint64_t OffHistogram = 0;
+    for (uint64_t C : Off.Stats.PerOpcode)
+      OffHistogram += C;
+    EXPECT_EQ(OffHistogram, 0u);
+  }
+}
+
+} // namespace

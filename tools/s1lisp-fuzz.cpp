@@ -13,6 +13,7 @@
 #include "fuzz/Oracle.h"
 #include "fuzz/Reducer.h"
 #include "sexpr/Printer.h"
+#include "vm/Machine.h"
 
 #include <cstdio>
 #include <cstring>
@@ -48,6 +49,11 @@ const char *UsageText =
     "  --config=NAME       test one ablation configuration instead of all\n"
     "  --list-configs      print the ablation matrix names and exit\n"
     "  --stats             attach a src/stats counter delta to divergences\n"
+    "                      (forces --jobs=1: deltas snapshot one registry)\n"
+    "  --jobs=N            worker threads fanning out over the ablation\n"
+    "                      matrix (default 1 = serial)\n"
+    "  --engine=E          simulator dispatch engine for the compiled side:\n"
+    "                      \"threaded\" (default) or \"legacy\"\n"
     "\n"
     "Reduction:\n"
     "  --reduce            shrink each diverging program to a minimal\n"
@@ -70,6 +76,8 @@ struct CliOptions {
   std::string Config;
   bool ListConfigs = false;
   bool Stats = false;
+  unsigned Jobs = 1;
+  vm::Engine Engine = vm::Engine::Threaded;
   bool Reduce = false;
   std::string OutDir = ".";
   bool FaultFold = false;
@@ -122,6 +130,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       O.ListConfigs = true;
     } else if (std::strcmp(A, "--stats") == 0) {
       O.Stats = true;
+    } else if (startsWith(A, "--jobs=") && parseUnsigned(A + 7, N)) {
+      O.Jobs = N;
+    } else if (startsWith(A, "--engine=")) {
+      auto E = vm::engineByName(A + 9);
+      if (!E) {
+        fprintf(stderr,
+                "s1lisp-fuzz: unknown engine '%s' (expected legacy or "
+                "threaded)\n",
+                A + 9);
+        return false;
+      }
+      O.Engine = *E;
     } else if (std::strcmp(A, "--reduce") == 0) {
       O.Reduce = true;
     } else if (startsWith(A, "--out=")) {
@@ -190,6 +210,8 @@ int main(int Argc, char **Argv) {
   fuzz::OracleOptions Oracle;
   Oracle.Configs = Matrix;
   Oracle.CaptureStats = Cli.Stats;
+  Oracle.Jobs = Cli.Jobs;
+  Oracle.Engine = Cli.Engine;
 
   unsigned Diverged = 0, ConvertErrors = 0, Rows = 0, TolOverflow = 0,
            TolElision = 0, Reduced = 0;

@@ -39,6 +39,9 @@ const char *UsageText =
     "                      no arguments on the simulator\n"
     "  --interp[=ENTRY]    evaluate ENTRY with the tree-walking interpreter\n"
     "                      instead (the semantic oracle)\n"
+    "  --engine=E          simulator dispatch engine: \"threaded\" (pre-decoded\n"
+    "                      direct-threaded loop, default) or \"legacy\" (the\n"
+    "                      original per-step switch)\n"
     "  --listing           print the generated assembly (Table 4 style)\n"
     "\n"
     "Optimization level:\n"
@@ -68,6 +71,7 @@ struct CliOptions {
   bool Listing = false;
   bool Run = false;
   bool Interp = false;
+  vm::Engine Engine = vm::Engine::Threaded;
   std::string Entry = "main";
   bool TimePhases = false;
   bool Stats = false;
@@ -120,6 +124,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     } else if (startsWith(A, "--interp=")) {
       O.Interp = true;
       O.Entry = A + 9;
+    } else if (startsWith(A, "--engine=")) {
+      auto E = vm::engineByName(A + 9);
+      if (!E) {
+        fprintf(stderr,
+                "s1lispc: unknown engine '%s' (expected legacy or threaded)\n",
+                A + 9);
+        return false;
+      }
+      O.Engine = *E;
     } else if (std::strcmp(A, "-O0") == 0) {
       O.Compiler.Optimize = false;
     } else if (std::strcmp(A, "-O2") == 0) {
@@ -193,6 +206,7 @@ bool writeFileOrStdout(const std::string &Path, const std::string &Content) {
 
 int runOnSimulator(ir::Module &M, const s1::Program &P, const CliOptions &O) {
   vm::Machine VM(P, M.Syms, M.DataHeap);
+  VM.setEngine(O.Engine);
   if (P.indexOf(O.Entry) < 0) {
     fprintf(stderr, "s1lispc: entry function '%s' is not defined", O.Entry.c_str());
     fprintf(stderr, P.Functions.empty() ? "\n" : "; available:");
