@@ -63,23 +63,33 @@ int printTable() {
   printf("%-22s %6s %10s %12s %14s\n", "sweep", "jobs", "rows",
          "machines/s", "wall ms");
   JsonReport Report("fuzz_throughput");
+  // Job sweep {1, 2, 4, hardware_concurrency}, one row set per job count,
+  // deduplicated when hardware_concurrency lands on a swept value. The
+  // legacy-engine row pins the decode-per-instruction baseline at 1 job.
   struct Row {
-    const char *Name;
+    std::string Name;
     unsigned Jobs;
     vm::Engine Eng;
-  } Rows[] = {
-      {"serial/threaded", 1, vm::Engine::Threaded},
-      {"parallel/threaded", Hw, vm::Engine::Threaded},
-      {"serial/legacy", 1, vm::Engine::Legacy},
   };
+  std::vector<Row> Rows;
+  Rows.push_back({"serial/threaded", 1, vm::Engine::Threaded});
+  unsigned PrevJ = 1, MaxJ = 1;
+  for (unsigned J : {2u, 4u, Hw}) {
+    if (J <= PrevJ)
+      continue;
+    Rows.push_back({"parallel" + std::to_string(J) + "/threaded", J,
+                    vm::Engine::Threaded});
+    PrevJ = MaxJ = J;
+  }
+  Rows.push_back({"serial/legacy", 1, vm::Engine::Legacy});
   double SerialNs = 0, ParallelNs = 0;
   bool Clean = true;
   for (const Row &R : Rows) {
     Sweep S = runSweep(R.Jobs, R.Eng);
     Clean = Clean && S.Divergent == 0;
     double PerSec = S.Rows / (S.Ns / 1e9);
-    printf("%-22s %6u %10" PRIu64 " %12.0f %14.1f%s\n", R.Name, R.Jobs, S.Rows,
-           PerSec, S.Ns / 1e6, S.Divergent ? "  DIVERGED" : "");
+    printf("%-22s %6u %10" PRIu64 " %12.0f %14.1f%s\n", R.Name.c_str(), R.Jobs,
+           S.Rows, PerSec, S.Ns / 1e6, S.Divergent ? "  DIVERGED" : "");
     std::string Prefix = R.Name;
     for (char &C : Prefix)
       if (C == '/')
@@ -91,12 +101,12 @@ int printTable() {
     Report.add(Prefix + ".divergent", S.Divergent);
     if (R.Jobs == 1 && R.Eng == vm::Engine::Threaded)
       SerialNs = S.Ns;
-    if (R.Jobs > 1)
+    if (R.Jobs == MaxJ && R.Jobs > 1)
       ParallelNs = S.Ns;
   }
   if (ParallelNs > 0) {
     double Scaling = SerialNs / ParallelNs;
-    printf("parallel scaling: %.2fx over serial at %u jobs\n", Scaling, Hw);
+    printf("parallel scaling: %.2fx over serial at %u jobs\n", Scaling, MaxJ);
     Report.add("scaling_x100", static_cast<uint64_t>(Scaling * 100));
   }
   Report.write();

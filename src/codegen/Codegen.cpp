@@ -7,8 +7,11 @@
 #include "sexpr/Numbers.h"
 #include "sexpr/Printer.h"
 #include "stats/Stats.h"
+#include "support/Parallel.h"
 
 #include <deque>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -41,17 +44,27 @@ struct LiftedLambda {
   const LambdaNode *Lambda;
   ir::Function *IrFunction;
   int EnvLayoutId; ///< layout of the environment the closure captures
-  int FuncIndex;
+  int LocalIndex;  ///< ordinal among this unit's lifted closures
   std::string Name;
 };
 
+/// Compiles ONE module function (plus every closure lifted out of it) into
+/// a private, relocatable unit: a local static pool addressed from
+/// StaticBase, unit-local symbol ordinals inside Symbol-tagged words, and
+/// unit-local lift indices inside MakeClosure operands. Units are
+/// independent, so they compile on worker threads; the serial link in
+/// codegen::compileModule relocates them in module order.
 class ModuleCompiler {
 public:
-  ModuleCompiler(ir::Module &M, const CodegenOptions &Opts) : M(M), Opts(Opts) {}
+  ModuleCompiler(ir::Module &M, const CodegenOptions &Opts,
+                 const std::unordered_map<std::string, int> &FuncIndex)
+      : M(M), Opts(Opts), FuncIndex(FuncIndex) {}
 
-  bool run(CompileResult &Result);
+  bool run(ir::Function &F);
 
-  /// Encodes a literal into the static image; returns its word.
+  /// Encodes a literal into the unit's static pool; returns its word.
+  /// Symbol words carry a unit-local ordinal in the address field until
+  /// the link rewrites them.
   uint64_t encodeStatic(Value V);
   uint64_t symbolCell(const sexpr::Symbol *S);
   uint64_t tWord() { return encodeStatic(Value::symbol(M.Syms.t())); }
@@ -67,16 +80,32 @@ public:
   }
   const EnvLayout &layout(int Id) const { return Layouts[Id]; }
 
-  /// Queues a closure body for compilation; returns its function index.
+  /// Queues a closure body for compilation; returns the encoded unit-local
+  /// function reference (-1 - ordinal) the link resolves to a global index.
   int liftClosure(const LambdaNode *L, ir::Function *IrF, int EnvLayoutId);
 
   ir::Module &M;
   const CodegenOptions &Opts;
-  s1::Program Program;
   std::string Error;
 
+  //===--- link inputs ----------------------------------------------------===//
+  /// [0] is the module function; lifted closures follow in queue order.
+  std::vector<s1::AsmFunction> Fns;
+  /// Local data pool (cons cells, flonum/ratio payloads, string headers —
+  /// never symbol cells), addressed from StaticBase.
+  std::vector<uint64_t> Static;
+  /// Pool slots holding encoded words that the link must relocate (cons
+  /// car/cdr). Raw payload words (float bits, ratio ints, string lengths)
+  /// are deliberately absent: they can alias any tag pattern.
+  std::vector<size_t> PtrSlots;
+  /// Symbols in first-use order; a Symbol word's address field indexes here.
+  std::vector<const sexpr::Symbol *> SymList;
+  /// Static string objects at unit-local addresses.
+  std::vector<std::pair<uint64_t, std::string>> Strings;
+
 private:
-  std::unordered_map<std::string, int> FuncIndex;
+  const std::unordered_map<std::string, int> &FuncIndex;
+  std::unordered_map<const sexpr::Symbol *, uint64_t> SymIdx;
   std::vector<EnvLayout> Layouts;
   std::deque<LiftedLambda> LiftQueue;
   unsigned LiftCounter = 0;
@@ -397,13 +426,13 @@ private:
 //===----------------------------------------------------------------------===//
 
 uint64_t ModuleCompiler::symbolCell(const sexpr::Symbol *S) {
-  auto It = Program.SymbolAddr.find(S);
-  if (It != Program.SymbolAddr.end())
+  auto It = SymIdx.find(S);
+  if (It != SymIdx.end())
     return It->second;
-  uint64_t Addr = /*StaticBase*/ 16 + Program.Static.size();
-  Program.Static.push_back(~0ull); // globally unbound
-  Program.SymbolAddr[S] = Addr;
-  return Addr;
+  uint64_t Idx = SymList.size();
+  SymList.push_back(S);
+  SymIdx[S] = Idx;
+  return Idx;
 }
 
 uint64_t ModuleCompiler::encodeStatic(Value V) {
@@ -419,32 +448,34 @@ uint64_t ModuleCompiler::encodeStatic(Value V) {
   case sexpr::ValueKind::Symbol:
     return makePointer(Tag::Symbol, symbolCell(V.symbol()));
   case sexpr::ValueKind::Flonum: {
-    uint64_t Addr = 16 + Program.Static.size();
+    uint64_t Addr = 16 + Static.size();
     uint64_t Bits;
     double D = V.flonum();
     static_assert(sizeof(Bits) == sizeof(D));
     __builtin_memcpy(&Bits, &D, sizeof(Bits));
-    Program.Static.push_back(Bits);
+    Static.push_back(Bits);
     return makePointer(Tag::SingleFlonum, Addr);
   }
   case sexpr::ValueKind::Ratio: {
-    uint64_t Addr = 16 + Program.Static.size();
-    Program.Static.push_back(static_cast<uint64_t>(V.ratio().Num));
-    Program.Static.push_back(static_cast<uint64_t>(V.ratio().Den));
+    uint64_t Addr = 16 + Static.size();
+    Static.push_back(static_cast<uint64_t>(V.ratio().Num));
+    Static.push_back(static_cast<uint64_t>(V.ratio().Den));
     return makePointer(Tag::Ratio, Addr);
   }
   case sexpr::ValueKind::String: {
-    uint64_t Addr = 16 + Program.Static.size();
-    Program.Static.push_back(V.stringValue().size());
-    Program.StringAddr.push_back({Addr, V.stringValue()});
+    uint64_t Addr = 16 + Static.size();
+    Static.push_back(V.stringValue().size());
+    Strings.push_back({Addr, V.stringValue()});
     return makePointer(Tag::String, Addr);
   }
   case sexpr::ValueKind::Cons: {
     uint64_t Car = encodeStatic(V.car());
     uint64_t Cdr = encodeStatic(V.cdr());
-    uint64_t Addr = 16 + Program.Static.size();
-    Program.Static.push_back(Car);
-    Program.Static.push_back(Cdr);
+    uint64_t Addr = 16 + Static.size();
+    PtrSlots.push_back(Static.size());
+    Static.push_back(Car);
+    PtrSlots.push_back(Static.size());
+    Static.push_back(Cdr);
     return makePointer(Tag::Cons, Addr);
   }
   }
@@ -454,55 +485,38 @@ uint64_t ModuleCompiler::encodeStatic(Value V) {
 int ModuleCompiler::liftClosure(const LambdaNode *L, ir::Function *IrF,
                                 int EnvLayoutId) {
   ++NumClosuresLifted;
-  // Module functions occupy indices [0, N); lifted closures follow in the
-  // order they are queued, regardless of how many module functions have
-  // been *compiled* so far.
-  int Index = static_cast<int>(M.functions().size()) +
-              static_cast<int>(LiftCounter);
+  int LocalIndex = static_cast<int>(LiftCounter);
   std::string Name = IrF->name() + "$lambda-" + std::to_string(++LiftCounter);
-  LiftQueue.push_back({L, IrF, EnvLayoutId, Index, Name});
-  return Index;
+  LiftQueue.push_back({L, IrF, EnvLayoutId, LocalIndex, Name});
+  // The global index of a lifted closure is unknowable while units compile
+  // concurrently; MakeClosure carries -1 - ordinal until the link patches
+  // it. Module-function references stay positive and need no patching.
+  return -1 - LocalIndex;
 }
 
-bool ModuleCompiler::run(CompileResult &Result) {
-  // Pre-assign indices so mutually recursive calls resolve.
-  for (const auto &F : M.functions())
-    FuncIndex[F->name()] = static_cast<int>(FuncIndex.size());
-
-  // Annotate and compile each module function.
-  for (const auto &F : M.functions()) {
-    annotate::annotate(*F, Opts.Annotate);
-    FunctionCompiler FC(*this, *F, F->Root, /*IncomingLayout=*/-1, F->name());
+bool ModuleCompiler::run(ir::Function &F) {
+  annotate::annotate(F, Opts.Annotate);
+  {
+    FunctionCompiler FC(*this, F, F.Root, /*IncomingLayout=*/-1, F.name());
     AsmFunction Asm;
-    if (!FC.compile(Asm)) {
-      Result.Error = Error;
+    if (!FC.compile(Asm))
       return false;
-    }
-    Program.Functions.push_back(std::move(Asm));
+    Fns.push_back(std::move(Asm));
   }
 
   // Compile lifted closures (the queue may grow while we drain it).
   while (!LiftQueue.empty()) {
     LiftedLambda L = LiftQueue.front();
     LiftQueue.pop_front();
-    assert(static_cast<int>(Program.Functions.size()) == L.FuncIndex &&
+    assert(static_cast<int>(Fns.size()) == L.LocalIndex + 1 &&
            "lift queue out of order");
     FunctionCompiler FC(*this, *L.IrFunction, L.Lambda, L.EnvLayoutId, L.Name);
     AsmFunction Asm;
-    if (!FC.compile(Asm)) {
-      Result.Error = Error;
+    if (!FC.compile(Asm))
       return false;
-    }
-    Program.Functions.push_back(std::move(Asm));
+    Fns.push_back(std::move(Asm));
   }
-
-  if (!Error.empty()) {
-    Result.Error = Error;
-    return false;
-  }
-  Result.Program = std::move(Program);
-  Result.Ok = true;
-  return true;
+  return Error.empty();
 }
 
 //===----------------------------------------------------------------------===//
@@ -951,14 +965,126 @@ Operand FunctionCompiler::currentEnvOperand() {
 CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) {
   stats::PhaseTimer Timer("codegen");
   CompileResult Result;
-  ModuleCompiler MC(M, Opts);
-  MC.run(Result);
-  if (Result.Ok) {
-    for (const s1::AsmFunction &F : Result.Program.Functions) {
-      ++NumFunctionsCompiled;
-      NumInstructionsEmitted += F.Code.size();
-      NumMovsEmitted += F.countOpcode(s1::Opcode::MOV);
+
+  // Pre-assign module-function indices so mutually recursive calls resolve
+  // identically in every unit.
+  std::unordered_map<std::string, int> FuncIndex;
+  for (const auto &F : M.functions())
+    FuncIndex[F->name()] = static_cast<int>(FuncIndex.size());
+
+  const size_t NumUnits = M.functions().size();
+  std::vector<std::unique_ptr<ModuleCompiler>> Units;
+  Units.reserve(NumUnits);
+  for (size_t U = 0; U < NumUnits; ++U)
+    Units.push_back(std::make_unique<ModuleCompiler>(M, Opts, FuncIndex));
+
+  // Worker threads leave stats at their default (off); per-unit tallies
+  // applied in unit order after the join keep counter totals identical to
+  // a serial run.
+  std::vector<stats::LocalTally> Tallies(NumUnits);
+  const bool Tally = stats::enabled();
+  std::vector<char> UnitOk(NumUnits, 0);
+  support::parallelFor(NumUnits, Opts.Jobs, [&](size_t U) {
+    std::optional<stats::TallyScope> Scope;
+    if (Tally)
+      Scope.emplace(Tallies[U]);
+    UnitOk[U] = Units[U]->run(*M.functions()[U]) ? 1 : 0;
+  });
+  if (Tally)
+    for (stats::LocalTally &T : Tallies)
+      T.apply();
+
+  for (size_t U = 0; U < NumUnits; ++U)
+    if (!UnitOk[U]) {
+      Result.Error = Units[U]->Error;
+      return Result;
     }
+
+  //===--- link: relocate units in module order ---------------------------===//
+  s1::Program P;
+  const int NumModuleFns = static_cast<int>(NumUnits);
+  std::vector<uint64_t> Delta(NumUnits); // unit-local addr + Delta = global
+  std::vector<int> LiftBase(NumUnits);   // lifts of earlier units
+  uint64_t DataWords = 0;
+  int Lifts = 0;
+  for (size_t U = 0; U < NumUnits; ++U) {
+    Delta[U] = DataWords;
+    DataWords += Units[U]->Static.size();
+    LiftBase[U] = Lifts;
+    Lifts += static_cast<int>(Units[U]->Fns.size()) - 1;
+  }
+
+  // Data image: unit pools in module order, then one cell per distinct
+  // symbol (first-global-use order), initialized globally unbound.
+  P.Static.reserve(DataWords);
+  for (const auto &U : Units)
+    P.Static.insert(P.Static.end(), U->Static.begin(), U->Static.end());
+  for (const auto &U : Units)
+    for (const sexpr::Symbol *S : U->SymList)
+      if (!P.SymbolAddr.count(S)) {
+        P.SymbolAddr[S] = /*StaticBase*/ 16 + P.Static.size();
+        P.Static.push_back(~0ull);
+      }
+
+  // Rewrites one encoded word from unit U's local space into the global
+  // one. Non-pointer tags (immediates, raw small ints, ~0 markers) pass
+  // through untouched.
+  auto PatchWord = [&](uint64_t W, size_t U) -> uint64_t {
+    switch (tagOf(W)) {
+    case Tag::Symbol:
+      return makePointer(Tag::Symbol,
+                         P.SymbolAddr.at(Units[U]->SymList[addrOf(W)]));
+    case Tag::Cons:
+    case Tag::SingleFlonum:
+    case Tag::String:
+    case Tag::Ratio:
+      return (W & ~AddrMask) | ((addrOf(W) + Delta[U]) & AddrMask);
+    default:
+      return W;
+    }
+  };
+
+  for (size_t U = 0; U < NumUnits; ++U)
+    for (size_t Slot : Units[U]->PtrSlots) {
+      uint64_t &W = P.Static[Delta[U] + Slot];
+      W = PatchWord(W, U);
+    }
+  for (size_t U = 0; U < NumUnits; ++U)
+    for (const auto &[Addr, Str] : Units[U]->Strings)
+      P.StringAddr.push_back({Addr + Delta[U], Str});
+
+  // Functions: module functions in order, then each unit's lifted closures
+  // in unit order. Instruction immediates are patched by tag; MakeClosure
+  // operands carrying encoded unit-local lift ordinals (negative) become
+  // global indices first, so the general pass sees only small positives.
+  auto PatchFn = [&](s1::AsmFunction &F, size_t U) {
+    for (s1::Instruction &I : F.Code) {
+      if (I.Op == Opcode::SYSCALL && I.A.M == Operand::Mode::Imm &&
+          I.A.Imm == static_cast<int64_t>(Syscall::MakeClosure) &&
+          I.B.Imm < 0)
+        I.B.Imm = NumModuleFns + LiftBase[U] + (-1 - I.B.Imm);
+      for (Operand *O : {&I.A, &I.B, &I.X})
+        if (O->M == Operand::Mode::Imm)
+          O->Imm = static_cast<int64_t>(
+              PatchWord(static_cast<uint64_t>(O->Imm), U));
+    }
+  };
+  for (size_t U = 0; U < NumUnits; ++U) {
+    PatchFn(Units[U]->Fns[0], U);
+    P.Functions.push_back(std::move(Units[U]->Fns[0]));
+  }
+  for (size_t U = 0; U < NumUnits; ++U)
+    for (size_t L = 1; L < Units[U]->Fns.size(); ++L) {
+      PatchFn(Units[U]->Fns[L], U);
+      P.Functions.push_back(std::move(Units[U]->Fns[L]));
+    }
+
+  Result.Program = std::move(P);
+  Result.Ok = true;
+  for (const s1::AsmFunction &F : Result.Program.Functions) {
+    ++NumFunctionsCompiled;
+    NumInstructionsEmitted += F.Code.size();
+    NumMovsEmitted += F.countOpcode(s1::Opcode::MOV);
   }
   return Result;
 }

@@ -34,6 +34,11 @@ struct CodegenOptions {
   bool TailCalls = true;
   /// Let expression temporaries use registers (ablation: frame slots only).
   bool RegisterTemps = true;
+  /// Worker threads for per-function compilation units. Each module
+  /// function (plus its lifted closures) compiles into a private unit;
+  /// units are linked serially in module order, so the output is
+  /// bit-identical for any job count.
+  unsigned Jobs = 1;
 };
 
 struct CompileResult {

@@ -4,19 +4,53 @@
 
 #include "frontend/Convert.h"
 #include "stats/Stats.h"
+#include "support/Parallel.h"
+
+#include <optional>
+#include <vector>
 
 using namespace s1lisp;
 using namespace s1lisp::driver;
 
-CompileOutcome driver::compileModule(ir::Module &M, const CompilerOptions &Opts) {
+CompileOutcome driver::compileModule(ir::Module &M, const CompilerOptions &Opts,
+                                     stats::RemarkStream *Remarks) {
   CompileOutcome Out;
-  if (Opts.Optimize)
-    for (const auto &F : M.functions())
-      opt::metaEvaluate(*F, Opts.Opt);
-  if (Opts.Cse)
-    for (const auto &F : M.functions())
-      opt::eliminateCommonSubexpressions(*F, Opts.CseOpts);
-  codegen::CompileResult R = codegen::compileModule(M, Opts.Codegen);
+  const size_t N = M.functions().size();
+  if (N && (Opts.Optimize || Opts.Cse)) {
+    stats::PhaseTimer Timer("driver.optimize");
+    // Each function optimizes against private remark/stat sinks; merging
+    // in function order afterwards makes the transcript and counter totals
+    // independent of worker scheduling. The nested phase timers fire only
+    // at Jobs <= 1, where the lambda runs on this thread.
+    std::vector<stats::RemarkStream> FnRemarks(Remarks ? N : 0);
+    std::vector<stats::LocalTally> Tallies(N);
+    const bool Tally = stats::enabled();
+    support::parallelFor(N, Opts.Jobs, [&](size_t I) {
+      std::optional<stats::TallyScope> Scope;
+      if (Tally)
+        Scope.emplace(Tallies[I]);
+      stats::RemarkStream *R = Remarks ? &FnRemarks[I] : nullptr;
+      ir::Function &F = *M.functions()[I];
+      if (Opts.Optimize) {
+        stats::PhaseTimer T("opt.metaeval");
+        opt::metaEvaluate(F, Opts.Opt, R);
+      }
+      if (Opts.Cse) {
+        stats::PhaseTimer T("opt.cse");
+        opt::eliminateCommonSubexpressions(F, Opts.CseOpts, R);
+      }
+    });
+    if (Tally)
+      for (stats::LocalTally &T : Tallies)
+        T.apply();
+    if (Remarks)
+      for (stats::RemarkStream &R : FnRemarks)
+        for (stats::Remark &Rm : R.Remarks)
+          Remarks->remark(std::move(Rm));
+  }
+  codegen::CodegenOptions CG = Opts.Codegen;
+  CG.Jobs = Opts.Jobs;
+  codegen::CompileResult R = codegen::compileModule(M, CG);
   if (!R.Ok) {
     Out.Error = R.Error;
     return Out;
@@ -38,16 +72,7 @@ CompileOutcome driver::compileSource(ir::Module &M, std::string_view Source,
       return Out;
     }
   }
-  if (Opts.Optimize)
-    for (const auto &F : M.functions())
-      opt::metaEvaluate(*F, Opts.Opt, Remarks);
-  if (Opts.Cse)
-    for (const auto &F : M.functions())
-      opt::eliminateCommonSubexpressions(*F, Opts.CseOpts, Remarks);
-  CompilerOptions Rest = Opts;
-  Rest.Optimize = false;
-  Rest.Cse = false;
-  return compileModule(M, Rest);
+  return compileModule(M, Opts, Remarks);
 }
 
 std::string driver::listing(const s1::Program &P) {

@@ -29,6 +29,12 @@ struct CompilerOptions {
   opt::OptOptions Opt;
   opt::CseOptions CseOpts;
   codegen::CodegenOptions Codegen;
+  /// Worker threads for the per-function pipeline: optimize + CSE fan out
+  /// over the module's functions, and code generation compiles each
+  /// function's unit concurrently before a serial link. Propagated into
+  /// CodegenOptions::Jobs. Output (program, listings, remark set, merged
+  /// stats) is bit-identical for any job count.
+  unsigned Jobs = 1;
 };
 
 struct CompileOutcome {
@@ -44,8 +50,11 @@ CompileOutcome compileSource(ir::Module &M, std::string_view Source,
                              const CompilerOptions &Opts = {},
                              stats::RemarkStream *Remarks = nullptr);
 
-/// Compiles an already-converted (and possibly optimized) module.
-CompileOutcome compileModule(ir::Module &M, const CompilerOptions &Opts = {});
+/// Compiles an already-converted module: optimize + CSE + codegen, fanned
+/// out per function when Opts.Jobs > 1. Remarks, when given, arrive merged
+/// in module-function order regardless of the job count.
+CompileOutcome compileModule(ir::Module &M, const CompilerOptions &Opts = {},
+                             stats::RemarkStream *Remarks = nullptr);
 
 /// The whole program as a parenthesized assembly listing (Table 4 style).
 std::string listing(const s1::Program &P);

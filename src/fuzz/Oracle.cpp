@@ -157,19 +157,25 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
     stats::setEnabled(true);
   unsigned Jobs = O.CaptureStats ? 1 : std::max(1u, O.Jobs);
 
-  // Every configuration is independent: it compiles its own module and
-  // runs the grid on its own machines, merging into a per-config result
-  // slot. Worker threads have stats/timing collection off (thread-local),
-  // so concurrent compiles never touch the registry.
+  // Every configuration is independent: it deep-clones the one converted
+  // module (sharing the frontend work across the whole matrix instead of
+  // re-reading and re-converting the source per config) and runs the grid
+  // on its own machines, merging into a per-config result slot. The clone
+  // only reads RefM, so concurrent workers can clone from it; worker
+  // threads have stats/timing collection off (thread-local), so concurrent
+  // compiles never touch the registry. Per-config stats deltas therefore
+  // cover optimize + codegen only — frontend conversion happens once,
+  // before any config runs.
   std::vector<CheckResult> PerConfig(Matrix.size());
   support::parallelFor(Matrix.size(), Jobs, [&](size_t C) {
     const driver::AblationConfig &Config = Matrix[C];
     CheckResult &CR = PerConfig[C];
     ir::Module M;
+    RefM.clone(M);
     stats::StatsSnapshot Before;
     if (O.CaptureStats)
       Before = stats::snapshotStats();
-    driver::CompileOutcome Out = driver::compileSource(M, P.Source, Config.Opts);
+    driver::CompileOutcome Out = driver::compileModule(M, Config.Opts);
     std::string StatsJson =
         O.CaptureStats ? stats::reportStatsDeltaJson(Before) : std::string();
     if (!Out.Ok) {

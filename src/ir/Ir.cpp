@@ -135,7 +135,14 @@ SetqNode *Function::makeSetq(Variable *Var, Node *ValueExpr) {
   SetqNode *N = track(NodeTally, A.create<SetqNode>(Var, ValueExpr));
   adopt(N, ValueExpr);
   Var->Refs.push_back(N);
-  Var->Written = true;
+  if (!Var->Written) {
+    // The first write flips this variable's reads from pure to effectful,
+    // so any cached analysis above them is stale.
+    Var->Written = true;
+    for (Node *R : Var->Refs)
+      if (R != N)
+        dirtySpine(R);
+  }
   return N;
 }
 
@@ -353,6 +360,41 @@ void ir::replaceChild(Node *Parent, Node *Old, Node *New) {
   }
   assert(Found && "replaceChild: Old is not a child of Parent");
   New->Parent = Parent;
+  dirtySpine(Parent);
+}
+
+void ir::dirtySpine(Node *N) {
+  for (Node *A = N; A; A = A->Parent)
+    A->Dirty = true;
+}
+
+void ir::detachSubtree(Node *Sub) {
+  forEachNode(Sub, [](Node *N) {
+    Variable *V = nullptr;
+    if (auto *VR = dyn_cast<VarRefNode>(N))
+      V = VR->Var;
+    else if (auto *SQ = dyn_cast<SetqNode>(N))
+      V = SQ->Var;
+    if (!V)
+      return;
+    for (auto It = V->Refs.begin(); It != V->Refs.end(); ++It)
+      if (*It == N) {
+        V->Refs.erase(It);
+        break;
+      }
+    if (N->kind() == NodeKind::Setq && V->Written) {
+      bool StillWritten = false;
+      for (Node *R : V->Refs)
+        StillWritten |= R->kind() == NodeKind::Setq;
+      if (!StillWritten) {
+        // The variable just became read-only; its remaining reads turn
+        // pure, so the analysis cached above them is stale.
+        V->Written = false;
+        for (Node *R : V->Refs)
+          dirtySpine(R);
+      }
+    }
+  });
 }
 
 void ir::recomputeParents(Node *Root) {
@@ -388,6 +430,8 @@ void ir::recomputeVariableRefs(Function &F) {
 namespace {
 
 struct Cloner {
+  explicit Cloner(Function &F) : F(F) {}
+
   Function &F;
   std::unordered_map<const Variable *, Variable *> VarMap;
   std::unordered_map<const ProgBodyNode *, ProgBodyNode *> BodyMap;
@@ -396,15 +440,36 @@ struct Cloner {
   std::vector<GoNode *> Gos;
   std::vector<ReturnNode *> Returns;
 
+  /// Cross-module hooks, identity when unset: Module::clone re-interns
+  /// every symbol and re-allocates every heap datum in the target module's
+  /// tables, and maps free variables too (a clone into another module must
+  /// share nothing with the source).
+  std::function<const sexpr::Symbol *(const sexpr::Symbol *)> MapSym;
+  std::function<sexpr::Value(sexpr::Value)> MapVal;
+  bool MapAllVars = false;
+
+  const sexpr::Symbol *mapSym(const sexpr::Symbol *S) {
+    return MapSym && S ? MapSym(S) : S;
+  }
+  sexpr::Value mapVal(sexpr::Value V) { return MapVal ? MapVal(V) : V; }
+
   Variable *mapVar(Variable *V) {
     auto It = VarMap.find(V);
-    return It == VarMap.end() ? V : It->second;
+    if (It != VarMap.end())
+      return It->second;
+    if (!MapAllVars)
+      return V;
+    // Free in the cloned tree (no binder below the root being copied);
+    // Binder stays null, flags are copied in a post-pass.
+    Variable *NV = F.makeVariable(mapSym(V->name()), V->isSpecial());
+    VarMap[V] = NV;
+    return NV;
   }
 
   Node *clone(const Node *N) {
     switch (N->kind()) {
     case NodeKind::Literal:
-      return withLoc(N, F.makeLiteral(cast<LiteralNode>(N)->Datum));
+      return withLoc(N, F.makeLiteral(mapVal(cast<LiteralNode>(N)->Datum)));
     case NodeKind::VarRef:
       return withLoc(N, F.makeVarRef(mapVar(cast<VarRefNode>(N)->Var)));
     case NodeKind::Setq: {
@@ -426,13 +491,13 @@ struct Cloner {
       LambdaNode *NL = F.makeLambda();
       NL->Strategy = L->Strategy;
       for (Variable *P : L->Required) {
-        Variable *NP = F.makeVariable(P->name(), P->isSpecial());
+        Variable *NP = F.makeVariable(mapSym(P->name()), P->isSpecial());
         NP->Binder = NL;
         VarMap[P] = NP;
         NL->Required.push_back(NP);
       }
       for (const auto &O : L->Optionals) {
-        Variable *NP = F.makeVariable(O.Var->name(), O.Var->isSpecial());
+        Variable *NP = F.makeVariable(mapSym(O.Var->name()), O.Var->isSpecial());
         NP->Binder = NL;
         VarMap[O.Var] = NP;
         Node *NDefault = O.Default ? clone(O.Default) : nullptr;
@@ -441,7 +506,7 @@ struct Cloner {
         NL->Optionals.push_back({NP, NDefault});
       }
       if (L->Rest) {
-        Variable *NP = F.makeVariable(L->Rest->name(), L->Rest->isSpecial());
+        Variable *NP = F.makeVariable(mapSym(L->Rest->name()), L->Rest->isSpecial());
         NP->Binder = NL;
         VarMap[L->Rest] = NP;
         NL->Rest = NP;
@@ -456,14 +521,19 @@ struct Cloner {
       for (const Node *AN : C->Args)
         Args.push_back(clone(AN));
       if (C->Name)
-        return withLoc(N, F.makeCall(C->Name, std::move(Args)));
+        return withLoc(N, F.makeCall(mapSym(C->Name), std::move(Args)));
       return withLoc(N, F.makeCallExpr(clone(C->CalleeExpr), std::move(Args)));
     }
     case NodeKind::Caseq: {
       const auto *C = cast<CaseqNode>(N);
       std::vector<CaseqNode::Clause> Clauses;
-      for (const auto &Cl : C->Clauses)
-        Clauses.push_back({Cl.Keys, clone(Cl.Body)});
+      for (const auto &Cl : C->Clauses) {
+        std::vector<sexpr::Value> Keys;
+        Keys.reserve(Cl.Keys.size());
+        for (sexpr::Value K : Cl.Keys)
+          Keys.push_back(mapVal(K));
+        Clauses.push_back({std::move(Keys), clone(Cl.Body)});
+      }
       return withLoc(N, F.makeCaseq(clone(C->Key), std::move(Clauses), clone(C->Default)));
     }
     case NodeKind::Catcher: {
@@ -474,14 +544,14 @@ struct Cloner {
       const auto *P = cast<ProgBodyNode>(N);
       std::vector<ProgBodyNode::Item> Items;
       for (const auto &I : P->Items)
-        Items.push_back({I.Tag, I.Stmt ? clone(I.Stmt) : nullptr});
+        Items.push_back({mapSym(I.Tag), I.Stmt ? clone(I.Stmt) : nullptr});
       ProgBodyNode *NP = F.makeProgBody(std::move(Items));
       BodyMap[P] = NP;
       return withLoc(N, NP);
     }
     case NodeKind::Go: {
       const auto *G = cast<GoNode>(N);
-      GoNode *NG = F.makeGo(G->Tag, G->Target);
+      GoNode *NG = F.makeGo(mapSym(G->Tag), G->Target);
       Gos.push_back(NG);
       return withLoc(N, NG);
     }
@@ -515,19 +585,135 @@ struct Cloner {
   }
 };
 
+/// Carries annotations and dirty bits from \p O onto its clone \p N by
+/// walking the two identically-shaped trees in lockstep. Ann.PdlOkp points
+/// into the source tree and is dropped (it is only live between annotate
+/// and codegen, never across a reclaim or module clone).
+void copyAnnotations(const Node *O, Node *N) {
+  N->Ann = O->Ann;
+  N->Ann.PdlOkp = nullptr;
+  N->Dirty = O->Dirty;
+  std::vector<Node *> NC;
+  forEachChild(N, [&NC](Node *C) { NC.push_back(C); });
+  size_t I = 0;
+  forEachChild(O, [&](const Node *C) { copyAnnotations(C, NC[I++]); });
+}
+
+/// Variable annotations the factories do not rebuild. Referent lists and
+/// Written are reconstructed exactly by the clone itself.
+void copyVariableFlags(
+    const std::unordered_map<const Variable *, Variable *> &VarMap) {
+  for (const auto &[OldV, NewV] : VarMap) {
+    NewV->HeapAllocated = OldV->HeapAllocated;
+    NewV->VarRep = OldV->VarRep;
+    NewV->Tn = OldV->Tn;
+  }
+}
+
 } // namespace
 
 Node *ir::cloneTree(Function &F, const Node *N) {
-  Cloner C{F, {}, {}, {}, {}};
+  Cloner C(F);
   Node *Copy = C.clone(N);
   C.fixupTargets();
   return Copy;
+}
+
+size_t Function::reclaim() {
+  if (!Root)
+    return 0;
+  // Move the old arena (and variable list) aside; the factories below
+  // repopulate fresh ones. Everything not reachable from Root — the
+  // garbage that tree surgery left behind — dies when OldA goes out of
+  // scope.
+  NodeArena OldA = std::move(A);
+  Vars.clear();
+  LambdaNode *OldRoot = Root;
+  size_t Freed = OldA.allocatedBytes();
+
+  Cloner C(*this);
+  // Free variables (no binder: globals and specials) live in the old arena
+  // too, so they get fresh storage up front; bound ones are remapped as
+  // the clone reaches their binders.
+  forEachNode(static_cast<const Node *>(OldRoot), [&](const Node *N) {
+    Variable *V = nullptr;
+    if (const auto *VR = dyn_cast<VarRefNode>(N))
+      V = VR->Var;
+    else if (const auto *SQ = dyn_cast<SetqNode>(N))
+      V = SQ->Var;
+    if (!V || V->Binder || C.VarMap.count(V))
+      return;
+    C.VarMap[V] = makeVariable(V->name(), V->isSpecial());
+  });
+  Node *NewRoot = C.clone(OldRoot);
+  C.fixupTargets();
+  copyVariableFlags(C.VarMap);
+  copyAnnotations(OldRoot, NewRoot);
+
+  Root = cast<LambdaNode>(NewRoot);
+  Root->Parent = nullptr;
+  return Freed;
 }
 
 size_t ir::treeSize(const Node *Root) {
   size_t N = 0;
   forEachNode(Root, [&N](const Node *) { ++N; });
   return N;
+}
+
+void Module::clone(Module &Out) const {
+  assert(Out.Functions.empty() && "clone target must be a fresh module");
+
+  // Symbols are re-interned once and cached; heap data is deep-copied
+  // (makeRatio preserves the Den != 1 invariant, so a ratio round-trips
+  // as a ratio).
+  std::unordered_map<const sexpr::Symbol *, const sexpr::Symbol *> SymCache;
+  auto MapSym = [&](const sexpr::Symbol *S) -> const sexpr::Symbol * {
+    auto [It, New] = SymCache.try_emplace(S, nullptr);
+    if (New)
+      It->second = Out.Syms.intern(S->name());
+    return It->second;
+  };
+  std::function<sexpr::Value(sexpr::Value)> MapVal =
+      [&](sexpr::Value V) -> sexpr::Value {
+    switch (V.kind()) {
+    case sexpr::ValueKind::Nil:
+    case sexpr::ValueKind::Fixnum:
+    case sexpr::ValueKind::Flonum:
+      return V;
+    case sexpr::ValueKind::Symbol:
+      return sexpr::Value::symbol(MapSym(V.symbol()));
+    case sexpr::ValueKind::String:
+      return Out.DataHeap.string(V.stringValue());
+    case sexpr::ValueKind::Ratio:
+      return Out.DataHeap.makeRatio(V.ratio().Num, V.ratio().Den);
+    case sexpr::ValueKind::Cons: {
+      const sexpr::Cons *C = V.consCell();
+      return Out.DataHeap.cons(MapVal(C->Car), MapVal(C->Cdr), C->Loc);
+    }
+    }
+    return V;
+  };
+
+  for (const sexpr::Symbol *S : Specials)
+    Out.Specials.push_back(MapSym(S));
+
+  for (const auto &FP : Functions) {
+    const Function &F = *FP;
+    Function *NF = Out.addFunction(F.name());
+    if (!F.Root)
+      continue;
+    Cloner C(*NF);
+    C.MapSym = MapSym;
+    C.MapVal = MapVal;
+    C.MapAllVars = true;
+    Node *NewRoot = C.clone(F.Root);
+    C.fixupTargets();
+    copyVariableFlags(C.VarMap);
+    copyAnnotations(F.Root, NewRoot);
+    NF->Root = cast<LambdaNode>(NewRoot);
+    NF->Root->Parent = nullptr;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -467,6 +467,16 @@ public:
   const std::vector<Variable *> &variables() const { return Vars; }
   size_t nodeCount() const { return NodeTally; }
 
+  /// Copies the live tree (and every Variable it still references) into a
+  /// fresh arena and drops the old one wholesale, reclaiming the garbage
+  /// that tree surgery leaves behind. The meta-evaluator calls this between
+  /// passes once the dead fraction is large. Annotations, dirty bits and
+  /// variable flags survive; detached subtrees do not. Returns the number
+  /// of bytes released.
+  size_t reclaim();
+  size_t arenaBytes() const { return A.allocatedBytes(); }
+  size_t arenaObjects() const { return A.size(); }
+
 private:
   std::string Name;
   sexpr::SymbolTable &Syms;
@@ -495,6 +505,19 @@ void replaceChild(Node *Parent, Node *Old, Node *New);
 
 /// Recomputes all parent links below \p Root (Root's own parent untouched).
 void recomputeParents(Node *Root);
+
+/// Marks \p N and every ancestor up to the root dirty, so the incremental
+/// analyzer re-derives cached effects/complexity along the spine from a
+/// rewritten subtree to the root (§4.2's incremental analysis system).
+void dirtySpine(Node *N);
+
+/// Unlinks the subtree rooted at \p Sub from the function's variable
+/// back-pointer lists: every VarRef/Setq inside it is removed from its
+/// Variable's referent list, and a Variable whose last Setq goes away has
+/// Written cleared (dirtying the spines of its remaining reads, whose
+/// effects just changed). Rules call this on the pieces they drop so the
+/// referent lists stay exact without a full recomputeVariableRefs.
+void detachSubtree(Node *Sub);
 
 /// Rebuilds every Variable's referent list from the tree (after surgery).
 void recomputeVariableRefs(Function &F);
@@ -537,6 +560,15 @@ public:
   }
 
   const std::vector<std::unique_ptr<Function>> &functions() const { return Functions; }
+
+  /// Deep-copies this module into \p Out (which must be freshly
+  /// constructed): every function's tree and variables, the special
+  /// proclamations, and all literal data. Symbols are re-interned and heap
+  /// data re-allocated in Out's own tables, so the clone shares nothing
+  /// with the original — the ablation oracle compiles one conversion many
+  /// times from clones. Clones into a sibling rather than returning a
+  /// Module because each Function holds references to its module's tables.
+  void clone(Module &Out) const;
 
   /// Symbols proclaimed special (dynamically scoped), e.g. by defvar.
   std::vector<const sexpr::Symbol *> Specials;

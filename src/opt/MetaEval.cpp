@@ -127,29 +127,44 @@ public:
 
   unsigned run() {
     unsigned Total = 0;
+    const bool Verify =
+        Opts.IncrementalAnalysis &&
+        (Opts.VerifyAnalysis || analysis::verifyAnalysisRequested());
     for (unsigned Pass = 0; Pass < Opts.MaxPasses; ++Pass) {
       ++NumPasses;
       Changed = false;
-      recomputeVariableRefs(F);
+      // Incremental mode establishes exact referent lists once and the
+      // rules keep them exact; the baseline rebuilds them every pass.
+      if (!Opts.IncrementalAnalysis || Pass == 0)
+        recomputeVariableRefs(F);
       Node *NewBody = rewrite(F.Root->Body);
       if (NewBody != F.Root->Body) {
         F.Root->Body = NewBody;
         NewBody->Parent = F.Root;
+        dirtySpine(F.Root);
       }
       for (auto &O : F.Root->Optionals) {
         Node *NewDefault = rewrite(O.Default);
         if (NewDefault != O.Default) {
           O.Default = NewDefault;
           NewDefault->Parent = F.Root;
+          dirtySpine(F.Root);
         }
       }
       Total += PassRewrites;
       PassRewrites = 0;
+      if (Verify)
+        analysis::verifyIncremental(F);
       if (!Changed)
         break;
+      // Tree surgery strands the replaced nodes in the arena; once the
+      // garbage clearly dominates, compact into a fresh arena. Cheap
+      // passes never pay for this: the byte check fails first.
+      if (Opts.IncrementalAnalysis && F.arenaBytes() > 64 * 1024 &&
+          F.arenaObjects() > 3 * treeSize(F.Root))
+        F.reclaim();
     }
     recomputeParents(F.Root);
-    recomputeVariableRefs(F);
     analysis::analyze(F);
     return Total;
   }
@@ -177,7 +192,12 @@ private:
 
   std::string render(Node *N) { return backTranslateToString(F, N); }
 
-  /// Applies \p Rule named \p Name; on success logs the rewrite.
+  /// Applies \p Rule named \p Name; on success logs the rewrite and dirties
+  /// the spine above the result. The replacement's parent chain still runs
+  /// through the node it came out of (an extracted subtree) or is empty (a
+  /// fresh node, whose attachment point replaceChild dirties), so walking
+  /// it marks the real spine; rules that mutate *interior* nodes directly
+  /// dirty those themselves.
   template <typename RuleFn>
   Node *apply(const char *Name, Node *N, RuleFn Rule) {
     std::string Before = Log ? render(N) : std::string();
@@ -186,6 +206,7 @@ private:
       return nullptr;
     Changed = true;
     ++PassRewrites;
+    dirtySpine(R);
     if (Log && LastDetail.empty())
       log(Name, Before, render(R));
     else if (Log)
@@ -194,6 +215,27 @@ private:
     return R;
   }
   std::string LastDetail;
+
+  /// Effect/complexity queries for the rules: cached-incremental when the
+  /// option is on, the pure recursive walks otherwise.
+  EffectInfo fx(Node *N) {
+    return Opts.IncrementalAnalysis ? analysis::effectsOfCached(N)
+                                    : analysis::effectsOf(N);
+  }
+  unsigned cx(Node *N) {
+    return Opts.IncrementalAnalysis ? analysis::complexityOfCached(N)
+                                    : analysis::complexityOf(N);
+  }
+
+  /// The referent nodes of \p V within \p Scope. Incremental mode reads
+  /// the exactly-maintained back-pointer list (V is bound inside Scope, so
+  /// all of its references live there); the baseline walks the tree, since
+  /// its lists go stale between the per-pass recomputes.
+  std::vector<Node *> refsOf(Variable *V, Node *Scope) {
+    if (Opts.IncrementalAnalysis)
+      return V->Refs;
+    return collectRefs(V, Scope);
+  }
 
   Node *rewrite(Node *N) {
     // Children first (post-order), so rules see simplified operands.
@@ -288,10 +330,11 @@ private:
       // through the deep-binding stack, not through this Variable.
       if (V->isSpecial())
         continue;
-      if (!collectRefs(V, L->Body).empty())
+      if (!refsOf(V, L->Body).empty())
         continue;
-      if (!effectsOf(C->Args[I]).eliminable())
+      if (!fx(C->Args[I]).eliminable())
         continue;
+      detachSubtree(C->Args[I]);
       L->Required.erase(L->Required.begin() + I);
       C->Args.erase(C->Args.begin() + I);
       Dropped = true;
@@ -312,11 +355,11 @@ private:
       if (V->isSpecial())
         continue;
       Node *Arg = C->Args[J];
-      std::vector<Node *> Refs = collectRefs(V, L->Body);
+      std::vector<Node *> Refs = refsOf(V, L->Body);
       if (Refs.empty() || anyIsSetq(Refs))
         continue;
 
-      EffectInfo ArgFx = effectsOf(Arg);
+      EffectInfo ArgFx = fx(Arg);
       bool CanSubstitute = false;
 
       // Constants and stable variable references substitute anywhere.
@@ -328,8 +371,7 @@ private:
         // Procedure integration: a lambda referred to in one place.
         CanSubstitute = true;
       } else if (ArgFx.pure() &&
-                 (Refs.size() == 1 ||
-                  analysis::complexityOf(Arg) <= Opts.DuplicationLimit)) {
+                 (Refs.size() == 1 || cx(Arg) <= Opts.DuplicationLimit)) {
         CanSubstitute = true;
       } else if (Refs.size() == 1 && isFirstEvaluated(L->Body, Refs[0])) {
         // Side-effecting argument with a single reference that is the first
@@ -337,7 +379,7 @@ private:
         // evaluation order is preserved.
         bool Commutes = true;
         for (size_t K = J + 1; K < C->Args.size(); ++K)
-          Commutes &= ArgFx.commutesWith(effectsOf(C->Args[K]));
+          Commutes &= ArgFx.commutesWith(fx(C->Args[K]));
         CanSubstitute = Commutes;
       }
       if (!CanSubstitute)
@@ -348,6 +390,10 @@ private:
             R + 1 == Refs.size() ? Arg : cloneTree(F, Arg);
         replaceChild(Refs[R]->Parent, Refs[R], Replacement);
       }
+      // Every collected ref was a read (anyIsSetq vetoed writes) and has
+      // just been replaced, so the variable is now referenced nowhere.
+      V->Refs.clear();
+      V->Written = false;
       L->Required.erase(L->Required.begin() + J);
       C->Args.erase(C->Args.begin() + J);
       LastDetail = std::to_string(Refs.size()) + " substitution" +
@@ -511,17 +557,30 @@ private:
       auto *Lit = dyn_cast<LiteralNode>(I->Test);
       if (!Lit)
         return nullptr;
-      return Lit->Datum.isNil() ? I->Else : I->Then;
+      Node *Taken = Lit->Datum.isNil() ? I->Else : I->Then;
+      detachSubtree(Lit->Datum.isNil() ? I->Then : I->Else);
+      return Taken;
     }
     if (auto *C = dyn_cast<CaseqNode>(N)) {
       auto *Key = dyn_cast<LiteralNode>(C->Key);
       if (!Key)
         return nullptr;
-      for (auto &Cl : C->Clauses)
+      Node *Taken = C->Default;
+      for (auto &Cl : C->Clauses) {
+        bool Match = false;
         for (Value K : Cl.Keys)
-          if (sexpr::eql(K, Key->Datum))
-            return Cl.Body;
-      return C->Default;
+          Match |= sexpr::eql(K, Key->Datum);
+        if (Match) {
+          Taken = Cl.Body;
+          break;
+        }
+      }
+      for (auto &Cl : C->Clauses)
+        if (Cl.Body != Taken)
+          detachSubtree(Cl.Body);
+      if (C->Default != Taken)
+        detachSubtree(C->Default);
+      return Taken;
     }
     return nullptr;
   }
@@ -530,18 +589,22 @@ private:
   /// ("realizing that b is true in the inner if by virtue of the outer").
   Node *tryRedundantTest(Node *N) {
     auto *I = dyn_cast<IfNode>(N);
-    if (!I || !effectsOf(I->Test).duplicable())
+    if (!I || !fx(I->Test).duplicable())
       return nullptr;
     if (auto *TI = dyn_cast<IfNode>(I->Then)) {
       if (analysis::equalTrees(TI->Test, I->Test) &&
-          effectsOf(TI->Test).duplicable()) {
+          fx(TI->Test).duplicable()) {
+        detachSubtree(TI->Test);
+        detachSubtree(TI->Else);
         replaceChild(I, I->Then, TI->Then);
         return N;
       }
     }
     if (auto *EI = dyn_cast<IfNode>(I->Else)) {
       if (analysis::equalTrees(EI->Test, I->Test) &&
-          effectsOf(EI->Test).duplicable()) {
+          fx(EI->Test).duplicable()) {
+        detachSubtree(EI->Test);
+        detachSubtree(EI->Then);
         replaceChild(I, I->Else, EI->Else);
         return N;
       }
@@ -560,8 +623,12 @@ private:
     Node *Last = P->Forms.back();
     P->Forms.pop_back();
     replaceChild(I, I->Test, Last);
+    // P moves from under I to above it; break the stale back-link first so
+    // the spine walk below cannot cycle I -> P -> I.
+    P->Parent = I->Parent;
     P->Forms.push_back(I);
     I->Parent = P;
+    dirtySpine(I);
     return P;
   }
 
@@ -579,6 +646,7 @@ private:
     IfNode *NewIf = F.makeIf(P, I->Then, I->Else);
     L->Body = NewIf;
     NewIf->Parent = L;
+    dirtySpine(L);
     return C;
   }
 
@@ -642,7 +710,8 @@ private:
     std::vector<Node *> Kept;
     for (size_t J = 0; J < Flat.size(); ++J) {
       bool IsLast = J + 1 == Flat.size();
-      if (!IsLast && effectsOf(Flat[J]).eliminable()) {
+      if (!IsLast && fx(Flat[J]).eliminable()) {
+        detachSubtree(Flat[J]);
         Mutated = true;
         continue;
       }

@@ -32,6 +32,7 @@ SymbolTable::SymbolTable() {
 }
 
 const Symbol *SymbolTable::intern(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Map.find(std::string(Name));
   if (It != Map.end())
     return It->second;
@@ -42,11 +43,13 @@ const Symbol *SymbolTable::intern(std::string_view Name) {
 }
 
 Value Heap::cons(Value Car, Value Cdr, SourceLocation Loc) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Conses.push_back({Car, Cdr, Loc});
   return Value::cons(&Conses.back());
 }
 
 Value Heap::string(std::string S) {
+  std::lock_guard<std::mutex> Lock(Mu);
   Strings.push_back({std::move(S)});
   return Value::string(&Strings.back());
 }
@@ -64,6 +67,7 @@ Value Heap::makeRatio(int64_t Num, int64_t Den) {
   }
   if (Den == 1)
     return Value::fixnum(Num);
+  std::lock_guard<std::mutex> Lock(Mu);
   Ratios.push_back({Num, Den});
   return Value::ratio(&Ratios.back());
 }

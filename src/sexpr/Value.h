@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <deque>
 #include <initializer_list>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -173,7 +174,10 @@ struct Cons {
 
 /// Interns symbols; owns their storage. Also pre-interns the handful of
 /// symbols the compiler needs constantly (T, NIL-as-symbol is not used;
-/// NIL the datum is ValueKind::Nil).
+/// NIL the datum is ValueKind::Nil). Interning is thread-safe (interned
+/// pointers are stable, so readers need no lock) — the parallel driver
+/// optimizes functions of one module concurrently, and the optimizer
+/// interns rewritten call names.
 class SymbolTable {
 public:
   SymbolTable();
@@ -185,9 +189,13 @@ public:
   const Symbol *t() const { return SymT; }
   const Symbol *quote() const { return SymQuote; }
 
-  size_t size() const { return Map.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Map.size();
+  }
 
 private:
+  mutable std::mutex Mu;
   std::unordered_map<std::string, const Symbol *> Map;
   std::deque<Symbol> Storage;
   const Symbol *SymT;
@@ -195,7 +203,10 @@ private:
 };
 
 /// Allocates conses, strings, and ratios. Storage is stable (deque) and is
-/// released only when the Heap dies.
+/// released only when the Heap dies. Allocation is thread-safe for the same
+/// reason interning is: the parallel driver's constant folder allocates
+/// ratios (and the CSE/backtranslate paths conses) from the module heap on
+/// worker threads. Reads of allocated cells need no lock.
 class Heap {
 public:
   Value cons(Value Car, Value Cdr, SourceLocation Loc = SourceLocation());
@@ -208,9 +219,13 @@ public:
   Value list(std::initializer_list<Value> Items);
   Value list(const std::vector<Value> &Items);
 
-  size_t consCount() const { return Conses.size(); }
+  size_t consCount() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Conses.size();
+  }
 
 private:
+  mutable std::mutex Mu;
   std::deque<Cons> Conses;
   std::deque<StringObj> Strings;
   std::deque<Ratio> Ratios;

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <ctime>
 #include <map>
+#include <mutex>
 
 using namespace s1lisp;
 using namespace s1lisp::stats;
@@ -19,9 +20,15 @@ using namespace s1lisp::stats;
 namespace {
 
 // Thread-local so that fuzzing worker threads (which leave collection at
-// its default: off) never race the owning thread's counters; the registry
-// itself is only mutated during static init/teardown.
+// its default: off) never race the owning thread's counters. A worker that
+// does want to count installs a TallyScope, which routes its updates into
+// a private LocalTally instead of the shared values.
 thread_local bool StatsEnabled = false;
+thread_local LocalTally *ActiveTally = nullptr;
+
+// Guards registry membership: function-local static Statistics can be
+// first-constructed on a worker thread while another thread reports.
+std::mutex RegistryMu;
 
 std::vector<Statistic *> &registry() {
   static std::vector<Statistic *> R;
@@ -43,15 +50,55 @@ void stats::setEnabled(bool On) { StatsEnabled = On; }
 
 Statistic::Statistic(const char *Name, const char *Desc)
     : Name(Name), Desc(Desc) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   registry().push_back(this);
 }
 
 Statistic::~Statistic() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   auto &R = registry();
   R.erase(std::remove(R.begin(), R.end(), this), R.end());
 }
 
+void Statistic::record(uint64_t N) {
+  if (ActiveTally)
+    ActiveTally->Cells[this].Add += N;
+  else
+    Value += N;
+}
+
+void Statistic::recordMax(uint64_t N) {
+  if (ActiveTally) {
+    LocalTally::Cell &C = ActiveTally->Cells[this];
+    if (N > C.Max)
+      C.Max = N;
+  } else if (N > Value) {
+    Value = N;
+  }
+}
+
+void LocalTally::apply() {
+  for (auto &[S, C] : Cells) {
+    S->Value += C.Add;
+    if (C.Max > S->Value)
+      S->Value = C.Max;
+  }
+  Cells.clear();
+}
+
+TallyScope::TallyScope(LocalTally &T)
+    : Prev(ActiveTally), PrevEnabled(StatsEnabled) {
+  ActiveTally = &T;
+  StatsEnabled = true;
+}
+
+TallyScope::~TallyScope() {
+  ActiveTally = Prev;
+  StatsEnabled = PrevEnabled;
+}
+
 std::vector<StatValue> stats::allStats(bool IncludeZeros) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   std::vector<StatValue> Out;
   for (const Statistic *S : registry())
     if (IncludeZeros || S->value() != 0)
@@ -62,6 +109,7 @@ std::vector<StatValue> stats::allStats(bool IncludeZeros) {
 }
 
 uint64_t stats::statValue(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   uint64_t Total = 0;
   for (const Statistic *S : registry())
     if (Name == S->name())
@@ -70,6 +118,7 @@ uint64_t stats::statValue(const std::string &Name) {
 }
 
 void stats::resetStats() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   for (Statistic *S : registry())
     S->reset();
 }

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace s1lisp {
@@ -37,6 +38,8 @@ namespace stats {
 /// oracle compile on many threads against one registry.
 bool enabled();
 void setEnabled(bool On);
+
+class LocalTally;
 
 /// One named counter. Registers itself with the global registry on
 /// construction and deregisters on destruction.
@@ -53,25 +56,65 @@ public:
 
   Statistic &operator++() {
     if (enabled())
-      ++Value;
+      record(1);
     return *this;
   }
   Statistic &operator+=(uint64_t N) {
     if (enabled())
-      Value += N;
+      record(N);
     return *this;
   }
   /// Monotonic maximum (for high-water marks).
   void updateMax(uint64_t N) {
-    if (enabled() && N > Value)
-      Value = N;
+    if (enabled())
+      recordMax(N);
   }
   void reset() { Value = 0; }
 
 private:
+  friend class LocalTally;
+  /// Routes to the thread's active LocalTally when one is installed,
+  /// otherwise to the shared value (single-threaded collection).
+  void record(uint64_t N);
+  void recordMax(uint64_t N);
+
   const char *Name;
   const char *Desc;
   uint64_t Value = 0;
+};
+
+/// A private accumulation of counter updates made on one worker thread.
+/// While a TallyScope is active, every Statistic update on that thread
+/// lands here instead of the shared values; the spawning thread folds the
+/// tallies in with apply() after the join. Sums commute, so totals are
+/// identical to a serial run for any job count or completion order.
+class LocalTally {
+public:
+  /// Folds the tally into the shared counters; call on the owning thread
+  /// after workers have joined. Clears the tally.
+  void apply();
+
+private:
+  friend class Statistic;
+  struct Cell {
+    uint64_t Add = 0;
+    uint64_t Max = 0;
+  };
+  std::unordered_map<Statistic *, Cell> Cells;
+};
+
+/// RAII: enables stats collection on the current thread and routes it into
+/// \p T until destruction (restores the previous route and enable state).
+class TallyScope {
+public:
+  explicit TallyScope(LocalTally &T);
+  ~TallyScope();
+  TallyScope(const TallyScope &) = delete;
+  TallyScope &operator=(const TallyScope &) = delete;
+
+private:
+  LocalTally *Prev;
+  bool PrevEnabled;
 };
 
 #define S1_STAT(VAR, NAME, DESC)                                               \
