@@ -962,41 +962,53 @@ Operand FunctionCompiler::currentEnvOperand() {
 
 } // namespace
 
-CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) {
+size_t CompiledUnit::byteSize() const {
+  size_t Bytes = sizeof(CompiledUnit) + Error.size();
+  for (const s1::AsmFunction &F : Fns) {
+    Bytes += sizeof(s1::AsmFunction) + F.Name.size() +
+             F.Code.size() * sizeof(s1::Instruction) +
+             F.LabelPos.size() * sizeof(int);
+    for (const s1::Instruction &I : F.Code)
+      Bytes += I.Comment.size();
+  }
+  Bytes += Static.size() * sizeof(uint64_t);
+  Bytes += PtrSlots.size() * sizeof(size_t);
+  for (const std::string &S : SymNames)
+    Bytes += sizeof(std::string) + S.size();
+  for (const auto &[Addr, Str] : Strings)
+    Bytes += sizeof(Addr) + sizeof(std::string) + Str.size();
+  return Bytes;
+}
+
+CompiledUnit codegen::compileFunctionUnit(
+    ir::Module &M, ir::Function &F, const CodegenOptions &Opts,
+    const std::unordered_map<std::string, int> &FuncIndex) {
+  stats::PhaseTimer Timer("codegen");
+  ModuleCompiler MC(M, Opts, FuncIndex);
+  CompiledUnit Unit;
+  if (!MC.run(F)) {
+    Unit.Error = MC.Error;
+    return Unit;
+  }
+  Unit.Ok = true;
+  Unit.Fns = std::move(MC.Fns);
+  Unit.Static = std::move(MC.Static);
+  Unit.PtrSlots = std::move(MC.PtrSlots);
+  Unit.SymNames.reserve(MC.SymList.size());
+  for (const sexpr::Symbol *S : MC.SymList)
+    Unit.SymNames.push_back(S->name());
+  Unit.Strings = std::move(MC.Strings);
+  return Unit;
+}
+
+CompileResult codegen::linkUnits(ir::Module &M,
+                                 const std::vector<const CompiledUnit *> &Units) {
   stats::PhaseTimer Timer("codegen");
   CompileResult Result;
-
-  // Pre-assign module-function indices so mutually recursive calls resolve
-  // identically in every unit.
-  std::unordered_map<std::string, int> FuncIndex;
-  for (const auto &F : M.functions())
-    FuncIndex[F->name()] = static_cast<int>(FuncIndex.size());
-
-  const size_t NumUnits = M.functions().size();
-  std::vector<std::unique_ptr<ModuleCompiler>> Units;
-  Units.reserve(NumUnits);
-  for (size_t U = 0; U < NumUnits; ++U)
-    Units.push_back(std::make_unique<ModuleCompiler>(M, Opts, FuncIndex));
-
-  // Worker threads leave stats at their default (off); per-unit tallies
-  // applied in unit order after the join keep counter totals identical to
-  // a serial run.
-  std::vector<stats::LocalTally> Tallies(NumUnits);
-  const bool Tally = stats::enabled();
-  std::vector<char> UnitOk(NumUnits, 0);
-  support::parallelFor(NumUnits, Opts.Jobs, [&](size_t U) {
-    std::optional<stats::TallyScope> Scope;
-    if (Tally)
-      Scope.emplace(Tallies[U]);
-    UnitOk[U] = Units[U]->run(*M.functions()[U]) ? 1 : 0;
-  });
-  if (Tally)
-    for (stats::LocalTally &T : Tallies)
-      T.apply();
-
-  for (size_t U = 0; U < NumUnits; ++U)
-    if (!UnitOk[U]) {
-      Result.Error = Units[U]->Error;
+  const size_t NumUnits = Units.size();
+  for (const CompiledUnit *U : Units)
+    if (!U->Ok) {
+      Result.Error = U->Error;
       return Result;
     }
 
@@ -1014,13 +1026,22 @@ CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) 
     Lifts += static_cast<int>(Units[U]->Fns.size()) - 1;
   }
 
+  // Units carry symbol names; resolve them against this module's table
+  // (a cached unit may have been compiled for a different Module).
+  std::vector<std::vector<const sexpr::Symbol *>> Syms(NumUnits);
+  for (size_t U = 0; U < NumUnits; ++U) {
+    Syms[U].reserve(Units[U]->SymNames.size());
+    for (const std::string &Name : Units[U]->SymNames)
+      Syms[U].push_back(M.Syms.intern(Name));
+  }
+
   // Data image: unit pools in module order, then one cell per distinct
   // symbol (first-global-use order), initialized globally unbound.
   P.Static.reserve(DataWords);
-  for (const auto &U : Units)
+  for (const CompiledUnit *U : Units)
     P.Static.insert(P.Static.end(), U->Static.begin(), U->Static.end());
-  for (const auto &U : Units)
-    for (const sexpr::Symbol *S : U->SymList)
+  for (size_t U = 0; U < NumUnits; ++U)
+    for (const sexpr::Symbol *S : Syms[U])
       if (!P.SymbolAddr.count(S)) {
         P.SymbolAddr[S] = /*StaticBase*/ 16 + P.Static.size();
         P.Static.push_back(~0ull);
@@ -1032,8 +1053,7 @@ CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) 
   auto PatchWord = [&](uint64_t W, size_t U) -> uint64_t {
     switch (tagOf(W)) {
     case Tag::Symbol:
-      return makePointer(Tag::Symbol,
-                         P.SymbolAddr.at(Units[U]->SymList[addrOf(W)]));
+      return makePointer(Tag::Symbol, P.SymbolAddr.at(Syms[U][addrOf(W)]));
     case Tag::Cons:
     case Tag::SingleFlonum:
     case Tag::String:
@@ -1057,6 +1077,8 @@ CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) 
   // in unit order. Instruction immediates are patched by tag; MakeClosure
   // operands carrying encoded unit-local lift ordinals (negative) become
   // global indices first, so the general pass sees only small positives.
+  // Units stay untouched (a cached unit links into many programs): the
+  // patches apply to the program's own copies.
   auto PatchFn = [&](s1::AsmFunction &F, size_t U) {
     for (s1::Instruction &I : F.Code) {
       if (I.Op == Opcode::SYSCALL && I.A.M == Operand::Mode::Imm &&
@@ -1070,13 +1092,13 @@ CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) 
     }
   };
   for (size_t U = 0; U < NumUnits; ++U) {
-    PatchFn(Units[U]->Fns[0], U);
-    P.Functions.push_back(std::move(Units[U]->Fns[0]));
+    P.Functions.push_back(Units[U]->Fns[0]);
+    PatchFn(P.Functions.back(), U);
   }
   for (size_t U = 0; U < NumUnits; ++U)
     for (size_t L = 1; L < Units[U]->Fns.size(); ++L) {
-      PatchFn(Units[U]->Fns[L], U);
-      P.Functions.push_back(std::move(Units[U]->Fns[L]));
+      P.Functions.push_back(Units[U]->Fns[L]);
+      PatchFn(P.Functions.back(), U);
     }
 
   Result.Program = std::move(P);
@@ -1087,4 +1109,36 @@ CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) 
     NumMovsEmitted += F.countOpcode(s1::Opcode::MOV);
   }
   return Result;
+}
+
+CompileResult codegen::compileModule(ir::Module &M, const CodegenOptions &Opts) {
+  // Pre-assign module-function indices so mutually recursive calls resolve
+  // identically in every unit.
+  std::unordered_map<std::string, int> FuncIndex;
+  for (const auto &F : M.functions())
+    FuncIndex[F->name()] = static_cast<int>(FuncIndex.size());
+
+  const size_t NumUnits = M.functions().size();
+  std::vector<CompiledUnit> Units(NumUnits);
+
+  // Worker threads leave stats at their default (off); per-unit tallies
+  // applied in unit order after the join keep counter totals identical to
+  // a serial run.
+  std::vector<stats::LocalTally> Tallies(NumUnits);
+  const bool Tally = stats::enabled();
+  support::parallelFor(NumUnits, Opts.Jobs, [&](size_t U) {
+    std::optional<stats::TallyScope> Scope;
+    if (Tally)
+      Scope.emplace(Tallies[U]);
+    Units[U] = compileFunctionUnit(M, *M.functions()[U], Opts, FuncIndex);
+  });
+  if (Tally)
+    for (stats::LocalTally &T : Tallies)
+      T.apply();
+
+  std::vector<const CompiledUnit *> UnitPtrs;
+  UnitPtrs.reserve(NumUnits);
+  for (const CompiledUnit &U : Units)
+    UnitPtrs.push_back(&U);
+  return linkUnits(M, UnitPtrs);
 }

@@ -20,7 +20,11 @@
 #include "s1/Isa.h"
 #include "tnbind/TnBind.h"
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace s1lisp {
 namespace codegen {
@@ -46,6 +50,49 @@ struct CompileResult {
   std::string Error;
   s1::Program Program;
 };
+
+/// One module function (plus every closure lifted out of it) compiled
+/// into a private, relocatable unit: a local static pool addressed from
+/// zero, symbol references by unit-local ordinal into SymNames, and
+/// lifted-closure references encoded as negative ordinals. Units carry no
+/// pointers into any Module — symbols travel as names — so a unit is a
+/// serialized compilation artifact: the compile service's
+/// content-addressed cache stores units and links them into later
+/// requests' programs, bit-identically to a fresh compile.
+struct CompiledUnit {
+  bool Ok = false;
+  std::string Error;
+  /// [0] is the module function; lifted closures follow in lift order.
+  std::vector<s1::AsmFunction> Fns;
+  /// Local data pool (cons cells, flonum/ratio payloads, string headers).
+  std::vector<uint64_t> Static;
+  /// Pool slots holding encoded words the link must relocate.
+  std::vector<size_t> PtrSlots;
+  /// Symbol names in first-use order; a Symbol word's address field
+  /// indexes here until the link rewrites it.
+  std::vector<std::string> SymNames;
+  /// Static string objects at unit-local addresses.
+  std::vector<std::pair<uint64_t, std::string>> Strings;
+
+  /// Approximate retained bytes, for cache budget accounting.
+  size_t byteSize() const;
+};
+
+/// Compiles one function of \p M into a relocatable unit. \p FuncIndex is
+/// the module-function index assignment (name -> slot) the unit's direct
+/// calls are resolved against; compileModule builds it in module order.
+CompiledUnit compileFunctionUnit(ir::Module &M, ir::Function &F,
+                                 const CodegenOptions &Opts,
+                                 const std::unordered_map<std::string, int> &FuncIndex);
+
+/// Serially links units (one per module function, in module order) into a
+/// program: unit pools are concatenated, symbol names are interned into
+/// \p M and assigned global value cells in first-use order, and encoded
+/// words in pools and instruction immediates are relocated. Output is a
+/// pure function of the unit contents, so cached and freshly compiled
+/// units link bit-identically.
+CompileResult linkUnits(ir::Module &M,
+                        const std::vector<const CompiledUnit *> &Units);
 
 /// Compiles every function in \p M. The module must already be optimized
 /// (or not — the generator handles unoptimized trees too) but NOT yet

@@ -50,3 +50,56 @@ std::optional<AblationConfig> driver::ablationByName(const std::string &Name) {
       return std::move(C);
   return std::nullopt;
 }
+
+bool driver::applyCompilerFlag(std::string_view Flag, CompilerOptions &O) {
+  if (Flag == "-O0") {
+    O.Optimize = false;
+    return true;
+  }
+  if (Flag == "-O2") {
+    O.Optimize = true;
+    return true;
+  }
+  if (Flag == "--cse") {
+    O.Cse = true;
+    return true;
+  }
+  struct Ablation {
+    std::string_view Name;
+    void (*Off)(CompilerOptions &);
+  };
+  static const Ablation Ablations[] = {
+      {"--no-substitute", [](CompilerOptions &O) { O.Opt.Substitute = false; }},
+      {"--no-if-distribute",
+       [](CompilerOptions &O) { O.Opt.IfDistribute = false; }},
+      {"--no-constant-fold",
+       [](CompilerOptions &O) { O.Opt.ConstantFold = false; }},
+      {"--no-assoc-commut",
+       [](CompilerOptions &O) { O.Opt.AssocCommut = false; }},
+      {"--no-identity-elim",
+       [](CompilerOptions &O) { O.Opt.IdentityElim = false; }},
+      {"--no-redundant-test",
+       [](CompilerOptions &O) { O.Opt.RedundantTest = false; }},
+      {"--no-machine-trig",
+       [](CompilerOptions &O) { O.Opt.MachineTrig = false; }},
+      {"--no-dead-code", [](CompilerOptions &O) { O.Opt.DeadCode = false; }},
+      {"--no-registers",
+       [](CompilerOptions &O) { O.Codegen.TnBind.UseRegisters = false; }},
+      {"--no-register-temps",
+       [](CompilerOptions &O) { O.Codegen.RegisterTemps = false; }},
+      {"--no-rep-analysis",
+       [](CompilerOptions &O) { O.Codegen.Annotate.RepAnalysis = false; }},
+      {"--no-pdl-numbers",
+       [](CompilerOptions &O) { O.Codegen.Annotate.PdlNumbers = false; }},
+      {"--no-special-cache",
+       [](CompilerOptions &O) { O.Codegen.SpecialCache = false; }},
+      {"--no-tail-calls",
+       [](CompilerOptions &O) { O.Codegen.TailCalls = false; }},
+  };
+  for (const Ablation &A : Ablations)
+    if (Flag == A.Name) {
+      A.Off(O);
+      return true;
+    }
+  return false;
+}

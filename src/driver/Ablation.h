@@ -18,6 +18,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace s1lisp {
@@ -36,6 +37,13 @@ std::vector<AblationConfig> ablationMatrix();
 
 /// Looks a configuration up by its matrix name; nullopt when unknown.
 std::optional<AblationConfig> ablationByName(const std::string &Name);
+
+/// Applies one s1lispc-style compiler flag to \p O: "-O0", "-O2",
+/// "--cse", or any "--no-<pass>" ablation. Returns false (leaving \p O
+/// untouched) when the token is not a compiler flag. s1lispc, the
+/// compile service, and tests all parse through this one table, so the
+/// flag surface can't drift between the CLI and the daemon protocol.
+bool applyCompilerFlag(std::string_view Flag, CompilerOptions &O);
 
 } // namespace driver
 } // namespace s1lisp

@@ -16,7 +16,10 @@
 #include "opt/Cse.h"
 #include "opt/MetaEval.h"
 #include "stats/Remark.h"
+#include "stats/Stats.h"
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -41,20 +44,63 @@ struct CompileOutcome {
   bool Ok = false;
   std::string Error;
   s1::Program Program;
+  /// Per-function memo traffic for this compile (zero without a memo).
+  unsigned MemoHits = 0;
+  unsigned MemoMisses = 0;
 };
+
+/// Everything the middle end produces for one function, keyed by content:
+/// the relocatable unit plus the counter deltas and optimizer remarks that
+/// a fresh compile of the function would have emitted. A memo hit replays
+/// the deltas and remarks, so cached and fresh compiles report identical
+/// totals and transcripts.
+struct MemoizedFunction {
+  codegen::CompiledUnit Unit;
+  std::vector<stats::TallyDelta> Tally;
+  std::vector<stats::Remark> Remarks;
+
+  size_t byteSize() const;
+};
+
+/// A per-function compilation memo the driver probes before running the
+/// middle end. Keys are content addresses: alpha-normalized IR hash mixed
+/// with the function name, the options fingerprint, and the module-index
+/// resolution of every global name the unit could reference (units bake
+/// call indices into immediates, so reuse is only sound where those
+/// resolutions agree). Implementations must be safe to call from
+/// concurrent compiles; entries are shared_ptr so eviction never frees a
+/// unit mid-link.
+class FunctionMemo {
+public:
+  virtual ~FunctionMemo() = default;
+  virtual std::shared_ptr<const MemoizedFunction> lookup(uint64_t Key) = 0;
+  virtual void insert(uint64_t Key,
+                      std::shared_ptr<const MemoizedFunction> Fn) = 0;
+};
+
+/// Fingerprint of every output-relevant option (Jobs is excluded: output
+/// is bit-identical for any job count). Two option sets with equal
+/// fingerprints compile every function identically, so the fingerprint is
+/// the options half of the memo key.
+uint64_t optionsFingerprint(const CompilerOptions &Opts);
 
 /// Reads, converts, optimizes and compiles every top-level form in
 /// \p Source into \p M. When \p Remarks is given, every optimizer rewrite
 /// is recorded there as a structured remark.
 CompileOutcome compileSource(ir::Module &M, std::string_view Source,
                              const CompilerOptions &Opts = {},
-                             stats::RemarkStream *Remarks = nullptr);
+                             stats::RemarkStream *Remarks = nullptr,
+                             FunctionMemo *Memo = nullptr);
 
 /// Compiles an already-converted module: optimize + CSE + codegen, fanned
 /// out per function when Opts.Jobs > 1. Remarks, when given, arrive merged
-/// in module-function order regardless of the job count.
+/// in module-function order regardless of the job count. With \p Memo,
+/// each function is looked up by content address first; hits skip the
+/// middle end entirely (the function's IR stays unoptimized) and link the
+/// cached unit, misses compile and are offered back to the memo.
 CompileOutcome compileModule(ir::Module &M, const CompilerOptions &Opts = {},
-                             stats::RemarkStream *Remarks = nullptr);
+                             stats::RemarkStream *Remarks = nullptr,
+                             FunctionMemo *Memo = nullptr);
 
 /// The whole program as a parenthesized assembly listing (Table 4 style).
 std::string listing(const s1::Program &P);

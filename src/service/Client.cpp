@@ -1,0 +1,65 @@
+//===- service/Client.cpp -------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace s1lisp;
+using namespace s1lisp::service;
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::connectUnix(const std::string &SocketPath, std::string *Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int S = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (S < 0) {
+    if (Err)
+      *Err = "socket() failed";
+    return false;
+  }
+  if (::connect(S, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Err)
+      *Err = "cannot connect to '" + SocketPath + "': " + std::strerror(errno);
+    ::close(S);
+    return false;
+  }
+  Fd = S;
+  return true;
+}
+
+bool Client::roundTrip(const Message &Req, Message &Resp, std::string *Err) {
+  if (Fd < 0) {
+    if (Err)
+      *Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Req, Err))
+    return false;
+  ReadStatus St = readFrame(Fd, Resp, Err);
+  if (St == ReadStatus::Eof) {
+    if (Err)
+      *Err = "server closed the connection";
+    return false;
+  }
+  return St == ReadStatus::Ok;
+}

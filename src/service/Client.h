@@ -1,0 +1,46 @@
+//===- service/Client.h - Compile-service client ----------------*- C++ -*-===//
+///
+/// \file
+/// A small blocking client for the s1lispd protocol over a unix socket:
+/// connect, send request frames, read response frames. `s1lispc
+/// --server=<socket>` and `s1lisp-fuzz --server=<socket>` route their
+/// work through this, so golden examples and the fuzzing oracle exercise
+/// the daemon with the same surface they use locally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef S1LISP_SERVICE_CLIENT_H
+#define S1LISP_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <string>
+
+namespace s1lisp {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to a daemon's unix socket; false (with \p Err) on failure.
+  bool connectUnix(const std::string &SocketPath, std::string *Err = nullptr);
+
+  /// Sends \p Req and reads the matching response (the protocol is
+  /// strictly request/response per connection).
+  bool roundTrip(const Message &Req, Message &Resp, std::string *Err = nullptr);
+
+  bool connected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace s1lisp
+
+#endif // S1LISP_SERVICE_CLIENT_H

@@ -1,0 +1,104 @@
+//===- service/CompileCache.cpp -------------------------------------------===//
+
+#include "service/CompileCache.h"
+
+#include "stats/Stats.h"
+
+using namespace s1lisp;
+using namespace s1lisp::service;
+
+S1_STAT(CacheHits, "service.cache.hits", "compile-cache hits");
+S1_STAT(CacheMisses, "service.cache.misses", "compile-cache misses");
+S1_STAT(CacheEvictions, "service.cache.evictions",
+        "compile-cache entries evicted for the byte budget");
+
+std::shared_ptr<const driver::MemoizedFunction>
+CompileCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses_;
+    ++CacheMisses;
+    return nullptr;
+  }
+  ++Hits_;
+  ++CacheHits;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Fn;
+}
+
+void CompileCache::insert(uint64_t Key,
+                          std::shared_ptr<const driver::MemoizedFunction> Fn) {
+  if (!Fn)
+    return;
+  const size_t Bytes = Fn->byteSize();
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Bytes > MaxBytes_)
+    return;
+  auto It = Map.find(Key);
+  if (It != Map.end()) {
+    // Concurrent compiles of the same function can both miss and both
+    // insert; keep the first and refresh its position.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(Key);
+  Map.emplace(Key, Entry{std::move(Fn), Bytes, Lru.begin()});
+  Bytes_ += Bytes;
+  evictLocked();
+}
+
+void CompileCache::evictLocked() {
+  while (Bytes_ > MaxBytes_ && !Lru.empty()) {
+    uint64_t Victim = Lru.back();
+    Lru.pop_back();
+    auto It = Map.find(Victim);
+    Bytes_ -= It->second.Bytes;
+    Map.erase(It);
+    ++Evictions_;
+    ++CacheEvictions;
+  }
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+  Lru.clear();
+  Bytes_ = 0;
+}
+
+size_t CompileCache::entries() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+size_t CompileCache::bytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bytes_;
+}
+
+size_t CompileCache::maxBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return MaxBytes_;
+}
+
+void CompileCache::setMaxBytes(size_t MaxBytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MaxBytes_ = MaxBytes;
+  evictLocked();
+}
+
+uint64_t CompileCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Hits_;
+}
+
+uint64_t CompileCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Misses_;
+}
+
+uint64_t CompileCache::evictions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Evictions_;
+}

@@ -78,12 +78,66 @@ void Statistic::recordMax(uint64_t N) {
 }
 
 void LocalTally::apply() {
+  std::lock_guard<std::mutex> Lock(RegistryMu);
   for (auto &[S, C] : Cells) {
     S->Value += C.Add;
     if (C.Max > S->Value)
       S->Value = C.Max;
   }
   Cells.clear();
+}
+
+std::vector<TallyDelta> LocalTally::deltas() const {
+  std::vector<TallyDelta> Out;
+  Out.reserve(Cells.size());
+  for (const auto &[S, C] : Cells)
+    Out.push_back({S->name(), C.Add, C.Max});
+  std::sort(Out.begin(), Out.end(),
+            [](const TallyDelta &A, const TallyDelta &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+void stats::applyTallyDeltas(const std::vector<TallyDelta> &Deltas) {
+  if (!StatsEnabled)
+    return;
+  // Resolve names outside any Statistic update: registry() order is
+  // stable for the duration (counters have static storage).
+  std::vector<Statistic *> Targets(Deltas.size(), nullptr);
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    for (size_t I = 0; I < Deltas.size(); ++I)
+      for (Statistic *S : registry())
+        if (Deltas[I].Name == S->name()) {
+          Targets[I] = S;
+          break;
+        }
+  }
+  for (size_t I = 0; I < Deltas.size(); ++I) {
+    if (!Targets[I])
+      continue;
+    if (Deltas[I].Add)
+      *Targets[I] += Deltas[I].Add;
+    if (Deltas[I].Max)
+      Targets[I]->updateMax(Deltas[I].Max);
+  }
+}
+
+std::string stats::tallyDeltasJson(const std::vector<TallyDelta> &Deltas) {
+  std::string Out = "{";
+  bool First = true;
+  for (const TallyDelta &D : Deltas) {
+    // max(Add, Max) is what a process that recorded only this tally would
+    // report as the counter's value (high-water counters carry Max).
+    uint64_t V = std::max(D.Add, D.Max);
+    if (!V)
+      continue;
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"" + D.Name + "\": " + formatUnsigned(V);
+  }
+  Out += First ? "}" : "\n}";
+  return Out;
 }
 
 TallyScope::TallyScope(LocalTally &T)

@@ -83,6 +83,18 @@ private:
   uint64_t Value = 0;
 };
 
+/// One counter's contribution captured in a LocalTally, keyed by name so
+/// it can outlive the capturing compilation (the compile-service cache
+/// stores these and replays them on a hit, making cached counter totals
+/// identical to a fresh compile's).
+struct TallyDelta {
+  std::string Name;
+  uint64_t Add = 0;
+  uint64_t Max = 0;
+
+  bool operator==(const TallyDelta &O) const = default;
+};
+
 /// A private accumulation of counter updates made on one worker thread.
 /// While a TallyScope is active, every Statistic update on that thread
 /// lands here instead of the shared values; the spawning thread folds the
@@ -90,9 +102,13 @@ private:
 /// identical to a serial run for any job count or completion order.
 class LocalTally {
 public:
-  /// Folds the tally into the shared counters; call on the owning thread
-  /// after workers have joined. Clears the tally.
+  /// Folds the tally into the shared counters; call after workers have
+  /// joined. Clears the tally. Takes the registry lock, so concurrent
+  /// request workers (the compile-service daemon) may fold independently.
   void apply();
+
+  /// The captured updates by counter name, sorted. Does not clear.
+  std::vector<TallyDelta> deltas() const;
 
 private:
   friend class Statistic;
@@ -102,6 +118,17 @@ private:
   };
   std::unordered_map<Statistic *, Cell> Cells;
 };
+
+/// Re-applies name-keyed deltas through the normal recording path: they
+/// land in the current thread's active tally when one is installed, and
+/// are dropped entirely when collection is disabled — exactly what a
+/// fresh recompile of the captured work would have done. Names with no
+/// live counter are ignored.
+void applyTallyDeltas(const std::vector<TallyDelta> &Deltas);
+
+/// Renders deltas as one JSON object ({"name": add, ...}); zero adds are
+/// omitted, matching reportStatsDeltaJson's shape.
+std::string tallyDeltasJson(const std::vector<TallyDelta> &Deltas);
 
 /// RAII: enables stats collection on the current thread and routes it into
 /// \p T until destruction (restores the previous route and enable state).

@@ -1,0 +1,242 @@
+//===- tests/service/ServerTest.cpp ---------------------------------------===//
+//
+// The transport-independent request core: Server::handle() compiles and
+// runs sources, reports memo traffic, isolates each request's counters
+// from concurrent requests (the TallyScope contract), serves identical
+// answers warm or cold, and fails cleanly on malformed requests.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace s1lisp;
+using namespace s1lisp::service;
+
+namespace {
+
+const char *ExptSrc = "(defun exptl (b n)\n"
+                      "  (if (zerop n) 1 (* b (exptl b (1- n)))))\n"
+                      "(defun fut () (exptl 2 10))\n";
+
+const char *TriSrc = "(defun tri (n)\n"
+                     "  (if (zerop n) 0 (+ n (tri (1- n)))))\n"
+                     "(defun fut () (tri 100))\n";
+
+Message compileReq(const std::string &Source) {
+  Message Req;
+  Req.set("cmd", "compile");
+  Req.set("source", Source);
+  Req.set("entry", "fut");
+  return Req;
+}
+
+TEST(Server, PingAndUnknownCmd) {
+  Server Srv({});
+  Message Ping;
+  Ping.set("cmd", "ping");
+  EXPECT_EQ(Srv.handle(Ping).getOr("ok"), "1");
+
+  Message Bogus;
+  Bogus.set("cmd", "frobnicate");
+  Message Resp = Srv.handle(Bogus);
+  EXPECT_EQ(Resp.getOr("ok"), "0");
+  EXPECT_NE(Resp.getOr("error").find("frobnicate"), std::string::npos);
+  EXPECT_EQ(Srv.requestCount(), 2u);
+}
+
+TEST(Server, CompileRunAndMemoTraffic) {
+  Server Srv({});
+  Message Resp = Srv.handle(compileReq(ExptSrc));
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_EQ(Resp.getOr("value"), "1024");
+  EXPECT_EQ(Resp.getOr("memo-hits"), "0");
+  EXPECT_EQ(Resp.getOr("memo-misses"), "2");
+
+  // The repeat is served from the cache, same value.
+  Message Again = Srv.handle(compileReq(ExptSrc));
+  EXPECT_EQ(Again.getOr("ok"), "1");
+  EXPECT_EQ(Again.getOr("value"), "1024");
+  EXPECT_EQ(Again.getOr("memo-hits"), "2");
+  EXPECT_EQ(Again.getOr("memo-misses"), "0");
+  EXPECT_EQ(Srv.cache().entries(), 2u);
+}
+
+TEST(Server, WarmResponsesMatchColdByteForByte) {
+  Server Srv({});
+  Message Req = compileReq(ExptSrc);
+  Req.set("listing", "1");
+  Req.set("transcript", "1");
+  Req.set("remarks", "1");
+  Req.set("stats", "json");
+
+  Message Cold = Srv.handle(Req);
+  ASSERT_EQ(Cold.getOr("ok"), "1");
+  EXPECT_FALSE(Cold.getOr("listing").empty());
+  EXPECT_FALSE(Cold.getOr("stats").empty());
+
+  Message Warm = Srv.handle(Req);
+  ASSERT_EQ(Warm.getOr("ok"), "1");
+  EXPECT_EQ(Warm.getOr("memo-misses"), "0");
+  for (const char *Key : {"value", "listing", "transcript", "remarks", "stats"})
+    EXPECT_EQ(Cold.getOr(Key), Warm.getOr(Key)) << "field '" << Key << "'";
+}
+
+TEST(Server, InterpreterOracleRun) {
+  Server Srv({});
+  Message Req = compileReq(ExptSrc);
+  Req.set("run", "interp");
+  Message Resp = Srv.handle(Req);
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_EQ(Resp.getOr("value"), "1024");
+}
+
+TEST(Server, CacheBypassLeavesTheCacheCold) {
+  Server Srv({});
+  Message Req = compileReq(ExptSrc);
+  Req.set("cache", "0");
+  Message Resp = Srv.handle(Req);
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_EQ(Resp.getOr("value"), "1024");
+  EXPECT_EQ(Resp.getOr("memo-hits"), "0");
+  EXPECT_EQ(Resp.getOr("memo-misses"), "0");
+  EXPECT_EQ(Srv.cache().entries(), 0u);
+}
+
+TEST(Server, CompilerOptionsChangeTheMemoKey) {
+  Server Srv({});
+  Message Req = compileReq(ExptSrc);
+  ASSERT_EQ(Srv.handle(Req).getOr("ok"), "1");
+
+  Message NoOpt = compileReq(ExptSrc);
+  NoOpt.set("options", "-O0");
+  Message Resp = Srv.handle(NoOpt);
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_EQ(Resp.getOr("value"), "1024");
+  EXPECT_EQ(Resp.getOr("memo-hits"), "0");
+  EXPECT_EQ(Resp.getOr("memo-misses"), "2");
+}
+
+TEST(Server, ErrorPaths) {
+  Server Srv({});
+
+  Message NoSource;
+  NoSource.set("cmd", "compile");
+  Message Resp = Srv.handle(NoSource);
+  EXPECT_EQ(Resp.getOr("ok"), "0");
+  EXPECT_NE(Resp.getOr("error").find("source"), std::string::npos);
+
+  Message BadOpt = compileReq(ExptSrc);
+  BadOpt.set("options", "--definitely-not-a-pass");
+  Resp = Srv.handle(BadOpt);
+  EXPECT_EQ(Resp.getOr("ok"), "0");
+  EXPECT_NE(Resp.getOr("error").find("--definitely-not-a-pass"),
+            std::string::npos);
+
+  Message BadJobs = compileReq(ExptSrc);
+  BadJobs.set("jobs", "zero");
+  EXPECT_EQ(Srv.handle(BadJobs).getOr("ok"), "0");
+
+  Message BadEngine = compileReq(ExptSrc);
+  BadEngine.set("engine", "abacus");
+  EXPECT_EQ(Srv.handle(BadEngine).getOr("ok"), "0");
+
+  // A missing entry function compiles fine but reports a run error.
+  Message BadEntry = compileReq(ExptSrc);
+  BadEntry.Fields.clear();
+  BadEntry.set("cmd", "compile");
+  BadEntry.set("source", ExptSrc);
+  BadEntry.set("entry", "nope");
+  Resp = Srv.handle(BadEntry);
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_FALSE(Resp.has("value"));
+  EXPECT_NE(Resp.getOr("run-error").find("nope"), std::string::npos);
+
+  Message BadSyntax;
+  BadSyntax.set("cmd", "compile");
+  BadSyntax.set("source", "(defun oops (x");
+  EXPECT_EQ(Srv.handle(BadSyntax).getOr("ok"), "0");
+}
+
+TEST(Server, StatsCmdReportsCacheAndTraffic) {
+  Server Srv({});
+  ASSERT_EQ(Srv.handle(compileReq(ExptSrc)).getOr("ok"), "1");
+
+  Message Req;
+  Req.set("cmd", "stats");
+  Message Resp = Srv.handle(Req);
+  EXPECT_EQ(Resp.getOr("ok"), "1");
+  EXPECT_EQ(Resp.getOr("cache-entries"), "2");
+  EXPECT_EQ(Resp.getOr("cache-misses"), "2");
+  EXPECT_EQ(Resp.getOr("requests"), "1"); // count precedes this request
+  EXPECT_TRUE(Resp.has("stats"));
+}
+
+TEST(Server, ShutdownCmdAcknowledges) {
+  Server Srv({});
+  Message Req;
+  Req.set("cmd", "shutdown");
+  EXPECT_EQ(Srv.handle(Req).getOr("ok"), "1");
+}
+
+// The satellite regression: two clients interleaving different workloads
+// must each see exactly the counters a solo run of their request reports
+// — no bleed-through between concurrently executing requests.
+TEST(Server, InterleavedRequestsKeepStatsIsolated) {
+  Message ReqA = compileReq(ExptSrc);
+  ReqA.set("stats", "json");
+  Message ReqB = compileReq(TriSrc);
+  ReqB.set("stats", "json");
+
+  // Solo baselines from private servers.
+  std::string SoloA, SoloB, ValueA, ValueB;
+  {
+    Server Solo({});
+    Message R = Solo.handle(ReqA);
+    ASSERT_EQ(R.getOr("ok"), "1");
+    SoloA = R.getOr("stats");
+    ValueA = R.getOr("value");
+  }
+  {
+    Server Solo({});
+    Message R = Solo.handle(ReqB);
+    ASSERT_EQ(R.getOr("ok"), "1");
+    SoloB = R.getOr("stats");
+    ValueB = R.getOr("value");
+  }
+  ASSERT_FALSE(SoloA.empty());
+  ASSERT_NE(SoloA, SoloB) << "workloads too similar to detect bleed-through";
+
+  Server Shared({});
+  constexpr int Iterations = 25;
+  std::vector<std::string> BadA, BadB;
+  std::thread ThreadA([&] {
+    for (int I = 0; I < Iterations; ++I) {
+      Message R = Shared.handle(ReqA);
+      if (R.getOr("stats") != SoloA || R.getOr("value") != ValueA)
+        BadA.push_back(R.getOr("stats"));
+    }
+  });
+  std::thread ThreadB([&] {
+    for (int I = 0; I < Iterations; ++I) {
+      Message R = Shared.handle(ReqB);
+      if (R.getOr("stats") != SoloB || R.getOr("value") != ValueB)
+        BadB.push_back(R.getOr("stats"));
+    }
+  });
+  ThreadA.join();
+  ThreadB.join();
+
+  EXPECT_TRUE(BadA.empty()) << BadA.size() << " polluted responses, first:\n"
+                            << BadA.front() << "\nexpected:\n" << SoloA;
+  EXPECT_TRUE(BadB.empty()) << BadB.size() << " polluted responses, first:\n"
+                            << BadB.front() << "\nexpected:\n" << SoloB;
+  EXPECT_EQ(Shared.requestCount(), 2u * Iterations);
+}
+
+} // namespace

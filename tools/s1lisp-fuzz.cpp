@@ -9,9 +9,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "frontend/Convert.h"
 #include "fuzz/Generator.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Reducer.h"
+#include "interp/Interp.h"
+#include "service/Client.h"
 #include "sexpr/Printer.h"
 #include "vm/Machine.h"
 
@@ -54,6 +57,14 @@ const char *UsageText =
     "                      matrix (default 1 = serial)\n"
     "  --engine=E          simulator dispatch engine for the compiled side:\n"
     "                      \"threaded\" (default) or \"legacy\"\n"
+    "  --server=SOCKET     client/soak mode: compile and run every grid\n"
+    "                      point through a running s1lispd instead of\n"
+    "                      in-process. Each request is sent twice, so the\n"
+    "                      second answer comes from the daemon's compile\n"
+    "                      cache; cached and fresh responses must be\n"
+    "                      identical, and both must agree with the local\n"
+    "                      interpreter reference by the usual tolerances.\n"
+    "                      (--reduce/--fault/--stats don't apply here.)\n"
     "\n"
     "Reduction:\n"
     "  --reduce            shrink each diverging program to a minimal\n"
@@ -78,6 +89,7 @@ struct CliOptions {
   bool Stats = false;
   unsigned Jobs = 1;
   vm::Engine Engine = vm::Engine::Threaded;
+  std::string Server; ///< unix-socket path; empty fuzzes in-process
   bool Reduce = false;
   std::string OutDir = ".";
   bool FaultFold = false;
@@ -142,6 +154,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Engine = *E;
+    } else if (startsWith(A, "--server=")) {
+      O.Server = A + 9;
     } else if (std::strcmp(A, "--reduce") == 0) {
       O.Reduce = true;
     } else if (startsWith(A, "--out=")) {
@@ -180,6 +194,139 @@ void printDivergence(uint32_t Seed, const fuzz::Divergence &D,
           outcomeText(D.Actual), D.Actual.Text.c_str());
 }
 
+//===--- client/soak mode -------------------------------------------------===//
+
+/// The s1lispc flag string for one ablation-matrix configuration: the
+/// matrix names are the flag names with O2 the empty default.
+std::string configFlags(const std::string &Name) {
+  if (Name == "O2")
+    return "";
+  if (Name == "O0")
+    return "-O0";
+  if (Name == "O2+cse")
+    return "--cse";
+  return "--" + Name;
+}
+
+fuzz::Outcome outcomeOf(const service::Message &Resp) {
+  if (Resp.getOr("ok") != "1")
+    return fuzz::Outcome::compileError(Resp.getOr("error"));
+  if (const std::string *E = Resp.get("run-error"))
+    return fuzz::Outcome::error(*E);
+  return fuzz::Outcome::value(Resp.getOr("value"));
+}
+
+/// The fixnum-width / fuel taint, as in the in-process oracle.
+bool tainted(const fuzz::Outcome &O) {
+  return O.EC == fuzz::ErrorClass::Overflow || O.EC == fuzz::ErrorClass::Fuel;
+}
+
+/// The observable surface of a run response; cached and fresh answers
+/// must match on it byte for byte.
+std::string responseKey(const service::Message &M) {
+  std::string K;
+  for (const char *F : {"ok", "error", "value", "run-error", "output"}) {
+    K += M.getOr(F);
+    K += '\x1f';
+  }
+  return K;
+}
+
+/// Fuzzes a running daemon: every grid point becomes a zero-argument
+/// wrapper defun (so the argument row travels inside the source), sent
+/// twice — the repeat answers from the compile cache — and both answers
+/// are checked against the local interpreter reference.
+int runServerMode(const CliOptions &Cli,
+                  const std::vector<driver::AblationConfig> &Matrix) {
+  service::Client C;
+  std::string Err;
+  if (!C.connectUnix(Cli.Server, &Err)) {
+    fprintf(stderr, "s1lisp-fuzz: %s\n", Err.c_str());
+    return 2;
+  }
+  unsigned Diverged = 0, ConvertErrors = 0, Rows = 0, TolOverflow = 0,
+           TolElision = 0, CacheMismatch = 0;
+  for (unsigned I = 0; I < Cli.Budget; ++I) {
+    uint32_t Seed = Cli.Seed + I;
+    fuzz::Generator G(Seed, Cli.Gen);
+    fuzz::GeneratedProgram P = G.generate();
+    for (size_t Row = 0; Row < P.ArgGrid.size(); ++Row) {
+      std::string Wrapped = P.Source;
+      Wrapped += "\n(defun __client_main () (" + P.Entry;
+      for (sexpr::Value A : P.ArgGrid[Row])
+        Wrapped += " (quote " + sexpr::toString(A) + ")";
+      Wrapped += "))\n";
+
+      // The reference: the unoptimized interpreter over the same wrapped
+      // source, locally.
+      ir::Module RefM;
+      DiagEngine Diags;
+      if (!frontend::convertSource(RefM, Wrapped, Diags)) {
+        ++ConvertErrors;
+        fprintf(stderr, "seed %u: generated program failed to convert:\n%s\n",
+                Seed, Diags.str().c_str());
+        break;
+      }
+      interp::Interpreter Interp(RefM);
+      Interp.setFuel(2'000'000);
+      auto RR = Interp.call("__client_main", {});
+      fuzz::Outcome Ref = RR.Ok ? fuzz::Outcome::value(RR.Value.str())
+                                : fuzz::Outcome::error(RR.Error);
+
+      for (const driver::AblationConfig &Cfg : Matrix) {
+        service::Message Req;
+        Req.set("cmd", "compile");
+        Req.set("source", Wrapped);
+        Req.set("options", configFlags(Cfg.Name));
+        Req.set("entry", "__client_main");
+        Req.set("run", "vm");
+        Req.set("engine", vm::engineName(Cli.Engine));
+        Req.set("fuel", "20000000");
+        service::Message R1, R2;
+        if (!C.roundTrip(Req, R1, &Err) || !C.roundTrip(Req, R2, &Err)) {
+          fprintf(stderr, "s1lisp-fuzz: %s\n", Err.c_str());
+          return 2;
+        }
+        if (responseKey(R1) != responseKey(R2)) {
+          ++CacheMismatch;
+          fprintf(stderr,
+                  "seed %u: cached response differs from fresh against %s\n",
+                  Seed, Cfg.Name.c_str());
+        }
+        ++Rows;
+        fuzz::Outcome Act = outcomeOf(R1);
+        if (tainted(Ref) || tainted(Act)) {
+          ++TolOverflow;
+          continue;
+        }
+        if (Ref.K == fuzz::Outcome::Kind::Error &&
+            Act.K == fuzz::Outcome::Kind::Value && Cfg.Opts.Optimize) {
+          ++TolElision;
+          continue;
+        }
+        bool Agree = false;
+        if (Ref.K == fuzz::Outcome::Kind::Value &&
+            Act.K == fuzz::Outcome::Kind::Value)
+          Agree = Ref.Text == Act.Text;
+        else if (Ref.K == fuzz::Outcome::Kind::Error &&
+                 Act.K == fuzz::Outcome::Kind::Error)
+          Agree = Ref.EC == Act.EC;
+        if (!Agree) {
+          ++Diverged;
+          fuzz::Divergence D{Cfg.Name, Row, Ref, Act, ""};
+          printDivergence(Seed, D, P);
+        }
+      }
+    }
+  }
+  printf("s1lisp-fuzz: %u programs, %u configs, %u rows compared, "
+         "%u divergent, %u convert errors, %u tolerated overflows, "
+         "%u tolerated elisions, %u cached-vs-fresh mismatches\n",
+         Cli.Budget, static_cast<unsigned>(Matrix.size()), Rows, Diverged,
+         ConvertErrors, TolOverflow, TolElision, CacheMismatch);
+  return (Diverged || ConvertErrors || CacheMismatch) ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -206,6 +353,9 @@ int main(int Argc, char **Argv) {
     for (driver::AblationConfig &C : Matrix)
       if (C.Opts.Optimize)
         C.Opts.Opt.FaultConstantFold = true;
+
+  if (!Cli.Server.empty())
+    return runServerMode(Cli, Matrix);
 
   fuzz::OracleOptions Oracle;
   Oracle.Configs = Matrix;

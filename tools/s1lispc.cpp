@@ -8,9 +8,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Ablation.h"
 #include "driver/Compiler.h"
 #include "frontend/Convert.h"
 #include "interp/Interp.h"
+#include "service/Client.h"
 #include "sexpr/Printer.h"
 #include "stats/Remark.h"
 #include "stats/Stats.h"
@@ -43,6 +45,9 @@ const char *UsageText =
     "                      direct-threaded loop, default) or \"legacy\" (the\n"
     "                      original per-step switch)\n"
     "  --listing           print the generated assembly (Table 4 style)\n"
+    "  --server=SOCKET     submit the compile to a running s1lispd at the\n"
+    "                      given unix socket instead of compiling locally\n"
+    "                      (same output; warm daemons reuse cached units)\n"
     "\n"
     "Optimization level:\n"
     "  -O0                 disable the source-level optimizer\n"
@@ -68,6 +73,10 @@ const char *UsageText =
 struct CliOptions {
   std::vector<std::string> Files;
   driver::CompilerOptions Compiler;
+  /// The raw compiler-option tokens (-O0, --cse, --no-*), kept so
+  /// --server can forward them verbatim in the request's options field.
+  std::vector<std::string> CompilerFlags;
+  std::string Server; ///< unix-socket path; empty compiles locally
   bool Listing = false;
   bool Run = false;
   bool Interp = false;
@@ -86,27 +95,6 @@ bool startsWith(const char *Arg, const char *Prefix) {
 
 /// Parses argv; returns false (after printing a message) on bad usage.
 bool parseArgs(int Argc, char **Argv, CliOptions &O) {
-  struct BoolFlag {
-    const char *Name;
-    bool *Target;
-  };
-  const BoolFlag Ablations[] = {
-      {"--no-substitute", &O.Compiler.Opt.Substitute},
-      {"--no-if-distribute", &O.Compiler.Opt.IfDistribute},
-      {"--no-constant-fold", &O.Compiler.Opt.ConstantFold},
-      {"--no-assoc-commut", &O.Compiler.Opt.AssocCommut},
-      {"--no-identity-elim", &O.Compiler.Opt.IdentityElim},
-      {"--no-redundant-test", &O.Compiler.Opt.RedundantTest},
-      {"--no-machine-trig", &O.Compiler.Opt.MachineTrig},
-      {"--no-dead-code", &O.Compiler.Opt.DeadCode},
-      {"--no-registers", &O.Compiler.Codegen.TnBind.UseRegisters},
-      {"--no-register-temps", &O.Compiler.Codegen.RegisterTemps},
-      {"--no-rep-analysis", &O.Compiler.Codegen.Annotate.RepAnalysis},
-      {"--no-pdl-numbers", &O.Compiler.Codegen.Annotate.PdlNumbers},
-      {"--no-special-cache", &O.Compiler.Codegen.SpecialCache},
-      {"--no-tail-calls", &O.Compiler.Codegen.TailCalls},
-  };
-
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
     if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
@@ -133,12 +121,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Engine = *E;
-    } else if (std::strcmp(A, "-O0") == 0) {
-      O.Compiler.Optimize = false;
-    } else if (std::strcmp(A, "-O2") == 0) {
-      O.Compiler.Optimize = true;
-    } else if (std::strcmp(A, "--cse") == 0) {
-      O.Compiler.Cse = true;
+    } else if (startsWith(A, "--server=")) {
+      O.Server = A + 9;
+      if (O.Server.empty()) {
+        fprintf(stderr, "s1lispc: --server needs a socket path\n");
+        return false;
+      }
     } else if (std::strcmp(A, "--time-phases") == 0) {
       O.TimePhases = true;
     } else if (std::strcmp(A, "--stats") == 0) {
@@ -154,14 +142,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
     } else if (std::strcmp(A, "--transcript") == 0) {
       O.Transcript = true;
     } else if (A[0] == '-' && A[1] != '\0') {
-      bool Matched = false;
-      for (const BoolFlag &F : Ablations)
-        if (std::strcmp(A, F.Name) == 0) {
-          *F.Target = false;
-          Matched = true;
-          break;
-        }
-      if (!Matched) {
+      // -O0/-O2/--cse and every --no-* ablation go through the shared
+      // table (driver/Ablation.h), which is also what the compile
+      // service's options field accepts.
+      if (driver::applyCompilerFlag(A, O.Compiler)) {
+        O.CompilerFlags.push_back(A);
+      } else {
         fprintf(stderr, "s1lispc: unknown option '%s' (try --help)\n", A);
         return false;
       }
@@ -230,6 +216,85 @@ int runOnSimulator(ir::Module &M, const s1::Program &P, const CliOptions &O) {
   return 0;
 }
 
+/// The --server path: forward the compile to a running s1lispd and print
+/// the response exactly as the local pipeline would have.
+int runViaServer(const std::string &Source, const CliOptions &O) {
+  service::Client C;
+  std::string Err;
+  if (!C.connectUnix(O.Server, &Err)) {
+    fprintf(stderr, "s1lispc: %s\n", Err.c_str());
+    return 1;
+  }
+  service::Message Req;
+  Req.set("cmd", "compile");
+  Req.set("source", Source);
+  std::string Flags;
+  for (const std::string &F : O.CompilerFlags) {
+    if (!Flags.empty())
+      Flags += ' ';
+    Flags += F;
+  }
+  Req.set("options", Flags);
+  if (O.Run || O.Interp) {
+    Req.set("entry", O.Entry);
+    Req.set("run", O.Interp ? "interp" : "vm");
+    if (O.Run)
+      Req.set("engine", vm::engineName(O.Engine));
+  }
+  if (O.Listing)
+    Req.set("listing", "1");
+  if (O.Transcript)
+    Req.set("transcript", "1");
+  if (!O.RemarksFile.empty())
+    Req.set("remarks", "1");
+  if (O.Stats)
+    Req.set("stats", O.StatsJson ? "json" : "text");
+  if (O.TimePhases)
+    Req.set("timing", "1");
+
+  service::Message Resp;
+  if (!C.roundTrip(Req, Resp, &Err)) {
+    fprintf(stderr, "s1lispc: %s\n", Err.c_str());
+    return 1;
+  }
+  if (Resp.getOr("ok") != "1") {
+    fprintf(stderr, "s1lispc: %s\n",
+            Resp.getOr("error", "server error").c_str());
+    return 1;
+  }
+
+  // Mirror the local output order: transcript, remarks, listing, run
+  // output/value, timing, stats.
+  if (O.Transcript)
+    fputs(Resp.getOr("transcript").c_str(), stdout);
+  if (!O.RemarksFile.empty() &&
+      !writeFileOrStdout(O.RemarksFile, Resp.getOr("remarks"))) {
+    fprintf(stderr, "s1lispc: cannot write '%s'\n", O.RemarksFile.c_str());
+    return 1;
+  }
+  if (O.Listing)
+    fputs(Resp.getOr("listing").c_str(), stdout);
+
+  int Status = 0;
+  if (O.Run || O.Interp) {
+    fputs(Resp.getOr("output").c_str(), stdout);
+    if (const std::string *RunErr = Resp.get("run-error")) {
+      fprintf(stderr, "s1lispc: runtime error: %s\n", RunErr->c_str());
+      Status = 1;
+    } else {
+      printf("=> %s\n", Resp.getOr("value").c_str());
+    }
+  }
+
+  if (O.TimePhases)
+    fputs(Resp.getOr("timing").c_str(), stdout);
+  if (O.Stats)
+    fputs(Resp.getOr("stats").c_str(), stdout);
+  if (O.StatsJson)
+    fputc('\n', stdout);
+  return Status;
+}
+
 int runOnInterpreter(ir::Module &M, const CliOptions &O) {
   if (!M.lookup(O.Entry)) {
     fprintf(stderr, "s1lispc: entry function '%s' is not defined\n",
@@ -268,6 +333,9 @@ int main(int Argc, char **Argv) {
     Source += Text;
     Source += '\n';
   }
+
+  if (!O.Server.empty())
+    return runViaServer(Source, O);
 
   ir::Module M;
   stats::RemarkStream Remarks;
