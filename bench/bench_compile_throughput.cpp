@@ -38,6 +38,8 @@ namespace {
 constexpr uint32_t Seed = 7000;
 constexpr unsigned Helpers = 99; ///< +1 entry defun = 100 functions
 constexpr unsigned Reps = 12;
+/// Minimum acceptable jobs=4 speedup over serial on a >= 4-thread host.
+constexpr double ScalingFloor = 2.0;
 
 std::string generateSource() {
   fuzz::GenOptions GO;
@@ -153,6 +155,7 @@ int printTable() {
     Rows.push_back({"o1_jobs" + std::to_string(J), optConfig(J, true)});
     PrevJ = J;
   }
+  int Status = 0;
   double Jobs1Ns = 0, Jobs4Ns = 0;
   for (const Row &R : Rows) {
     double Ns = timeRowNs(R.Opts);
@@ -171,6 +174,22 @@ int printTable() {
     double Scaling = Jobs1Ns / Jobs4Ns;
     printf("parallel scaling: %.2fx over serial at 4 jobs\n", Scaling);
     Report.add("parallel_scaling_x100", static_cast<uint64_t>(Scaling * 100));
+    // Scaling floor: negative scaling is a bug, not a data point. Only a
+    // host with >= 4 hardware threads can meaningfully run 4 jobs, so
+    // single-core CI hosts skip (loudly) rather than fail.
+    if (Hw >= 4) {
+      Report.add("scaling_floor_checked", 1);
+      if (Scaling < ScalingFloor) {
+        fprintf(stderr,
+                "FATAL: parallel scaling %.2fx at 4 jobs is below the %.1fx "
+                "floor on a %u-thread host\n",
+                Scaling, ScalingFloor, Hw);
+        Status = 1;
+      }
+    } else {
+      Report.add("scaling_floor_checked", 0);
+      printf("scaling floor skipped: %u hardware thread(s) < 4\n", Hw);
+    }
   }
 
   // Allocator × analysis ablation over the optimizer phase alone, jobs=1.
@@ -209,7 +228,7 @@ int printTable() {
                static_cast<uint64_t>(Speedup * 100));
   }
   Report.write();
-  return 0;
+  return Status;
 }
 
 void BM_CompileSerial(benchmark::State &State) {

@@ -30,6 +30,8 @@ namespace {
 
 constexpr uint32_t FirstSeed = 5000;
 constexpr unsigned Budget = 12;
+/// Minimum acceptable jobs=4 speedup over serial on a >= 4-thread host.
+constexpr double ScalingFloor = 2.0;
 
 struct Sweep {
   double Ns = 0;
@@ -82,7 +84,7 @@ int printTable() {
     PrevJ = MaxJ = J;
   }
   Rows.push_back({"serial/legacy", 1, vm::Engine::Legacy});
-  double SerialNs = 0, ParallelNs = 0;
+  double SerialNs = 0, ParallelNs = 0, Jobs4Ns = 0;
   bool Clean = true;
   for (const Row &R : Rows) {
     Sweep S = runSweep(R.Jobs, R.Eng);
@@ -103,18 +105,38 @@ int printTable() {
       SerialNs = S.Ns;
     if (R.Jobs == MaxJ && R.Jobs > 1)
       ParallelNs = S.Ns;
+    if (R.Jobs == 4 && R.Eng == vm::Engine::Threaded)
+      Jobs4Ns = S.Ns;
   }
+  int Status = 0;
   if (ParallelNs > 0) {
     double Scaling = SerialNs / ParallelNs;
     printf("parallel scaling: %.2fx over serial at %u jobs\n", Scaling, MaxJ);
     Report.add("scaling_x100", static_cast<uint64_t>(Scaling * 100));
+    // Scaling floor at 4 jobs: the oracle's configs are independent
+    // (private module clones), so anything below 2x on a >= 4-thread
+    // host is a shared-state bug, not noise. Single-core hosts skip.
+    if (Hw >= 4 && Jobs4Ns > 0) {
+      double Scaling4 = SerialNs / Jobs4Ns;
+      Report.add("scaling_floor_checked", 1);
+      if (Scaling4 < ScalingFloor) {
+        fprintf(stderr,
+                "FATAL: oracle scaling %.2fx at 4 jobs is below the %.1fx "
+                "floor on a %u-thread host\n",
+                Scaling4, ScalingFloor, Hw);
+        Status = 1;
+      }
+    } else {
+      Report.add("scaling_floor_checked", 0);
+      printf("scaling floor skipped: %u hardware thread(s) < 4\n", Hw);
+    }
   }
   Report.write();
   if (!Clean) {
     fprintf(stderr, "FATAL: sweep reported divergences\n");
     return 1;
   }
-  return 0;
+  return Status;
 }
 
 void BM_OracleSerial(benchmark::State &State) {

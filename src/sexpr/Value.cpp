@@ -32,26 +32,42 @@ SymbolTable::SymbolTable() {
 }
 
 const Symbol *SymbolTable::intern(std::string_view Name) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Map.find(std::string(Name));
-  if (It != Map.end())
+  Shard &S = Shards[StringHash{}(Name) & (NumShards - 1)];
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(Name);
+  if (It != S.Map.end())
     return It->second;
-  Storage.emplace_back(std::string(Name));
-  const Symbol *S = &Storage.back();
-  Map.emplace(std::string(Name), S);
-  return S;
+  S.Storage.emplace_back(std::string(Name));
+  const Symbol *Sym = &S.Storage.back();
+  S.Map.emplace(std::string(Name), Sym);
+  S.Count.store(S.Map.size(), std::memory_order_release);
+  return Sym;
+}
+
+Heap::Region &Heap::myRegion() {
+  // Threads take regions round-robin: the parallel pipeline's handful of
+  // workers each get a private region; collisions only appear past
+  // NumRegions live allocating threads, and are still correct (the region
+  // mutex covers them).
+  static std::atomic<size_t> NextSlot{0};
+  thread_local const size_t Slot =
+      NextSlot.fetch_add(1, std::memory_order_relaxed);
+  return Regions[Slot & (NumRegions - 1)];
 }
 
 Value Heap::cons(Value Car, Value Cdr, SourceLocation Loc) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Conses.push_back({Car, Cdr, Loc});
-  return Value::cons(&Conses.back());
+  Region &R = myRegion();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Conses.push_back({Car, Cdr, Loc});
+  R.ConsTally.store(R.Conses.size(), std::memory_order_release);
+  return Value::cons(&R.Conses.back());
 }
 
 Value Heap::string(std::string S) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Strings.push_back({std::move(S)});
-  return Value::string(&Strings.back());
+  Region &R = myRegion();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Strings.push_back({std::move(S)});
+  return Value::string(&R.Strings.back());
 }
 
 Value Heap::makeRatio(int64_t Num, int64_t Den) {
@@ -67,9 +83,10 @@ Value Heap::makeRatio(int64_t Num, int64_t Den) {
   }
   if (Den == 1)
     return Value::fixnum(Num);
-  std::lock_guard<std::mutex> Lock(Mu);
-  Ratios.push_back({Num, Den});
-  return Value::ratio(&Ratios.back());
+  Region &R = myRegion();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Ratios.push_back({Num, Den});
+  return Value::ratio(&R.Ratios.back());
 }
 
 Value Heap::list(std::initializer_list<Value> Items) {

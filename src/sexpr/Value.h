@@ -17,6 +17,7 @@
 
 #include "support/SourceLocation.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -178,9 +179,21 @@ struct Cons {
 /// pointers are stable, so readers need no lock) — the parallel driver
 /// optimizes functions of one module concurrently, and the optimizer
 /// interns rewritten call names.
+///
+/// The table is sharded by name hash: concurrent interns of different
+/// names take different locks, so pipeline workers stop convoying on one
+/// global mutex. Identity stays global (one Symbol per name, whichever
+/// shard it hashes to), and nothing enumerates the table, so the shard a
+/// symbol lands in — and the order shards fill in — is unobservable:
+/// compiled units refer to symbols by name with unit-local ordinals, and
+/// the serial link assigns every final ordinal/address in first-use unit
+/// order (codegen::linkUnits), keeping output bit-identical for any job
+/// count.
 class SymbolTable {
 public:
   SymbolTable();
+  SymbolTable(const SymbolTable &) = delete;
+  SymbolTable &operator=(const SymbolTable &) = delete;
 
   /// Returns the unique Symbol for \p Name, creating it on first use.
   const Symbol *intern(std::string_view Name);
@@ -189,15 +202,40 @@ public:
   const Symbol *t() const { return SymT; }
   const Symbol *quote() const { return SymQuote; }
 
+  /// Total symbols interned so far. Aggregates per-shard counters without
+  /// taking any shard lock, so it never blocks (or is blocked by)
+  /// concurrent intern calls on the hot path.
   size_t size() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Map.size();
+    size_t N = 0;
+    for (const Shard &S : Shards)
+      N += S.Count.load(std::memory_order_acquire);
+    return N;
   }
 
 private:
-  mutable std::mutex Mu;
-  std::unordered_map<std::string, const Symbol *> Map;
-  std::deque<Symbol> Storage;
+  /// Heterogeneous string hashing so lookups take string_view without
+  /// materializing a std::string per probe.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+    size_t operator()(const std::string &S) const {
+      return std::hash<std::string_view>{}(S);
+    }
+  };
+
+  static constexpr size_t NumShards = 16; ///< power of two
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<std::string, const Symbol *, StringHash,
+                       std::equal_to<>>
+        Map;
+    std::deque<Symbol> Storage;
+    /// Map.size(), published after each insert for lock-free size().
+    std::atomic<size_t> Count{0};
+  };
+  Shard Shards[NumShards];
   const Symbol *SymT;
   const Symbol *SymQuote;
 };
@@ -207,8 +245,22 @@ private:
 /// reason interning is: the parallel driver's constant folder allocates
 /// ratios (and the CSE/backtranslate paths conses) from the module heap on
 /// worker threads. Reads of allocated cells need no lock.
+///
+/// Internally the heap is a set of regions with thread affinity: each
+/// allocating thread is assigned a region round-robin (cached
+/// thread-locally), so pipeline workers allocate from effectively private
+/// regions and never contend on a global allocation mutex. The per-region
+/// mutex stays — a rare slot collision, or a reader racing size
+/// accounting, must remain safe — but on the fan-out paths it is
+/// uncontended. Regions are plain storage inside the one heap; cells
+/// "fold into the module heap" by construction, published to the serial
+/// link by the parallelFor join, so no merge step exists to get wrong.
 class Heap {
 public:
+  Heap() = default;
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
   Value cons(Value Car, Value Cdr, SourceLocation Loc = SourceLocation());
   Value string(std::string S);
   /// Makes an exact rational; normalizes, and returns a fixnum when the
@@ -219,16 +271,30 @@ public:
   Value list(std::initializer_list<Value> Items);
   Value list(const std::vector<Value> &Items);
 
+  /// Total cons cells allocated. Sums per-region counters without taking
+  /// any region lock, so it never blocks concurrent allocation.
   size_t consCount() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return Conses.size();
+    size_t N = 0;
+    for (const Region &R : Regions)
+      N += R.ConsTally.load(std::memory_order_acquire);
+    return N;
   }
 
 private:
-  mutable std::mutex Mu;
-  std::deque<Cons> Conses;
-  std::deque<StringObj> Strings;
-  std::deque<Ratio> Ratios;
+  static constexpr size_t NumRegions = 16; ///< power of two
+  struct Region {
+    mutable std::mutex Mu;
+    std::deque<Cons> Conses;
+    std::deque<StringObj> Strings;
+    std::deque<Ratio> Ratios;
+    /// Conses.size(), published after each insert for lock-free counts.
+    std::atomic<size_t> ConsTally{0};
+  };
+
+  /// The calling thread's region (stable for the thread's lifetime).
+  Region &myRegion();
+
+  Region Regions[NumRegions];
 };
 
 /// True if \p V is a proper (NIL-terminated, acyclic within 2^32 cells) list.

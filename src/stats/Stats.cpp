@@ -35,6 +35,15 @@ std::vector<Statistic *> &registry() {
   return R;
 }
 
+// Dense-slot allocator for Statistic::Idx (under RegistryMu). Slots are
+// recycled when a counter dies (tests create short-lived ones), keeping
+// tally cell vectors as small as the live counter population.
+std::vector<unsigned> &freeSlots() {
+  static std::vector<unsigned> F;
+  return F;
+}
+unsigned NextSlot = 0;
+
 std::string formatUnsigned(uint64_t V) { return std::to_string(V); }
 
 void appendJsonNumber(std::string &Out, double V) {
@@ -51,6 +60,12 @@ void stats::setEnabled(bool On) { StatsEnabled = On; }
 Statistic::Statistic(const char *Name, const char *Desc)
     : Name(Name), Desc(Desc) {
   std::lock_guard<std::mutex> Lock(RegistryMu);
+  if (freeSlots().empty()) {
+    Idx = NextSlot++;
+  } else {
+    Idx = freeSlots().back();
+    freeSlots().pop_back();
+  }
   registry().push_back(this);
 }
 
@@ -58,18 +73,27 @@ Statistic::~Statistic() {
   std::lock_guard<std::mutex> Lock(RegistryMu);
   auto &R = registry();
   R.erase(std::remove(R.begin(), R.end(), this), R.end());
+  freeSlots().push_back(Idx);
+}
+
+LocalTally::Cell &LocalTally::cell(Statistic *S) {
+  if (S->Idx >= Cells.size())
+    Cells.resize(std::max<size_t>(S->Idx + 1, Cells.size() * 2));
+  Cell &C = Cells[S->Idx];
+  C.S = S;
+  return C;
 }
 
 void Statistic::record(uint64_t N) {
   if (ActiveTally)
-    ActiveTally->Cells[this].Add += N;
+    ActiveTally->cell(this).Add += N;
   else
     Value += N;
 }
 
 void Statistic::recordMax(uint64_t N) {
   if (ActiveTally) {
-    LocalTally::Cell &C = ActiveTally->Cells[this];
+    LocalTally::Cell &C = ActiveTally->cell(this);
     if (N > C.Max)
       C.Max = N;
   } else if (N > Value) {
@@ -79,19 +103,21 @@ void Statistic::recordMax(uint64_t N) {
 
 void LocalTally::apply() {
   std::lock_guard<std::mutex> Lock(RegistryMu);
-  for (auto &[S, C] : Cells) {
-    S->Value += C.Add;
-    if (C.Max > S->Value)
-      S->Value = C.Max;
+  for (Cell &C : Cells) {
+    if (!C.S)
+      continue;
+    C.S->Value += C.Add;
+    if (C.Max > C.S->Value)
+      C.S->Value = C.Max;
   }
   Cells.clear();
 }
 
 std::vector<TallyDelta> LocalTally::deltas() const {
   std::vector<TallyDelta> Out;
-  Out.reserve(Cells.size());
-  for (const auto &[S, C] : Cells)
-    Out.push_back({S->name(), C.Add, C.Max});
+  for (const Cell &C : Cells)
+    if (C.S)
+      Out.push_back({C.S->name(), C.Add, C.Max});
   std::sort(Out.begin(), Out.end(),
             [](const TallyDelta &A, const TallyDelta &B) { return A.Name < B.Name; });
   return Out;
@@ -263,6 +289,20 @@ TimingState &timingState() {
 
 bool stats::timingEnabled() { return TimingEnabled; }
 void stats::setTimingEnabled(bool On) { TimingEnabled = On; }
+
+ThreadBaselineScope::ThreadBaselineScope()
+    : PrevTally(ActiveTally), PrevEnabled(StatsEnabled),
+      PrevTiming(TimingEnabled) {
+  ActiveTally = nullptr;
+  StatsEnabled = false;
+  TimingEnabled = false;
+}
+
+ThreadBaselineScope::~ThreadBaselineScope() {
+  ActiveTally = PrevTally;
+  StatsEnabled = PrevEnabled;
+  TimingEnabled = PrevTiming;
+}
 
 PhaseTimer::PhaseTimer(const char *Phase) : Active(TimingEnabled) {
   if (!Active)

@@ -81,6 +81,10 @@ private:
   const char *Name;
   const char *Desc;
   uint64_t Value = 0;
+  /// Dense registry slot, assigned at registration (recycled on
+  /// destruction). Tally cells index by it, so a worker-side counter
+  /// update is one bounds check and an add — no hashing, no locks.
+  unsigned Idx = 0;
 };
 
 /// One counter's contribution captured in a LocalTally, keyed by name so
@@ -100,6 +104,11 @@ struct TallyDelta {
 /// lands here instead of the shared values; the spawning thread folds the
 /// tallies in with apply() after the join. Sums commute, so totals are
 /// identical to a serial run for any job count or completion order.
+///
+/// Accumulation is fully lock-free: cells live in a flat vector indexed
+/// by each counter's dense registry slot, so the worker-side cost of one
+/// update is an indexed add. Only the single fold at phase end (apply)
+/// takes the registry lock.
 class LocalTally {
 public:
   /// Folds the tally into the shared counters; call after workers have
@@ -113,10 +122,12 @@ public:
 private:
   friend class Statistic;
   struct Cell {
+    Statistic *S = nullptr; ///< null while the slot is untouched
     uint64_t Add = 0;
     uint64_t Max = 0;
   };
-  std::unordered_map<Statistic *, Cell> Cells;
+  Cell &cell(Statistic *S);
+  std::vector<Cell> Cells; ///< indexed by Statistic::Idx
 };
 
 /// Re-applies name-keyed deltas through the normal recording path: they
@@ -142,6 +153,26 @@ public:
 private:
   LocalTally *Prev;
   bool PrevEnabled;
+};
+
+/// RAII: resets the current thread's observability state (stats enable,
+/// active tally route, phase-timing enable) to the defaults a freshly
+/// spawned thread would have, restoring the previous state on
+/// destruction. The worker pool wraps every parallel task in one, so a
+/// task behaves identically whether it runs on a pool thread or on the
+/// caller participating in its own fan-out: spawned tasks never
+/// contribute to the spawning thread's counters or phase times.
+class ThreadBaselineScope {
+public:
+  ThreadBaselineScope();
+  ~ThreadBaselineScope();
+  ThreadBaselineScope(const ThreadBaselineScope &) = delete;
+  ThreadBaselineScope &operator=(const ThreadBaselineScope &) = delete;
+
+private:
+  LocalTally *PrevTally;
+  bool PrevEnabled;
+  bool PrevTiming;
 };
 
 #define S1_STAT(VAR, NAME, DESC)                                               \

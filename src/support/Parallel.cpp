@@ -1,0 +1,100 @@
+//===- support/Parallel.cpp - The shared worker pool ----------------------===//
+
+#include "support/Parallel.h"
+
+#include <deque>
+#include <thread>
+#include <vector>
+
+using namespace s1lisp;
+using namespace s1lisp::support;
+
+namespace {
+
+thread_local bool IsPoolThread = false;
+
+/// The process-wide pool: hardware_concurrency threads created on first
+/// fan-out and joined at process exit. Entries are (fan-out, one helper
+/// slot) pairs; a helper that dequeues after its fan-out's tasks are
+/// drained retires immediately, so stale entries cost nothing.
+class Pool {
+public:
+  static Pool &instance() {
+    static Pool P;
+    return P;
+  }
+
+  void enqueue(std::shared_ptr<detail::ForState> St, size_t Copies) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      for (size_t I = 0; I < Copies; ++I)
+        Queue.push_back(St);
+    }
+    if (Copies == 1)
+      WorkReady.notify_one();
+    else
+      WorkReady.notify_all();
+  }
+
+private:
+  Pool() {
+    unsigned N = std::max(1u, std::thread::hardware_concurrency());
+    Threads.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Threads.emplace_back([this] { workerMain(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    WorkReady.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  void workerMain() {
+    IsPoolThread = true;
+    for (;;) {
+      std::shared_ptr<detail::ForState> St;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping, and no helper slots left to retire.
+        St = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      St->Run();
+      {
+        std::lock_guard<std::mutex> Lock(St->Mu);
+        --St->OutstandingHelpers;
+        if (St->OutstandingHelpers == 0)
+          St->AllDone.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::deque<std::shared_ptr<detail::ForState>> Queue;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace
+
+void detail::dispatchHelpers(std::shared_ptr<ForState> St, size_t Helpers) {
+  if (!Helpers)
+    return;
+  St->OutstandingHelpers = Helpers;
+  Pool::instance().enqueue(std::move(St), Helpers);
+}
+
+void detail::waitHelpers(ForState &St) {
+  std::unique_lock<std::mutex> Lock(St.Mu);
+  St.AllDone.wait(Lock, [&St] { return St.OutstandingHelpers == 0; });
+}
+
+bool detail::onPoolThread() { return IsPoolThread; }

@@ -2,8 +2,14 @@
 
 #include "sexpr/Printer.h"
 #include "sexpr/Value.h"
+#include "support/Parallel.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
 
 using namespace s1lisp;
 using namespace s1lisp::sexpr;
@@ -110,6 +116,102 @@ TEST_F(ValueTest, FlonumPrintingRoundTrips) {
     std::string S = formatFlonum(D);
     EXPECT_EQ(strtod(S.c_str(), nullptr), D) << S;
   }
+}
+
+// --- Concurrency contracts of the sharded table and striped heap. These
+// run through support::parallelFor so the worker pool itself is also
+// under test (and under TSan in the sanitizer CI job).
+
+TEST_F(ValueTest, ConcurrentInternYieldsOneIdentityPerName) {
+  // Every worker interns the same 64 names; each name must resolve to
+  // exactly one Symbol no matter which shard or thread got there first.
+  constexpr unsigned Workers = 8;
+  constexpr unsigned Names = 64;
+  const size_t Baseline = Syms.size(); // ctor pre-interns t/quote
+  std::vector<std::vector<const Symbol *>> Seen(Workers);
+  support::parallelFor(Workers, Workers, [&](size_t W) {
+    for (unsigned Round = 0; Round < 50; ++Round)
+      for (unsigned N = 0; N < Names; ++N)
+        Seen[W].push_back(Syms.intern("contended-" + std::to_string(N)));
+  });
+  for (unsigned N = 0; N < Names; ++N) {
+    const Symbol *Canon = Syms.intern("contended-" + std::to_string(N));
+    EXPECT_EQ(Canon->name(), "contended-" + std::to_string(N));
+    for (unsigned W = 0; W < Workers; ++W)
+      for (unsigned Round = 0; Round < 50; ++Round)
+        EXPECT_EQ(Seen[W][Round * Names + N], Canon)
+            << "worker " << W << " saw a duplicate identity for name " << N;
+  }
+  EXPECT_EQ(Syms.size(), Baseline + Names);
+}
+
+TEST_F(ValueTest, ConcurrentDistinctInternsAllLand) {
+  // Disjoint name sets from every worker: size() must converge on the
+  // exact population even though it reads shard counters lock-free.
+  constexpr unsigned Workers = 8;
+  constexpr unsigned PerWorker = 200;
+  const size_t Baseline = Syms.size(); // ctor pre-interns t/quote
+  support::parallelFor(Workers, Workers, [&](size_t W) {
+    for (unsigned N = 0; N < PerWorker; ++N)
+      Syms.intern("w" + std::to_string(W) + "-n" + std::to_string(N));
+  });
+  EXPECT_EQ(Syms.size(), Baseline + size_t(Workers) * PerWorker);
+  std::set<const Symbol *> Unique;
+  for (unsigned W = 0; W < Workers; ++W)
+    for (unsigned N = 0; N < PerWorker; ++N)
+      Unique.insert(Syms.intern("w" + std::to_string(W) + "-n" +
+                                std::to_string(N)));
+  EXPECT_EQ(Unique.size(), size_t(Workers) * PerWorker);
+}
+
+TEST_F(ValueTest, ConcurrentConsKeepsCellsAndCount) {
+  // Workers allocate from thread-affine regions; every cell must survive
+  // with its payload intact, and consCount() must total the regions.
+  constexpr unsigned Workers = 8;
+  constexpr unsigned PerWorker = 500;
+  std::vector<std::vector<Value>> Cells(Workers);
+  support::parallelFor(Workers, Workers, [&](size_t W) {
+    for (unsigned N = 0; N < PerWorker; ++N)
+      Cells[W].push_back(H.cons(Value::fixnum(int64_t(W)),
+                                Value::fixnum(int64_t(N))));
+  });
+  EXPECT_EQ(H.consCount(), size_t(Workers) * PerWorker);
+  for (unsigned W = 0; W < Workers; ++W)
+    for (unsigned N = 0; N < PerWorker; ++N) {
+      ASSERT_TRUE(Cells[W][N].isCons());
+      EXPECT_EQ(Cells[W][N].car().fixnum(), int64_t(W));
+      EXPECT_EQ(Cells[W][N].cdr().fixnum(), int64_t(N));
+    }
+}
+
+TEST_F(ValueTest, AggregatesReadableWhileWritersRun) {
+  // size()/consCount() are documented lock-free: a reader spinning
+  // through them must never block writers or tear (monotone growth).
+  constexpr unsigned Writers = 4;
+  std::atomic<bool> Stop{false};
+  size_t LastSyms = 0, LastConses = 0;
+  bool Monotone = true;
+  support::parallelFor(Writers + 1, Writers + 1, [&](size_t W) {
+    if (W == 0) { // reader
+      while (!Stop.load(std::memory_order_acquire)) {
+        size_t S = Syms.size(), C = H.consCount();
+        if (S < LastSyms || C < LastConses)
+          Monotone = false;
+        LastSyms = S;
+        LastConses = C;
+      }
+      return;
+    }
+    for (unsigned N = 0; N < 300; ++N) {
+      Syms.intern("live-w" + std::to_string(W) + "-" + std::to_string(N));
+      H.cons(Value::fixnum(int64_t(N)), Value::nil());
+    }
+    if (W == 1) // any single writer finishing is enough signal
+      Stop.store(true, std::memory_order_release);
+  });
+  Stop.store(true, std::memory_order_release);
+  EXPECT_TRUE(Monotone) << "lock-free aggregate went backwards";
+  EXPECT_EQ(H.consCount(), size_t(Writers) * 300);
 }
 
 } // namespace
