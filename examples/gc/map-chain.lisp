@@ -1,0 +1,32 @@
+; Chained list transformations, scaled by N.  my-map is iterative
+; (accumulate reversed, then reverse) so the chain works at bench sizes
+; without deep recursion; each stage conses 2N cells and orphans its
+; input, handing the collector a steady pipeline of short-lived lists
+; threaded through closures.
+;
+; (map-chain-workload n) = sum of 3*(i*i + 1) for i in [0, n)
+;                        = 3 * (n(n-1)(2n-1)/6 + n).
+(defun my-map (f l)
+  (do ((cur l (cdr cur))
+       (acc '() (cons (funcall f (car cur)) acc)))
+      ((null cur) (reverse acc))))
+
+(defun sum-list (l)
+  (do ((cur l (cdr cur))
+       (s 0 (+ s (car cur))))
+      ((null cur) s)))
+
+(defun map-chain-workload (n)
+  (sum-list
+   (my-map (lambda (x) (* x 3))
+           (my-map (lambda (x) (+ x 1))
+                   (my-map (lambda (x) (* x x))
+                           (iota n))))))
+
+(defun iota (n)
+  (do ((i n (1- i))
+       (acc '() (cons (1- i) acc)))
+      ((zerop i) acc)))
+
+(defun main ()
+  (map-chain-workload 32))

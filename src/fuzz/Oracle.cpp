@@ -68,9 +68,14 @@ namespace {
 /// One interpreter run from a fresh evaluator (no state carries over
 /// between grid points, in particular after an error).
 Outcome interpRun(ir::Module &M, const std::string &Entry,
-                  const std::vector<Value> &Args, uint64_t Fuel) {
+                  const std::vector<Value> &Args, uint64_t Fuel,
+                  uint64_t GcEvery) {
   interp::Interpreter I(M);
   I.setFuel(Fuel);
+  if (GcEvery) {
+    I.setGcEvery(GcEvery);
+    I.setGcVerify(true);
+  }
   std::vector<interp::RtValue> RtArgs;
   RtArgs.reserve(Args.size());
   for (Value V : Args)
@@ -87,10 +92,12 @@ Outcome interpRun(ir::Module &M, const std::string &Entry,
 /// compile, so the grid pays for decoding once.
 Outcome vmRun(const s1::Program &P, ir::Module &M, const std::string &Entry,
               const std::vector<Value> &Args, uint64_t Fuel, vm::Engine Eng,
+              uint64_t GcEvery,
               const std::shared_ptr<const vm::DecodedProgram> &Decoded) {
   vm::Machine VM(P, M.Syms, M.DataHeap);
   VM.setFuel(Fuel);
   VM.setEngine(Eng);
+  VM.setGcEvery(GcEvery);
   if (Decoded)
     VM.setDecodedProgram(Decoded);
   vm::Machine::RunResult R = VM.call(Entry, Args);
@@ -147,7 +154,7 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
   std::vector<Outcome> Ref;
   Ref.reserve(P.ArgGrid.size());
   for (const std::vector<Value> &Args : P.ArgGrid)
-    Ref.push_back(interpRun(RefM, P.Entry, Args, O.InterpFuel));
+    Ref.push_back(interpRun(RefM, P.Entry, Args, O.InterpFuel, O.GcEvery));
 
   // Counter collection is globally gated; deltas need it on. Capturing
   // per-configuration deltas snapshots the one shared registry, so it
@@ -191,7 +198,7 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
     bool Optimizes = Config.Opts.Optimize || Config.Opts.Cse;
     for (size_t I = 0; I < P.ArgGrid.size(); ++I) {
       Outcome Act = vmRun(Out.Program, M, P.Entry, P.ArgGrid[I], O.VmFuel,
-                          O.Engine, Decoded);
+                          O.Engine, O.GcEvery, Decoded);
       compareOne(Ref[I], Act, Optimizes, Config.Name, I, StatsJson, CR);
     }
   });

@@ -91,6 +91,11 @@ struct OracleOptions {
   unsigned Jobs = 1;
   /// Simulator dispatch engine for the compiled side of the comparison.
   vm::Engine Engine = vm::Engine::Threaded;
+  /// Forced-GC schedule: both sides collect their runtime heaps every N
+  /// allocations (0 = never). Results must be identical across schedules;
+  /// interpreter runs also re-verify the heap after every collection, so
+  /// N=1 is the strongest automated moving-collector test.
+  uint64_t GcEvery = 0;
 };
 
 struct CheckResult {

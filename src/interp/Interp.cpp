@@ -4,6 +4,7 @@
 
 #include "sexpr/Numbers.h"
 #include "sexpr/Printer.h"
+#include "stats/Stats.h"
 
 #include <cmath>
 
@@ -11,6 +12,12 @@ using namespace s1lisp;
 using namespace s1lisp::interp;
 using namespace s1lisp::ir;
 using sexpr::Value;
+
+S1_STAT(NumGcCollections, "gc.collections", "runtime-heap collections");
+S1_STAT(NumGcMajor, "gc.major", "tenured mark-sweep passes");
+S1_STAT(NumGcCellsPromoted, "gc.cells.promoted", "cells copied out of a nursery");
+S1_STAT(NumGcCellsSwept, "gc.cells.swept", "tenured cells reclaimed");
+S1_STAT(NumGcPauseNs, "gc.pause.ns", "total collection pause nanoseconds");
 
 std::string RtValue::str() const {
   switch (K) {
@@ -92,6 +99,64 @@ struct Evaluator {
   InterpStats &stats() { return I.Stats; }
 
   //===--------------------------------------------------------------------===//
+  // Transient GC roots
+  //
+  // Only cons() can trigger a collection, and it roots its own arguments;
+  // these RAII guards cover every C++ local that holds a heap value
+  // *across* a possible cons — argument vectors being filled, callee
+  // values held over argument evaluation, list cursors in primitives.
+  //===--------------------------------------------------------------------===//
+
+  struct RtVecRoot {
+    Interpreter &I;
+    RtVecRoot(Interpreter &I, std::vector<RtValue> *V) : I(I) {
+      I.Roots.RtVecs.push_back(V);
+    }
+    ~RtVecRoot() { I.Roots.RtVecs.pop_back(); }
+    RtVecRoot(const RtVecRoot &) = delete;
+    RtVecRoot &operator=(const RtVecRoot &) = delete;
+  };
+  struct RtValRoot {
+    Interpreter &I;
+    RtValRoot(Interpreter &I, RtValue *V) : I(I) {
+      I.Roots.RtVals.push_back(V);
+    }
+    ~RtValRoot() { I.Roots.RtVals.pop_back(); }
+    RtValRoot(const RtValRoot &) = delete;
+    RtValRoot &operator=(const RtValRoot &) = delete;
+  };
+  struct ValRoot {
+    Interpreter &I;
+    ValRoot(Interpreter &I, sexpr::Value *V) : I(I) {
+      I.Roots.Vals.push_back(V);
+    }
+    ~ValRoot() { I.Roots.Vals.pop_back(); }
+    ValRoot(const ValRoot &) = delete;
+    ValRoot &operator=(const ValRoot &) = delete;
+  };
+  struct ValVecRoot {
+    Interpreter &I;
+    ValVecRoot(Interpreter &I, std::vector<sexpr::Value> *V) : I(I) {
+      I.Roots.ValVecs.push_back(V);
+    }
+    ~ValVecRoot() { I.Roots.ValVecs.pop_back(); }
+    ValVecRoot(const ValVecRoot &) = delete;
+    ValVecRoot &operator=(const ValVecRoot &) = delete;
+  };
+
+  /// The memoized no-environment closure for a global function. One per
+  /// function per interpreter: repeated calls reuse it, so the closure
+  /// table stays O(functions) no matter how long a GC-stressed run gets.
+  Closure *globalClosure(Function *F) {
+    auto [It, New] = I.GlobalClosures.try_emplace(F, nullptr);
+    if (New) {
+      I.Closures.push_back({F->Root, nullptr});
+      It->second = &I.Closures.back();
+    }
+    return It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
   // Environment access
   //===--------------------------------------------------------------------===//
 
@@ -124,6 +189,12 @@ struct Evaluator {
     ++ApplyDepth;
     stats().MaxApplyDepth = std::max(stats().MaxApplyDepth, ApplyDepth);
 
+    // Args stays rooted for the whole trampoline: optional-default
+    // evaluation, &rest consing, and the body may all collect. A tail
+    // call move-assigns into this same vector, so the root stays valid
+    // across transfers.
+    RtVecRoot ArgsRoot(I, &Args);
+
     Outcome Result = Outcome::ok(RtValue());
     // Trampoline: a tail call replaces Callee/Args and loops, giving the
     // dialect's "parameter-passing goto" semantics without stack growth.
@@ -150,8 +221,7 @@ struct Evaluator {
         break;
       }
 
-      EnvPtr Frame = std::make_shared<EnvFrame>();
-      Frame->Parent = C->Env;
+      EnvPtr Frame = I.makeFrame(C->Env);
       size_t SpecialMark = I.SpecialStack.size();
       bool BoundSpecials = false;
 
@@ -316,6 +386,9 @@ struct Evaluator {
       Outcome Tag = eval(C->TagExpr, Env, false);
       if (!Tag.isOk())
         return Tag;
+      // The tag is compared by identity after the body runs; the body may
+      // collect.
+      RtValRoot TagRoot(I, &Tag.Val);
       Outcome Body = eval(C->Body, Env, /*Tail=*/false);
       if (Body.Status == Outcome::St::Throw && rtEql(Body.ThrowTag, Tag.Val))
         return Outcome::ok(Body.Val);
@@ -379,6 +452,8 @@ struct Evaluator {
 
   Outcome evalArgs(const std::vector<Node *> &ArgNodes, const EnvPtr &Env,
                    std::vector<RtValue> &Out) {
+    // Rooted by vector pointer, so growth/reallocation is safe.
+    RtVecRoot OutRoot(I, &Out);
     Out.reserve(ArgNodes.size());
     for (const Node *A : ArgNodes) {
       Outcome O = eval(A, Env, false);
@@ -406,6 +481,7 @@ struct Evaluator {
       Outcome Callee = eval(C->CalleeExpr, Env, false);
       if (!Callee.isOk())
         return Callee;
+      RtValRoot CalleeRoot(I, &Callee.Val);
       std::vector<RtValue> Args;
       Outcome AO = evalArgs(C->Args, Env, Args);
       if (!AO.isOk())
@@ -456,18 +532,14 @@ struct Evaluator {
       return applyPrim(P->Op, Args);
 
     // User-defined global function.
-    if (Function *F = I.M.lookup(Name->name())) {
-      I.Closures.push_back({F->Root, nullptr});
-      return dispatch(RtValue::closure(&I.Closures.back()), std::move(Args), Tail);
-    }
+    if (Function *F = I.M.lookup(Name->name()))
+      return dispatch(RtValue::closure(globalClosure(F)), std::move(Args), Tail);
     return Outcome::error("undefined function '" + Name->name() + "'");
   }
 
   Outcome resolveFunction(const sexpr::Symbol *Name) {
-    if (Function *F = I.M.lookup(Name->name())) {
-      I.Closures.push_back({F->Root, nullptr});
-      return Outcome::ok(RtValue::closure(&I.Closures.back()));
-    }
+    if (Function *F = I.M.lookup(Name->name()))
+      return Outcome::ok(RtValue::closure(globalClosure(F)));
     if (const PrimInfo *P = lookupPrim(Name))
       return Outcome::ok(RtValue::builtin(P));
     return Outcome::error("undefined function '" + Name->name() + "'");
@@ -566,16 +638,18 @@ struct Evaluator {
     return okBool(Pred(A, B));
   }
 
-  Outcome applyPrim(Prim Op, const std::vector<RtValue> &Args);
+  Outcome applyPrim(Prim Op, std::vector<RtValue> &Args);
 };
 
 } // namespace interp
 } // namespace s1lisp
 
-Outcome Evaluator::applyPrim(Prim Op, const std::vector<RtValue> &Args) {
+Outcome Evaluator::applyPrim(Prim Op, std::vector<RtValue> &Args) {
   using sexpr::ArithOp;
   using sexpr::CompareOp;
   sexpr::Heap &H = heap();
+  // Arguments survive any collection a consing primitive triggers.
+  RtVecRoot ArgsRoot(I, &Args);
 
   auto dataArg = [&](size_t J) { return Args[J].dataValue(); };
 
@@ -887,11 +961,13 @@ Outcome Evaluator::applyPrim(Prim Op, const std::vector<RtValue> &Args) {
     if (!allData(Args))
       return wrongType("append");
     Result = dataArg(Args.size() - 1);
+    std::vector<Value> Items;
+    ValVecRoot ItemsRoot(I, &Items);
     for (size_t J = Args.size() - 1; J > 0; --J) {
       Value Prefix = dataArg(J - 1);
       if (!sexpr::isProperList(Prefix))
         return wrongType("append");
-      std::vector<Value> Items = sexpr::listToVector(Prefix);
+      Items = sexpr::listToVector(Prefix);
       for (size_t K = Items.size(); K > 0; --K) {
         Result = H.cons(Items[K - 1], Result);
         ++stats().ConsAllocs;
@@ -903,7 +979,10 @@ Outcome Evaluator::applyPrim(Prim Op, const std::vector<RtValue> &Args) {
     if (!Args[0].isData() || !sexpr::isProperList(dataArg(0)))
       return wrongType("reverse");
     Value Result = Value::nil();
-    for (Value Cur = dataArg(0); Cur.isCons(); Cur = Cur.cdr()) {
+    Value Cur = dataArg(0);
+    // Each cons may move the cell Cur points at; keep it pinned.
+    ValRoot CurRoot(I, &Cur);
+    for (; Cur.isCons(); Cur = Cur.cdr()) {
       Result = H.cons(Cur.car(), Result);
       ++stats().ConsAllocs;
     }
@@ -940,6 +1019,7 @@ Outcome Evaluator::applyPrim(Prim Op, const std::vector<RtValue> &Args) {
       Cell->Car = dataArg(1);
     else
       Cell->Cdr = dataArg(1);
+    H.writeBarrier(Cell);
     return Outcome::ok(Args[0]);
   }
   case Prim::Member: {
@@ -1051,8 +1131,55 @@ Outcome Evaluator::applyPrim(Prim Op, const std::vector<RtValue> &Args) {
 // Interpreter public API
 //===----------------------------------------------------------------------===//
 
-Interpreter::Interpreter(ir::Module &M) : M(M) {}
-Interpreter::~Interpreter() = default;
+Interpreter::Interpreter(ir::Module &M) : M(M) {
+  RtHeap.registerRootProvider(this);
+}
+
+Interpreter::~Interpreter() { RtHeap.unregisterRootProvider(this); }
+
+EnvPtr Interpreter::makeFrame(EnvPtr Parent) {
+  auto *F = new EnvFrame();
+  F->Parent = std::move(Parent);
+  LiveFrames.insert(F);
+  return EnvPtr(F, [this](EnvFrame *P) {
+    LiveFrames.erase(P);
+    delete P;
+  });
+}
+
+void Interpreter::publishGcStats() {
+  const sexpr::GcStats &Now = RtHeap.gcStats();
+  NumGcCollections += Now.Collections - LastPublishedGc.Collections;
+  NumGcMajor += Now.MajorCollections - LastPublishedGc.MajorCollections;
+  NumGcCellsPromoted += Now.CellsPromoted - LastPublishedGc.CellsPromoted;
+  NumGcCellsSwept += Now.CellsSwept - LastPublishedGc.CellsSwept;
+  NumGcPauseNs += Now.PauseNsTotal - LastPublishedGc.PauseNsTotal;
+  LastPublishedGc = Now;
+}
+
+void Interpreter::visitRoots(const std::function<void(sexpr::Value &)> &Visit) {
+  auto VisitRt = [&](RtValue &R) {
+    if (sexpr::Value *S = R.dataSlot())
+      Visit(*S);
+  };
+  for (auto &B : SpecialStack)
+    VisitRt(B.second);
+  for (auto &B : SpecialGlobals)
+    VisitRt(B.second);
+  for (EnvFrame *F : LiveFrames)
+    for (auto &Slot : F->Slots)
+      VisitRt(Slot.second);
+  for (std::vector<RtValue> *Vec : Roots.RtVecs)
+    for (RtValue &R : *Vec)
+      VisitRt(R);
+  for (RtValue *R : Roots.RtVals)
+    VisitRt(*R);
+  for (sexpr::Value *V : Roots.Vals)
+    Visit(*V);
+  for (std::vector<sexpr::Value> *Vec : Roots.ValVecs)
+    for (sexpr::Value &V : *Vec)
+      Visit(V);
+}
 
 Interpreter::Result Interpreter::call(const std::string &Name,
                                       const std::vector<RtValue> &Args) {
@@ -1063,8 +1190,8 @@ Interpreter::Result Interpreter::call(const std::string &Name,
     return R;
   }
   Evaluator E(*this);
-  Closures.push_back({F->Root, nullptr});
-  Outcome O = E.apply(RtValue::closure(&Closures.back()), Args);
+  Outcome O = E.apply(RtValue::closure(E.globalClosure(F)), Args);
+  publishGcStats();
   switch (O.Status) {
   case Outcome::St::Ok:
     R.Ok = true;

@@ -20,11 +20,14 @@
 
 #include "ir/Ir.h"
 #include "ir/Primitives.h"
+#include "sexpr/Value.h"
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace s1lisp {
@@ -93,6 +96,10 @@ public:
   /// Lisp truthiness: only NIL is false.
   bool isTrue() const { return !isData() || !Data.isNil(); }
 
+  /// The embedded data slot, or null for non-data values. The collector
+  /// rewrites the slot in place when promotion moves the referent.
+  sexpr::Value *dataSlot() { return K == Kind::Data ? &Data : nullptr; }
+
   /// Printable rendering (closures as #<function>).
   std::string str() const;
 
@@ -141,7 +148,13 @@ struct InterpStats {
 };
 
 /// The evaluator. One instance per Module; reusable across calls.
-class Interpreter {
+///
+/// The interpreter is the runtime heap's root provider: every live
+/// environment frame (tracked by a registry fed from the single
+/// frame-creation site), the special-variable stacks, and the transient
+/// roots the evaluator registers around allocation points are enumerated
+/// precisely, so the heap's copying collector can move cells mid-run.
+class Interpreter : private sexpr::RootProvider {
 public:
   explicit Interpreter(ir::Module &M);
   ~Interpreter();
@@ -166,6 +179,17 @@ public:
   /// default is generous but finite so property tests terminate.
   void setFuel(uint64_t NewFuel) { Fuel = NewFuel; }
 
+  /// GC schedule for the runtime heap: collect every \p N runtime cons
+  /// allocations (0 = never, the default).
+  void setGcEvery(uint64_t N) { RtHeap.setGcEvery(N); }
+  /// Tenured-generation budget in bytes (0 = unbounded).
+  void setHeapBudget(size_t Bytes) { RtHeap.setHeapBudget(Bytes); }
+  /// Re-verify the heap after every collection, aborting on corruption.
+  void setGcVerify(bool On) { RtHeap.setVerifyAfterGc(On); }
+
+  sexpr::Heap &heap() { return RtHeap; }
+  const sexpr::GcStats &gcStats() const { return RtHeap.gcStats(); }
+
   InterpStats &stats() { return Stats; }
   void resetStats() { Stats = InterpStats(); }
 
@@ -173,14 +197,45 @@ public:
   const std::string &output() const { return Out; }
   void clearOutput() { Out.clear(); }
 
-  ir::Module &module() { return M; }
+  ir::Module &M;
+
+  /// Transient GC roots: the evaluator registers C++ locals here (RAII)
+  /// while they hold heap values across allocation points. Evaluator
+  /// internals — not a public API.
+  struct TransientRoots {
+    std::vector<std::vector<RtValue> *> RtVecs;
+    std::vector<RtValue *> RtVals;
+    std::vector<sexpr::Value *> Vals;
+    std::vector<std::vector<sexpr::Value> *> ValVecs;
+  };
 
 private:
   friend struct Evaluator;
 
-  ir::Module &M;
+  /// sexpr::RootProvider: enumerates every slot holding a runtime-heap
+  /// value — live environment frames, the special stacks, and the
+  /// transient roots.
+  void visitRoots(const std::function<void(sexpr::Value &)> &Visit) override;
+
+  /// The one way evaluator code creates environment frames: the frame is
+  /// tracked in LiveFrames until its last reference dies, so the
+  /// collector sees every binding in every live frame.
+  EnvPtr makeFrame(EnvPtr Parent);
+
+  /// Bumps the gc.* statistics by the heap's progress since the last
+  /// publication (no-ops when GC is off).
+  void publishGcStats();
+
   sexpr::Heap RtHeap; ///< runtime conses/strings/ratios.
+  /// Destroyed after Closures/frames (declared first): frame deleters
+  /// unregister themselves here.
+  std::unordered_set<EnvFrame *> LiveFrames;
+  TransientRoots Roots;
   std::deque<Closure> Closures;
+  /// One memoized closure per global function (no captured environment):
+  /// keeps Closures from growing per call, which would make root
+  /// enumeration quadratic under tight GC schedules.
+  std::unordered_map<ir::Function *, Closure *> GlobalClosures;
   std::deque<FloatArray> Arrays;
 
   /// Deep-binding stack of (symbol, value); lookups scan from the top.
@@ -188,6 +243,7 @@ private:
   std::vector<std::pair<const sexpr::Symbol *, RtValue>> SpecialGlobals;
 
   InterpStats Stats;
+  sexpr::GcStats LastPublishedGc;
   uint64_t Fuel = 50'000'000;
   std::string Out;
 };

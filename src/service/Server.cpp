@@ -289,6 +289,13 @@ void Server::handleCompile(const Message &Req, Message &Resp,
     }
   }
 
+  // Every response field is a string by now, so nothing outside the
+  // module references its literal heap: collect it before serializing.
+  // Run garbage (values decoded out of the simulator) dies here; the
+  // CompileCache is unaffected — it memoizes content-addressed compiled
+  // units, not module heap data.
+  M.collectGarbage();
+
   if (!StatsMode.empty()) {
     std::vector<stats::TallyDelta> Deltas = compilerDeltas(T);
     Resp.set("stats", StatsMode == "json" ? stats::tallyDeltasJson(Deltas)

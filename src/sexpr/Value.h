@@ -6,9 +6,18 @@
 /// tower (fixnum / ratio / flonum), strings, and conses.
 ///
 /// A Value is a small tagged union passed by value. Conses, strings and
-/// ratios live in a Heap; symbols are interned in a SymbolTable. Nothing is
-/// freed until the owning Heap/SymbolTable dies, which matches the lifetime
-/// of one compilation session.
+/// ratios live in a Heap; symbols are interned in a SymbolTable. Symbols
+/// are immortal (pointer identity is symbol identity for the lifetime of
+/// the table), but heap cells are collectible: a Heap is a generational
+/// collector with a bump-allocated nursery per thread-affine region,
+/// copying promotion into tenured chunks, and a mark-sweep fallback for
+/// the tenured generation. Collection is off by default — a heap with no
+/// GC schedule configured behaves exactly like the old grow-only
+/// allocator — and is enabled per-heap with setGcEvery()/setHeapBudget().
+///
+/// Because promotion moves cells, a GC-enabled heap requires the precise
+/// root discipline below (see "Root discipline"); GC-enabled heaps are
+/// single-mutator.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,15 +26,20 @@
 
 #include "support/SourceLocation.h"
 
+#include <array>
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace s1lisp {
@@ -156,6 +170,10 @@ public:
   bool isTrue() const { return !isNil(); }
 
 private:
+  /// The collector reads and rewrites the payload pointers in place when
+  /// promotion moves a cell.
+  friend class Heap;
+
   ValueKind Kind;
   union {
     int64_t Fix;
@@ -240,24 +258,61 @@ private:
   const Symbol *SymQuote;
 };
 
-/// Allocates conses, strings, and ratios. Storage is stable (deque) and is
-/// released only when the Heap dies. Allocation is thread-safe for the same
-/// reason interning is: the parallel driver's constant folder allocates
-/// ratios (and the CSE/backtranslate paths conses) from the module heap on
-/// worker threads. Reads of allocated cells need no lock.
+/// Enumerates the Value slots a heap client keeps live across
+/// collections. The interpreter, the VM's decode path, and the driver's
+/// constant pools each implement this; the collector calls \c visitRoots
+/// with a visitor it applies to every root slot, rewriting moved cells in
+/// place.
+class RootProvider {
+public:
+  virtual ~RootProvider() = default;
+  virtual void visitRoots(const std::function<void(Value &)> &Visit) = 0;
+};
+
+/// Counters one Heap's collector maintains. Kept per-heap (sexpr sits
+/// below the stats registry in the library layering); the interpreter,
+/// the VM, and the tools publish them into src/stats.
+struct GcStats {
+  uint64_t Collections = 0;      ///< minor (nursery) collections
+  uint64_t MajorCollections = 0; ///< tenured mark-sweep passes
+  uint64_t CellsPromoted = 0;
+  uint64_t BytesPromoted = 0;
+  uint64_t CellsSwept = 0;
+  uint64_t BytesSwept = 0;
+  uint64_t PauseNsTotal = 0;
+  uint64_t PauseNsMax = 0;
+  /// Pause histogram: <10us, <100us, <1ms, >=1ms.
+  std::array<uint64_t, 4> PauseBuckets{};
+};
+
+/// Allocates conses, strings, and ratios — and, when a GC schedule is
+/// configured, collects them.
 ///
-/// Internally the heap is a set of regions with thread affinity: each
-/// allocating thread is assigned a region round-robin (cached
-/// thread-locally), so pipeline workers allocate from effectively private
-/// regions and never contend on a global allocation mutex. The per-region
-/// mutex stays — a rare slot collision, or a reader racing size
-/// accounting, must remain safe — but on the fan-out paths it is
-/// uncontended. Regions are plain storage inside the one heap; cells
-/// "fold into the module heap" by construction, published to the serial
-/// link by the parallelFor join, so no merge step exists to get wrong.
+/// Storage is slot-chunked with thread affinity: each allocating thread
+/// is assigned a region round-robin (cached thread-locally), so pipeline
+/// workers allocate from effectively private regions and never contend on
+/// a global allocation mutex. New cells are bump-allocated into the
+/// region's nursery chunks; a collection evacuates every reachable
+/// nursery cell into the region's tenured chunks (copying promotion with
+/// forwarding pointers), resets the nursery for reuse, and — when the
+/// tenured generation exceeds the configured budget — runs a mark-sweep
+/// pass over tenured chunks, returning dead slots to per-region free
+/// lists.
+///
+/// Root discipline (GC-enabled heaps only): collections move cells, so
+/// every Value held live across an allocation must be reachable from a
+/// registered RootProvider, from the shadow stack (pushRoot/popRoots /
+/// RootScope), or be one of cons()'s own arguments (which cons roots
+/// itself). Mutating Car/Cdr of an already-allocated cons must be
+/// followed by writeBarrier() so old-to-young and cross-heap pointers
+/// stay visible to the collector. Heaps with GC enabled are
+/// single-mutator: the parallel compiler pipeline always runs with GC off
+/// (the default), where allocation is thread-safe exactly as before and
+/// no cell ever moves.
 class Heap {
 public:
-  Heap() = default;
+  Heap();
+  ~Heap();
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
@@ -271,8 +326,9 @@ public:
   Value list(std::initializer_list<Value> Items);
   Value list(const std::vector<Value> &Items);
 
-  /// Total cons cells allocated. Sums per-region counters without taking
-  /// any region lock, so it never blocks concurrent allocation.
+  /// Total cons cells allocated (monotone; GC does not roll it back).
+  /// Sums per-region counters without taking any region lock, so it
+  /// never blocks concurrent allocation.
   size_t consCount() const {
     size_t N = 0;
     for (const Region &R : Regions)
@@ -280,21 +336,185 @@ public:
     return N;
   }
 
+  //===--- GC configuration ----------------------------------------------===//
+
+  /// Collect after every \p N cons allocations (0 disables the schedule).
+  /// Only cons() can trigger a collection; string()/makeRatio() allocate
+  /// without ever collecting, so arithmetic loops may hold intermediate
+  /// values across them without rooting.
+  void setGcEvery(uint64_t N) { GcEvery = N; }
+  uint64_t gcEvery() const { return GcEvery; }
+
+  /// Sets the tenured-generation budget in bytes. When set, nursery
+  /// pressure also triggers minor collections, and a minor collection
+  /// that leaves the tenured generation over budget runs the mark-sweep
+  /// fallback. 0 (default) means unbounded.
+  void setHeapBudget(size_t Bytes) { BudgetBytes = Bytes; }
+  size_t heapBudget() const { return BudgetBytes; }
+
+  bool gcEnabled() const { return GcEvery != 0 || BudgetBytes != 0; }
+
+  /// Forces a full collection now: minor evacuation, then the tenured
+  /// mark-sweep regardless of budget.
+  void collect();
+
+  //===--- Roots ----------------------------------------------------------===//
+
+  void registerRootProvider(RootProvider *P);
+  void unregisterRootProvider(RootProvider *P);
+
+  /// Shadow stack for transient roots: the pointed-to slots are updated
+  /// in place when a collection moves their referents.
+  void pushRoot(Value *Slot) { ShadowStack.push_back(Slot); }
+  void popRoots(size_t N) {
+    assert(N <= ShadowStack.size());
+    ShadowStack.resize(ShadowStack.size() - N);
+  }
+
+  /// RAII shadow-stack frame.
+  class RootScope {
+  public:
+    explicit RootScope(Heap &H) : H(H) {}
+    ~RootScope() { H.popRoots(N); }
+    RootScope(const RootScope &) = delete;
+    RootScope &operator=(const RootScope &) = delete;
+    void add(Value *Slot) {
+      H.pushRoot(Slot);
+      ++N;
+    }
+
+  private:
+    Heap &H;
+    size_t N = 0;
+  };
+
+  /// Records that \p C's Car/Cdr were just mutated. Own tenured cells land
+  /// in the (per-minor-GC) remembered set; cells owned by *another* heap
+  /// land in the persistent cross-heap set — a mutated foreign cell (a
+  /// module literal pointing into a runtime heap, say) is an external
+  /// root that must survive major collections too.
+  void writeBarrier(Cons *C);
+
+  //===--- Verification and stats ----------------------------------------===//
+
+  /// Debug walk over the whole heap: every cell reachable from the
+  /// registered roots must lie in a live region with no surviving
+  /// forwarding pointer, and no live nursery cell may point at freed
+  /// tenured space. Returns false and fills \p Err on the first
+  /// violation.
+  bool verify(std::string *Err = nullptr);
+
+  /// When set, every collection re-verifies the heap and aborts (with a
+  /// message on stderr) on any violation — the fuzz GC schedules run
+  /// with this on.
+  void setVerifyAfterGc(bool On) { VerifyAfterGc = On; }
+
+  const GcStats &gcStats() const { return Stats; }
+
+  /// Cells currently live in the tenured generation (post-sweep view;
+  /// promoted minus swept).
+  size_t tenuredCells() const { return TenuredLive; }
+
 private:
-  static constexpr size_t NumRegions = 16; ///< power of two
+  enum class CellKind : uint8_t { ConsCell, StringCell, RatioCell };
+
+  /// Per-cell metadata preceding every payload. \c Forward doubles as the
+  /// broken-heart pointer during evacuation; it must be null whenever the
+  /// mutator runs.
+  struct CellHeader {
+    CellKind Kind;
+    uint8_t Mark = 0;
+    uint8_t Free = 0;
+    uint8_t Pad = 0;
+    void *Forward = nullptr;
+  };
+
+  static constexpr size_t PayloadMax =
+      sizeof(Cons) > sizeof(StringObj)
+          ? (sizeof(Cons) > sizeof(Ratio) ? sizeof(Cons) : sizeof(Ratio))
+          : (sizeof(StringObj) > sizeof(Ratio) ? sizeof(StringObj)
+                                               : sizeof(Ratio));
+
+  /// One uniform allocation slot: header plus payload storage big enough
+  /// for any cell kind. Uniform slots keep chunk walking, forwarding, and
+  /// free-list reuse kind-agnostic.
+  struct Slot {
+    CellHeader H;
+    alignas(alignof(std::max_align_t)) unsigned char Payload[PayloadMax];
+  };
+
+  struct Chunk {
+    std::unique_ptr<Slot[]> Slots;
+    size_t Cap = 0;
+    size_t Used = 0;
+    bool Nursery = true;
+    size_t RegionIdx = 0;
+  };
+
+  static constexpr size_t NumRegions = 16;     ///< power of two
+  static constexpr size_t ChunkSlots = 1024;   ///< slots per chunk
+
   struct Region {
     mutable std::mutex Mu;
-    std::deque<Cons> Conses;
-    std::deque<StringObj> Strings;
-    std::deque<Ratio> Ratios;
-    /// Conses.size(), published after each insert for lock-free counts.
+    /// Bump-allocated nursery chunks; ActiveNursery indexes the chunk
+    /// currently bumping. Reset (not freed) by every minor collection.
+    std::vector<std::unique_ptr<Chunk>> Nursery;
+    size_t ActiveNursery = 0;
+    /// Promotion target chunks plus the free list mark-sweep refills.
+    std::vector<std::unique_ptr<Chunk>> Tenured;
+    std::vector<Slot *> FreeList;
+    /// Monotone cons-allocation count, published for lock-free consCount().
     std::atomic<size_t> ConsTally{0};
+  };
+
+  struct RangeEntry {
+    const Slot *Begin;
+    const Slot *End;
+    Chunk *Ch;
   };
 
   /// The calling thread's region (stable for the thread's lifetime).
   Region &myRegion();
 
+  static Slot *slotOf(void *Payload);
+  void *payloadOf(Slot *S) const { return S->Payload; }
+
+  Slot *nurseryAlloc(Region &R, CellKind K);
+  Slot *tenuredAlloc(size_t RegionIdx, CellKind K);
+  void registerChunk(Chunk *Ch);
+  /// The owning chunk, or null for pointers into other heaps (or no heap).
+  Chunk *owningChunk(const void *Payload);
+
+  void maybeCollect(Value *Car, Value *Cdr);
+  void collectImpl(std::initializer_list<Value *> Extra, bool ForceMajor);
+  void forEachRootSlot(const std::function<void(Value &)> &F,
+                       std::initializer_list<Value *> Extra);
+  /// Evacuates \p V's referent out of the nursery if it is ours and still
+  /// there, rewriting \p V; appends newly copied conses to \p ScanList.
+  void evacuate(Value &V, std::vector<Cons *> &ScanList);
+  void majorMarkSweep(std::initializer_list<Value *> Extra);
+  void markValue(Value V, std::vector<Cons *> &Work);
+  void destroyPayload(Slot *S);
+
   Region Regions[NumRegions];
+
+  mutable std::mutex RangeMu;
+  std::vector<RangeEntry> Ranges; ///< sorted by Begin
+
+  uint64_t GcEvery = 0;
+  size_t BudgetBytes = 0;
+  uint64_t AllocSinceGc = 0;
+  std::atomic<size_t> NurseryLive{0}; ///< live (un-reset) nursery slots
+  size_t TenuredLive = 0;             ///< tenured slots in use
+  bool VerifyAfterGc = false;
+  bool InGc = false;
+
+  std::vector<Value *> ShadowStack;
+  std::vector<RootProvider *> Providers;
+  std::unordered_set<Cons *> RememberedOwn; ///< own tenured, maybe old->young
+  std::unordered_set<Cons *> RememberedForeign; ///< foreign cells aimed here
+
+  GcStats Stats;
 };
 
 /// True if \p V is a proper (NIL-terminated, acyclic within 2^32 cells) list.

@@ -7,6 +7,7 @@
 #include "stats/Stats.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -22,6 +23,10 @@ S1_STAT(VmSpecialSearches, "vm.special.searches",
         "deep-binding stack searches");
 S1_STAT(VmSpecialSearchSteps, "vm.special.searchsteps",
         "bindings scanned during searches");
+S1_STAT(VmGcRuns, "vm.gc.runs", "word-heap collections");
+S1_STAT(VmGcWordsReclaimed, "vm.gc.words.reclaimed",
+        "heap words reclaimed by the collector");
+S1_STAT(VmGcPauseNs, "vm.gc.pause.ns", "total collection pause nanoseconds");
 
 // Computed-goto dispatch needs the GNU labels-as-values extension; fall
 // back to a dense switch elsewhere or when disabled via CMake.
@@ -138,6 +143,33 @@ uint64_t Machine::trueWord() {
 }
 
 uint64_t Machine::allocate(Tag T, uint64_t NWords) {
+  if (gcEnabled()) {
+    if (GcInterval && ++AllocsSinceGc >= GcInterval)
+      GcPending = true;
+    // Exact-size LIFO reuse keeps addresses deterministic across engines.
+    auto FIt = FreeBySize.find(NWords);
+    uint64_t Addr;
+    if (FIt != FreeBySize.end() && !FIt->second.empty()) {
+      Addr = FIt->second.back();
+      FIt->second.pop_back();
+      for (uint64_t J = 0; J < NWords; ++J)
+        Memory[Addr + J] = 0;
+    } else {
+      if (HeapTop + NWords > HeapBase + HeapWords) {
+        Halted = true;
+        return NilWord;
+      }
+      Addr = HeapTop;
+      HeapTop += NWords;
+    }
+    Blocks[Addr] = BlockInfo{T, static_cast<uint32_t>(NWords), false};
+    LiveWords += NWords;
+    if (GcBudgetWords && LiveWords >= GcBudgetWords)
+      GcPending = true;
+    ++Stats.HeapObjects;
+    Stats.HeapWordsUsed += NWords;
+    return makePointer(T, Addr);
+  }
   if (HeapTop + NWords > HeapBase + HeapWords) {
     Halted = true;
     return NilWord;
@@ -147,6 +179,99 @@ uint64_t Machine::allocate(Tag T, uint64_t NWords) {
   ++Stats.HeapObjects;
   Stats.HeapWordsUsed += NWords;
   return makePointer(T, Addr);
+}
+
+void Machine::markWord(uint64_t W, std::vector<uint64_t> &Work) {
+  Tag T = tagOf(W);
+  if (T == Tag::Nil || T == Tag::Fixnum ||
+      static_cast<uint8_t>(T) > static_cast<uint8_t>(Tag::Environment))
+    return;
+  uint64_t A = addrOf(W);
+  if (A < HeapBase || A >= HeapTop)
+    return;
+  // Floor lookup: certified (§6.3) and otherwise derived pointers may be
+  // interior to their block.
+  auto It = Blocks.upper_bound(A);
+  if (It == Blocks.begin())
+    return;
+  --It;
+  if (A >= It->first + It->second.NWords || It->second.Marked)
+    return;
+  It->second.Marked = true;
+  Work.push_back(It->first);
+}
+
+void Machine::collectGarbage() {
+  auto T0 = std::chrono::steady_clock::now();
+  GcPending = false;
+  AllocsSinceGc = 0;
+
+  std::vector<uint64_t> Work;
+  // Conservative root scan: any word whose tag and address shape say
+  // "heap object" pins its block. False positives only delay reclamation;
+  // they never corrupt, because nothing moves.
+  for (uint64_t R : Regs)
+    markWord(R, Work);
+  for (uint64_t A = StackBase; A < Regs[SP]; ++A)
+    markWord(Memory[A], Work);
+  for (uint64_t A = SpecBase; A < SpecTop; ++A)
+    markWord(Memory[A], Work);
+  for (uint64_t A = StaticBase; A < StaticBase + P.Static.size(); ++A)
+    markWord(Memory[A], Work);
+  for (const CatchFrame &C : Catches) {
+    markWord(C.TagWord, Work);
+    markWord(C.Env, Work);
+  }
+  // Symbol cells are addressable through the C++ symbol registry, so
+  // heap-resident cells are permanent roots (their value word is traced).
+  for (const auto &[Sym, Addr] : SymbolAddr)
+    if (Addr >= HeapBase)
+      markWord(makePointer(Tag::Symbol, Addr), Work);
+  for (uint64_t W : HostPinned)
+    markWord(W, Work);
+  markWord(CachedTWord, Work);
+
+  while (!Work.empty()) {
+    uint64_t A = Work.back();
+    Work.pop_back();
+    const BlockInfo &B = Blocks.find(A)->second;
+    switch (B.T) {
+    case Tag::Cons:
+    case Tag::Symbol:
+    case Tag::Function:
+    case Tag::Environment:
+      for (uint32_t J = 0; J < B.NWords; ++J)
+        markWord(Memory[A + J], Work);
+      break;
+    default:
+      // Raw payloads (flonums, ratios, strings, float arrays): their bit
+      // patterns must not be misread as pointers.
+      break;
+    }
+  }
+
+  uint64_t Reclaimed = 0;
+  for (auto It = Blocks.begin(); It != Blocks.end();) {
+    if (It->second.Marked) {
+      It->second.Marked = false;
+      ++It;
+      continue;
+    }
+    if (It->second.T == Tag::String)
+      StringContents.erase(It->first);
+    FreeBySize[It->second.NWords].push_back(It->first);
+    Reclaimed += It->second.NWords;
+    It = Blocks.erase(It);
+  }
+  LiveWords -= Reclaimed;
+  ++Stats.GcRuns;
+  Stats.GcWordsReclaimed += Reclaimed;
+  uint64_t Ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  GcPauseNs += Ns;
+  GcPauseNsMax = std::max(GcPauseNsMax, Ns);
 }
 
 uint64_t Machine::boxFlonum(double D) {
@@ -218,8 +343,16 @@ std::optional<Value> Machine::decode(uint64_t Word, unsigned Depth) {
   }
   case Tag::Cons: {
     auto Car = decode(Memory[addrOf(Word)], Depth - 1);
+    if (!Car)
+      return std::nullopt;
+    // Decoding the cdr can collect the decode heap and move *Car; pin it.
+    // Rooting is gated like Heap::list: the shadow stack is single-mutator
+    // state, and GC-free decode heaps are shared across fuzzing threads.
+    sexpr::Heap::RootScope Guard(DecodeHeap);
+    if (DecodeHeap.gcEnabled())
+      Guard.add(&*Car);
     auto Cdr = decode(Memory[addrOf(Word) + 1], Depth - 1);
-    if (!Car || !Cdr)
+    if (!Cdr)
       return std::nullopt;
     return DecodeHeap.cons(*Car, *Cdr);
   }
@@ -243,6 +376,8 @@ uint64_t Machine::makeArrayF(size_t Dim0, size_t Dim1) {
   mem(addrOf(W) + 2) = Rank2;
   for (size_t I = 0; I < Dim0 * D1; ++I)
     mem(addrOf(W) + 3 + I) = fromDouble(0.0);
+  // The host holds this word outside the scanned address space.
+  HostPinned.push_back(W);
   return W;
 }
 
@@ -271,6 +406,9 @@ void Machine::publishStats() const {
   VmStackHighWater.updateMax(Stats.StackHighWater);
   VmSpecialSearches += Stats.SpecialSearches;
   VmSpecialSearchSteps += Stats.SpecialSearchSteps;
+  VmGcRuns += Stats.GcRuns;
+  VmGcWordsReclaimed += Stats.GcWordsReclaimed;
+  VmGcPauseNs += GcPauseNs;
 }
 
 Machine::RunResult Machine::call(const std::string &Name,
@@ -352,6 +490,11 @@ bool Machine::runLegacy(std::string &Error) {
   while (!Halted) {
     if (Stats.Instructions >= Fuel)
       return trap(Error, "instruction fuel exhausted");
+    // Scheduled collections run only at instruction boundaries — mirrored
+    // exactly in the threaded loop so both engines collect at identical
+    // retirement points.
+    if (GcPending)
+      collectGarbage();
     if (!step(Error))
       return false;
     if (CurFunc == -1)
@@ -795,6 +938,9 @@ template <bool Detailed> bool Machine::runThreaded(std::string &Error) {
       Pc = LPc;
       return trap(Error, "instruction fuel exhausted");
     }
+    // Same point in the boundary sequence as runLegacy's check.
+    if (GcPending)
+      collectGarbage();
     if (LPc < 0 || LPc >= Size) {
       Pc = LPc;
       return trap(Error, "pc out of range");

@@ -39,6 +39,7 @@
 
 #include <array>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -96,6 +97,10 @@ struct MachineStats {
   uint64_t StackHighWater = 0;  ///< max SP - StackBase
   uint64_t SpecialSearches = 0;
   uint64_t SpecialSearchSteps = 0;
+  /// Deterministic GC counters (identical across engines; pause *timing*
+  /// lives outside MachineStats, see Machine::gcPauseNs).
+  uint64_t GcRuns = 0;
+  uint64_t GcWordsReclaimed = 0;
   std::array<uint64_t, 64> PerOpcode{};
 };
 
@@ -175,6 +180,19 @@ public:
   const std::string &output() const { return Out; }
   void clearOutput() { Out.clear(); }
 
+  /// GC schedule for the word heap: a mark-sweep collection is scheduled
+  /// every \p N allocations (0 = never, the default) and runs at the next
+  /// instruction boundary — never mid-syscall, so both engines collect at
+  /// bit-identical points.
+  void setGcEvery(uint64_t N) { GcInterval = N; }
+  /// Live-heap budget in bytes; exceeding it schedules a collection.
+  void setGcBudget(uint64_t Bytes) { GcBudgetWords = Bytes / sizeof(uint64_t); }
+  bool gcEnabled() const { return GcInterval != 0 || GcBudgetWords != 0; }
+  /// Wall-clock pause time — deliberately not in MachineStats, which only
+  /// holds counters the engines must retire bit-identically.
+  uint64_t gcPauseNs() const { return GcPauseNs; }
+  uint64_t gcPauseNsMax() const { return GcPauseNsMax; }
+
 private:
   struct CatchFrame {
     uint64_t TagWord;
@@ -216,6 +234,16 @@ private:
   /// \p NewTop (called before the special stack pops back to NewTop).
   void invalidateSpecCacheAbove(uint64_t NewTop);
 
+  // Word-heap mark-sweep collector. Roots are scanned conservatively
+  // (tag + heap-range filter) from registers, the live stack extent, the
+  // special stack, the static image, catch frames, symbol cells, and
+  // host-pinned objects; tracing inside blocks is directed by the tag
+  // recorded at allocation. Non-moving, so no read barriers are needed;
+  // freed blocks go on exact-size LIFO free lists, which keeps reused
+  // addresses deterministic across engines.
+  void collectGarbage();
+  void markWord(uint64_t W, std::vector<uint64_t> &Work);
+
   const s1::Program &P;
   sexpr::SymbolTable &Syms;
   sexpr::Heap &DecodeHeap;
@@ -240,6 +268,27 @@ private:
   Engine Eng = Engine::Threaded;
   bool DetailedStats = true;
   std::shared_ptr<const DecodedProgram> Decoded;
+
+  /// Live heap blocks by base address (only maintained when gcEnabled()):
+  /// the tag decides which words are traced, interior pointers resolve by
+  /// floor lookup.
+  struct BlockInfo {
+    s1::Tag T;
+    uint32_t NWords;
+    bool Marked;
+  };
+  std::map<uint64_t, BlockInfo> Blocks;
+  /// Freed block addresses keyed by exact size, reused LIFO.
+  std::map<uint64_t, std::vector<uint64_t>> FreeBySize;
+  /// Words handed to the host (makeArrayF) — permanent roots.
+  std::vector<uint64_t> HostPinned;
+  uint64_t GcInterval = 0;    ///< collect every N allocations; 0 = never
+  uint64_t GcBudgetWords = 0; ///< live-word budget; 0 = unbounded
+  uint64_t AllocsSinceGc = 0;
+  uint64_t LiveWords = 0;
+  bool GcPending = false;
+  uint64_t GcPauseNs = 0;
+  uint64_t GcPauseNsMax = 0;
 
   MachineStats Stats;
   uint64_t Fuel = 500'000'000;

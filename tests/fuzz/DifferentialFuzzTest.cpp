@@ -20,6 +20,7 @@
 #include "gtest/gtest.h"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace s1lisp;
@@ -70,6 +71,113 @@ TEST_P(DifferentialFuzz, AgreesAcrossAblationMatrix) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
                          ::testing::Range(1u, 501u, BatchSize));
+
+//===----------------------------------------------------------------------===//
+// Forced-GC schedules: the same generated programs re-run with a collection
+// forced every N conses. A moving collector earns its keep here — any
+// missed root shows up as a divergence from the GC-off baseline, and the
+// heap verifier (enabled for every interpreter run below) aborts on
+// structural corruption right after the faulty collection.
+//===----------------------------------------------------------------------===//
+
+/// Interpreter outcomes for every grid row of a generated program, with a
+/// collection forced every GcEvery conses (0 = collector off). Each row
+/// gets a fresh evaluator, mirroring the oracle's own discipline.
+std::optional<std::vector<fuzz::Outcome>>
+interpGrid(const fuzz::GeneratedProgram &P, uint64_t Fuel, uint64_t GcEvery) {
+  ir::Module M;
+  DiagEngine Diags;
+  if (!frontend::convertSource(M, P.Source, Diags))
+    return std::nullopt;
+  std::vector<fuzz::Outcome> Out;
+  for (const std::vector<sexpr::Value> &Row : P.ArgGrid) {
+    interp::Interpreter I(M);
+    I.setFuel(Fuel);
+    if (GcEvery) {
+      I.setGcEvery(GcEvery);
+      I.setGcVerify(true); // verify() after every collection, abort if dirty
+    }
+    std::vector<interp::RtValue> Args;
+    Args.reserve(Row.size());
+    for (sexpr::Value V : Row)
+      Args.push_back(interp::RtValue::data(V));
+    interp::Interpreter::Result R = I.call(P.Entry, Args);
+    Out.push_back(R.Ok ? fuzz::Outcome::value(R.Value.str())
+                       : fuzz::Outcome::error(R.Error));
+  }
+  return Out;
+}
+
+class GcScheduleFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GcScheduleFuzz, SchedulesAreObservationallyIdentical) {
+  constexpr uint64_t InterpFuel = 100'000;
+  constexpr uint64_t VmFuel = 1'000'000;
+  constexpr uint64_t Schedules[] = {1, 7, 64};
+
+  // Two configurations bound the cost of the 3-schedule re-run: the full
+  // optimizer and the bare translator. The optimization-sensitive rows are
+  // the 500-seed tier's job; this tier varies only the collector.
+  std::vector<driver::AblationConfig> Configs;
+  Configs.push_back(driver::ablationMatrix().front());
+  ASSERT_EQ(Configs.front().Name, "O2");
+  std::optional<driver::AblationConfig> O0 = driver::ablationByName("O0");
+  ASSERT_TRUE(O0.has_value());
+  Configs.push_back(*O0);
+
+  for (unsigned Seed = GetParam(); Seed < GetParam() + BatchSize; ++Seed) {
+    fuzz::Generator G(Seed);
+    fuzz::GeneratedProgram P = G.generate();
+
+    std::optional<std::vector<fuzz::Outcome>> Baseline =
+        interpGrid(P, InterpFuel, /*GcEvery=*/0);
+    ASSERT_TRUE(Baseline.has_value())
+        << "seed " << Seed << " did not convert:\n"
+        << P.Source;
+
+    for (uint64_t N : Schedules) {
+      // Cross-schedule identity: collecting every N conses must not
+      // change a single observable outcome relative to the GC-off run.
+      std::optional<std::vector<fuzz::Outcome>> Got =
+          interpGrid(P, InterpFuel, N);
+      ASSERT_TRUE(Got.has_value());
+      ASSERT_EQ(Got->size(), Baseline->size());
+      for (size_t Row = 0; Row < Baseline->size(); ++Row) {
+        const fuzz::Outcome &Want = (*Baseline)[Row];
+        const fuzz::Outcome &Have = (*Got)[Row];
+        ASSERT_EQ(Have.K, Want.K)
+            << "seed " << Seed << " gc-every=" << N << " row " << Row
+            << "\n  baseline: " << Want.Text << "\n  actual:   " << Have.Text
+            << "\n" << P.Source;
+        if (Want.K == fuzz::Outcome::Kind::Value)
+          EXPECT_EQ(Have.Text, Want.Text)
+              << "seed " << Seed << " gc-every=" << N << " row " << Row << "\n"
+              << P.Source;
+        else
+          EXPECT_EQ(Have.EC, Want.EC)
+              << "seed " << Seed << " gc-every=" << N << " row " << Row
+              << "\n  baseline: " << Want.Text << "\n  actual:   " << Have.Text
+              << "\n" << P.Source;
+      }
+
+      // The interp-vs-VM differential holds at this schedule too (the VM
+      // side forces its own word-heap collections every N allocations).
+      fuzz::OracleOptions OO;
+      OO.Configs = Configs;
+      OO.InterpFuel = InterpFuel;
+      OO.VmFuel = VmFuel;
+      OO.GcEvery = N;
+      fuzz::CheckResult R = fuzz::checkProgram(P, OO);
+      EXPECT_EQ(R.St, fuzz::CheckResult::Status::Agree)
+          << "seed " << Seed << " gc-every=" << N << " diverged: "
+          << describe(R) << "\n"
+          << P.Source;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcScheduleFuzz,
+                         ::testing::Range(1u, 201u, BatchSize));
 
 //===----------------------------------------------------------------------===//
 // Generator properties

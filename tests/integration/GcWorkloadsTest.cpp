@@ -1,0 +1,125 @@
+//===- tests/integration/GcWorkloadsTest.cpp ------------------------------===//
+//
+// Golden-value coverage for the cons-heavy workloads in examples/gc/.
+// Each workload has a closed-form checksum, so the same sources serve
+// three masters: these tests pin the values at small sizes (interpreter
+// and compiled, with and without a collection forced at every cons),
+// bench_gc re-runs them at millions of conses, and the examples stay
+// runnable documentation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "frontend/Convert.h"
+#include "interp/Interp.h"
+#include "sexpr/Printer.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace s1lisp;
+using sexpr::Value;
+
+namespace {
+
+std::string slurp(const std::string &Name) {
+  std::ifstream In(std::string(S1LISP_EXAMPLES_DIR) + "/gc/" + Name);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+struct Workload {
+  const char *File;
+  const char *Fn;
+  int64_t (*Golden)(int64_t N); // closed-form checksum
+  int64_t MainValue;            // value of (main) at the file's built-in size
+};
+
+int64_t sumSquares(int64_t N) { return N * (N - 1) * (2 * N - 1) / 6; }
+
+const Workload Workloads[] = {
+    {"assoc.lisp", "alist-workload", sumSquares, 85344},
+    {"append-reverse.lisp", "append-reverse-workload",
+     [](int64_t N) { return N * (N * (N + 1) / 2); }, 936},
+    {"map-chain.lisp", "map-chain-workload",
+     [](int64_t N) { return 3 * (sumSquares(N) + N); }, 31344},
+};
+
+std::string interpRun(const std::string &Src, const std::string &Fn,
+                      const std::vector<Value> &Args, uint64_t GcEvery) {
+  ir::Module M;
+  DiagEngine Diags;
+  if (!frontend::convertSource(M, Src, Diags))
+    return "CONVERT-ERROR: " + Diags.str();
+  interp::Interpreter I(M);
+  if (GcEvery) {
+    I.setGcEvery(GcEvery);
+    I.setGcVerify(true);
+  }
+  std::vector<interp::RtValue> RtArgs;
+  for (Value V : Args)
+    RtArgs.push_back(interp::RtValue::data(V));
+  auto R = I.call(Fn, RtArgs);
+  return R.Ok ? R.Value.str() : "ERROR: " + R.Error;
+}
+
+std::string compiledRun(const std::string &Src, const std::string &Fn,
+                        const std::vector<Value> &Args, uint64_t GcEvery) {
+  ir::Module M;
+  auto Out = driver::compileSource(M, Src);
+  if (!Out.Ok)
+    return "COMPILE-ERROR: " + Out.Error;
+  vm::Machine VM(Out.Program, M.Syms, M.DataHeap);
+  VM.setGcEvery(GcEvery);
+  auto R = VM.call(Fn, Args);
+  if (!R.Ok)
+    return "ERROR: " + R.Error;
+  return R.Result ? sexpr::toString(*R.Result) : "#<undecodable>";
+}
+
+class GcWorkloads : public ::testing::TestWithParam<int> {};
+
+TEST_P(GcWorkloads, GoldenValuesAtSmallSizes) {
+  const Workload &W = Workloads[GetParam()];
+  std::string Src = slurp(W.File);
+  ASSERT_FALSE(Src.empty()) << W.File;
+
+  for (int64_t N : {0, 1, 5, 24}) {
+    std::string Want = std::to_string(W.Golden(N));
+    std::vector<Value> Args = {Value::fixnum(N)};
+    // The collector must be invisible: GC off, a collection every 64
+    // conses, and a collection at every cons all print the same number,
+    // in both engines, with the interpreter's heap verifier enabled.
+    for (uint64_t GcEvery : {0, 64, 1}) {
+      EXPECT_EQ(interpRun(Src, W.Fn, Args, GcEvery), Want)
+          << W.File << " n=" << N << " gc-every=" << GcEvery;
+      EXPECT_EQ(compiledRun(Src, W.Fn, Args, GcEvery), Want)
+          << W.File << " n=" << N << " gc-every=" << GcEvery;
+    }
+  }
+}
+
+TEST_P(GcWorkloads, MainMatchesDocumentedChecksum) {
+  const Workload &W = Workloads[GetParam()];
+  std::string Src = slurp(W.File);
+  ASSERT_FALSE(Src.empty()) << W.File;
+  std::string Want = std::to_string(W.MainValue);
+  EXPECT_EQ(interpRun(Src, "main", {}, 0), Want) << W.File;
+  EXPECT_EQ(compiledRun(Src, "main", {}, 0), Want) << W.File;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GcWorkloads,
+                         ::testing::Range(0, 3),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           std::string N = Workloads[Info.param].Fn;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+} // namespace

@@ -34,10 +34,11 @@ struct EngineRun {
 
 EngineRun runOn(const s1::Program &P, ir::Module &M, const std::string &Entry,
                 const std::vector<Value> &Args, vm::Engine Eng,
-                bool DetailedStats = true) {
+                bool DetailedStats = true, uint64_t GcEvery = 0) {
   vm::Machine VM(P, M.Syms, M.DataHeap);
   VM.setEngine(Eng);
   VM.setDetailedStats(DetailedStats);
+  VM.setGcEvery(GcEvery);
   VM.setFuel(2'000'000);
   vm::Machine::RunResult R = VM.call(Entry, Args);
   EngineRun Out;
@@ -64,6 +65,11 @@ std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T) {
   Cmp("StackHighWater", L.StackHighWater, T.StackHighWater);
   Cmp("SpecialSearches", L.SpecialSearches, T.SpecialSearches);
   Cmp("SpecialSearchSteps", L.SpecialSearchSteps, T.SpecialSearchSteps);
+  // Collections happen at an instruction boundary both engines share, so
+  // even the GC counters are bit-identical. (Pause *timing* lives outside
+  // MachineStats precisely so this comparison stays exact.)
+  Cmp("GcRuns", L.GcRuns, T.GcRuns);
+  Cmp("GcWordsReclaimed", L.GcWordsReclaimed, T.GcWordsReclaimed);
   for (size_t I = 0; I < L.PerOpcode.size(); ++I)
     if (L.PerOpcode[I] != T.PerOpcode[I])
       Out << "  PerOpcode[" << I << "]: legacy " << L.PerOpcode[I]
@@ -75,12 +81,15 @@ std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T) {
 /// observational equivalence.
 void expectEquivalent(const std::string &Source, const std::string &Entry,
                       const std::vector<Value> &Args,
-                      const driver::CompilerOptions &Opts = {}) {
+                      const driver::CompilerOptions &Opts = {},
+                      uint64_t GcEvery = 0) {
   ir::Module M;
   driver::CompileOutcome Out = driver::compileSource(M, Source, Opts);
   ASSERT_TRUE(Out.Ok) << Out.Error;
-  EngineRun L = runOn(Out.Program, M, Entry, Args, vm::Engine::Legacy);
-  EngineRun T = runOn(Out.Program, M, Entry, Args, vm::Engine::Threaded);
+  EngineRun L = runOn(Out.Program, M, Entry, Args, vm::Engine::Legacy,
+                      /*DetailedStats=*/true, GcEvery);
+  EngineRun T = runOn(Out.Program, M, Entry, Args, vm::Engine::Threaded,
+                      /*DetailedStats=*/true, GcEvery);
   ASSERT_EQ(L.Ok, T.Ok) << "legacy: " << L.Text << "\nthreaded: " << T.Text;
   if (L.Ok)
     EXPECT_EQ(L.Text, T.Text);
@@ -131,6 +140,50 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
                          ::testing::Range(2000u, 2200u, BatchSize));
 
 //===----------------------------------------------------------------------===//
+// GC-forced tier: the same equivalence with the word-heap collector
+// running mid-program. Collections fire at an instruction boundary both
+// engines share, so values, error classes, and every counter — including
+// GcRuns and GcWordsReclaimed — must stay bit-identical.
+//===----------------------------------------------------------------------===//
+
+class EngineEquivalenceGc : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineEquivalenceGc, FuzzSeedsAgreeUnderForcedCollections) {
+  for (unsigned Seed = GetParam(); Seed < GetParam() + BatchSize; ++Seed) {
+    fuzz::Generator G(Seed, {});
+    fuzz::GeneratedProgram P = G.generate();
+    ir::Module M;
+    driver::CompileOutcome Out = driver::compileSource(M, P.Source, {});
+    ASSERT_TRUE(Out.Ok) << "seed " << Seed << ": " << Out.Error;
+    for (uint64_t GcEvery : {1, 7}) {
+      for (size_t Row = 0; Row < P.ArgGrid.size(); ++Row) {
+        EngineRun L = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row],
+                            vm::Engine::Legacy, true, GcEvery);
+        EngineRun T = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row],
+                            vm::Engine::Threaded, true, GcEvery);
+        ASSERT_EQ(L.Ok, T.Ok)
+            << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
+            << "\n  legacy:   " << L.Text << "\n  threaded: " << T.Text << "\n"
+            << P.Source;
+        if (L.Ok)
+          EXPECT_EQ(L.Text, T.Text)
+              << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery;
+        else
+          EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+              << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
+              << "\n  legacy:   " << L.Text << "\n  threaded: " << T.Text;
+        EXPECT_EQ(diffStats(L.Stats, T.Stats), "")
+            << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
+            << "\n" << P.Source;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceGc,
+                         ::testing::Range(2000u, 2100u, BatchSize));
+
+//===----------------------------------------------------------------------===//
 // Targeted cases
 //===----------------------------------------------------------------------===//
 
@@ -178,6 +231,34 @@ TEST(EngineEquivalenceFixed, UnoptimizedCodeAgrees) {
   expectEquivalent("(defun k (n) (let ((s 0)) (dotimes (i n) "
                    "(setq s (+ s i))) s))",
                    "k", {Value::fixnum(200)}, NoOpt);
+}
+
+TEST(EngineEquivalenceFixed, ListChurnWithCollectionEveryAllocation) {
+  // A list-heavy loop whose intermediate lists die every iteration: the
+  // collector has real garbage to reclaim mid-run, and both engines must
+  // reclaim the same words at the same points.
+  expectEquivalent("(defun churn (n)"
+                   "  (let ((s 0)) (dotimes (i n)"
+                   "    (setq s (+ s (length (reverse (list i (+ i 1) (+ i 2)))))))"
+                   "  s))",
+                   "churn", {Value::fixnum(200)}, {}, /*GcEvery=*/1);
+}
+
+TEST(EngineEquivalenceFixed, CollectionsActuallyRanAndReclaimed) {
+  ir::Module M;
+  driver::CompileOutcome Out = driver::compileSource(
+      M, "(defun churn (n)"
+         "  (let ((s 0)) (dotimes (i n)"
+         "    (setq s (+ s (length (reverse (list i i i)))))) s))");
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  for (vm::Engine Eng : {vm::Engine::Legacy, vm::Engine::Threaded}) {
+    EngineRun R = runOn(Out.Program, M, "churn", {Value::fixnum(300)}, Eng,
+                        true, /*GcEvery=*/8);
+    ASSERT_TRUE(R.Ok) << R.Text;
+    EXPECT_EQ(R.Text, "900");
+    EXPECT_GT(R.Stats.GcRuns, 0u);
+    EXPECT_GT(R.Stats.GcWordsReclaimed, 0u);
+  }
 }
 
 TEST(EngineEquivalenceFixed, DisabledDetailGatesOnlyDetailCounters) {

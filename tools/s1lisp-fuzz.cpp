@@ -57,6 +57,10 @@ const char *UsageText =
     "                      matrix (default 1 = serial)\n"
     "  --engine=E          simulator dispatch engine for the compiled side:\n"
     "                      \"threaded\" (default) or \"legacy\"\n"
+    "  --gc-every=N        force both sides to collect their runtime heaps\n"
+    "                      every N allocations (0 = never, the default);\n"
+    "                      interpreter runs re-verify the heap after each\n"
+    "                      collection, and results must not change\n"
     "  --server=SOCKET     client/soak mode: compile and run every grid\n"
     "                      point through a running s1lispd instead of\n"
     "                      in-process. Each request is sent twice, so the\n"
@@ -89,6 +93,7 @@ struct CliOptions {
   bool Stats = false;
   unsigned Jobs = 1;
   vm::Engine Engine = vm::Engine::Threaded;
+  unsigned GcEvery = 0;
   std::string Server; ///< unix-socket path; empty fuzzes in-process
   bool Reduce = false;
   std::string OutDir = ".";
@@ -154,6 +159,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Engine = *E;
+    } else if (startsWith(A, "--gc-every=") && parseUnsigned(A + 11, N)) {
+      O.GcEvery = N;
     } else if (startsWith(A, "--server=")) {
       O.Server = A + 9;
     } else if (std::strcmp(A, "--reduce") == 0) {
@@ -362,6 +369,7 @@ int main(int Argc, char **Argv) {
   Oracle.CaptureStats = Cli.Stats;
   Oracle.Jobs = Cli.Jobs;
   Oracle.Engine = Cli.Engine;
+  Oracle.GcEvery = Cli.GcEvery;
 
   unsigned Diverged = 0, ConvertErrors = 0, Rows = 0, TolOverflow = 0,
            TolElision = 0, Reduced = 0;

@@ -49,6 +49,15 @@ const char *UsageText =
     "                      given unix socket instead of compiling locally\n"
     "                      (same output; warm daemons reuse cached units)\n"
     "\n"
+    "Garbage collection (--run / --interp):\n"
+    "  --gc-every=N        collect the runtime heap every N cons\n"
+    "                      allocations (0 = never, the default); results\n"
+    "                      are identical with or without collections\n"
+    "  --heap-budget=BYTES tenured-generation budget; allocation pressure\n"
+    "                      and budget overruns trigger collections\n"
+    "  --gc-verify         re-verify the heap after every collection\n"
+    "                      (debugging aid; aborts on corruption)\n"
+    "\n"
     "Optimization level:\n"
     "  -O0                 disable the source-level optimizer\n"
     "  -O2                 enable it (default)\n"
@@ -87,7 +96,21 @@ struct CliOptions {
   bool StatsJson = false;
   std::string RemarksFile; ///< empty: none; "-": stdout
   bool Transcript = false;
+  uint64_t GcEvery = 0;   ///< 0 = never collect (grow-only, the default)
+  uint64_t HeapBudget = 0; ///< tenured budget in bytes; 0 = unbounded
+  bool GcVerify = false;
 };
+
+bool parseUnsignedArg(const char *Text, const char *Flag, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (End == Text || *End != '\0') {
+    fprintf(stderr, "s1lispc: %s needs a non-negative integer\n", Flag);
+    return false;
+  }
+  Out = V;
+  return true;
+}
 
 bool startsWith(const char *Arg, const char *Prefix) {
   return std::strncmp(Arg, Prefix, std::strlen(Prefix)) == 0;
@@ -141,6 +164,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       }
     } else if (std::strcmp(A, "--transcript") == 0) {
       O.Transcript = true;
+    } else if (startsWith(A, "--gc-every=")) {
+      if (!parseUnsignedArg(A + 11, "--gc-every", O.GcEvery))
+        return false;
+    } else if (startsWith(A, "--heap-budget=")) {
+      if (!parseUnsignedArg(A + 14, "--heap-budget", O.HeapBudget))
+        return false;
+    } else if (std::strcmp(A, "--gc-verify") == 0) {
+      O.GcVerify = true;
     } else if (A[0] == '-' && A[1] != '\0') {
       // -O0/-O2/--cse and every --no-* ablation go through the shared
       // table (driver/Ablation.h), which is also what the compile
@@ -193,6 +224,8 @@ bool writeFileOrStdout(const std::string &Path, const std::string &Content) {
 int runOnSimulator(ir::Module &M, const s1::Program &P, const CliOptions &O) {
   vm::Machine VM(P, M.Syms, M.DataHeap);
   VM.setEngine(O.Engine);
+  VM.setGcEvery(O.GcEvery);
+  VM.setGcBudget(O.HeapBudget);
   if (P.indexOf(O.Entry) < 0) {
     fprintf(stderr, "s1lispc: entry function '%s' is not defined", O.Entry.c_str());
     fprintf(stderr, P.Functions.empty() ? "\n" : "; available:");
@@ -302,6 +335,9 @@ int runOnInterpreter(ir::Module &M, const CliOptions &O) {
     return 1;
   }
   interp::Interpreter I(M);
+  I.setGcEvery(O.GcEvery);
+  I.setHeapBudget(O.HeapBudget);
+  I.setGcVerify(O.GcVerify);
   auto R = I.call(O.Entry, {});
   if (!I.output().empty())
     fputs(I.output().c_str(), stdout);
