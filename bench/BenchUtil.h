@@ -124,7 +124,13 @@ public:
 
   /// Records one counter row.
   void add(const std::string &Metric, uint64_t Value) {
-    Rows.push_back({Metric, Value});
+    Rows.push_back({Metric, Value, std::string(), false});
+  }
+
+  /// Records one string-valued row (host facts like the architecture
+  /// name ride along with the counters).
+  void add(const std::string &Metric, std::string Value) {
+    Rows.push_back({Metric, 0, std::move(Value), true});
   }
 
   /// Writes BENCH_<name>.json into the working directory; returns false
@@ -137,10 +143,16 @@ public:
       return false;
     }
     fprintf(F, "[");
-    for (size_t I = 0; I < Rows.size(); ++I)
-      fprintf(F, "%s\n  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %llu}",
-              I ? "," : "", Bench.c_str(), Rows[I].Metric.c_str(),
-              static_cast<unsigned long long>(Rows[I].Value));
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      if (Rows[I].IsText)
+        fprintf(F, "%s\n  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": \"%s\"}",
+                I ? "," : "", Bench.c_str(), Rows[I].Metric.c_str(),
+                Rows[I].Text.c_str());
+      else
+        fprintf(F, "%s\n  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %llu}",
+                I ? "," : "", Bench.c_str(), Rows[I].Metric.c_str(),
+                static_cast<unsigned long long>(Rows[I].Value));
+    }
     fprintf(F, Rows.empty() ? "]\n" : "\n]\n");
     fclose(F);
     printf("wrote %s (%zu counters)\n", Path.c_str(), Rows.size());
@@ -151,6 +163,8 @@ private:
   struct Row {
     std::string Metric;
     uint64_t Value;
+    std::string Text;
+    bool IsText;
   };
   std::string Bench;
   std::vector<Row> Rows;

@@ -1,13 +1,18 @@
 //===- bench/bench_vm_dispatch.cpp - VM dispatch-engine wall clock --------===//
 //
-// Times the same compiled programs on both dispatch engines: the legacy
-// per-step switch over s1::Instruction and the pre-decoded threaded loop
-// (fused operand handlers behind a computed goto where available). The
-// engines must agree on every architectural counter — Instructions, Movs,
-// SpecialSearchSteps, the PerOpcode histogram — so the wall-clock delta is
-// pure dispatch cost, not a semantic change. A third timing row runs the
-// threaded engine with detailed per-opcode accounting off, measuring what
-// the disabled-stats hot loop costs relative to the instrumented one.
+// Times the same compiled programs on all three dispatch engines: the
+// legacy per-step switch over s1::Instruction, the pre-decoded threaded
+// loop (fused operand handlers behind a computed goto where available),
+// and the native template JIT over the same XInsn stream. The engines
+// must agree on every architectural counter — Instructions, Movs,
+// SpecialSearchSteps, the PerOpcode histogram — so the wall-clock deltas
+// are pure dispatch cost, not a semantic change. An extra timing row runs
+// the threaded engine with detailed per-opcode accounting off, measuring
+// what the disabled-stats hot loop costs relative to the instrumented one.
+//
+// The "loop" kernel is the dispatch-bound gate: on x86-64 the native tier
+// must beat the threaded loop by at least 3x on it or the binary exits
+// nonzero. On hosts without the JIT the native rows are skipped loudly.
 //
 // Methodology (see EXPERIMENTS.md): per workload and engine, one warm-up
 // call, then the minimum of five timed calls; ns/instruction divides that
@@ -17,11 +22,14 @@
 
 #include "BenchUtil.h"
 
+#include "vm/Jit.h"
+
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cinttypes>
 #include <cstdlib>
+#include <thread>
 
 using namespace s1lisp;
 using namespace s1lisp::bench;
@@ -59,13 +67,25 @@ const Workload Workloads[] = {
      {fx(18), fx(12), fx(6)}},
 };
 
+const char *hostArch() {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "other";
+#endif
+}
+
 struct Timed {
   double BestNs = 0;
   vm::MachineStats Stats;
 };
 
 /// One warm-up call, then the best of five timed calls on a fresh stats
-/// window (counters are per-window, timing is per-call).
+/// window (counters are per-window, timing is per-call). The warm-up
+/// also pays the native tier's one-time template compilation, so the
+/// timed calls measure steady-state execution on every engine.
 Timed timeEngine(const Workload &W, vm::Engine Eng, bool DetailedStats) {
   Compiled P = compileOrDie(W.Source);
   P.VM->setEngine(Eng);
@@ -98,19 +118,38 @@ bool sameCounters(const vm::MachineStats &A, const vm::MachineStats &B) {
          A.PerOpcode == B.PerOpcode;
 }
 
+/// Retired instructions per second from a best-of-five wall time.
+uint64_t ips(const Timed &T) {
+  return static_cast<uint64_t>(T.Stats.Instructions / (T.BestNs / 1e9));
+}
+
 int printTable() {
-  tableHeader("VM dispatch: legacy switch vs pre-decoded threaded loop");
-  printf("%-8s %14s %14s %14s %9s %14s\n", "kernel", "instructions",
-         "legacy ns/i", "threaded ns/i", "speedup", "nostats ns/i");
+  const bool HaveJit = vm::jitAvailable();
+  tableHeader("VM dispatch: legacy switch vs threaded loop vs native JIT");
+  if (!HaveJit)
+    printf("NOTE: native tier unavailable on %s: native rows skipped, "
+           "the 3x gate does not apply\n",
+           hostArch());
+  printf("%-8s %14s %12s %12s %12s %9s %9s\n", "kernel", "instructions",
+         "legacy ns/i", "thread ns/i", "native ns/i", "t/l", "n/t");
   JsonReport Report("vm_dispatch");
+  Report.add("host.arch", hostArch());
+  Report.add("host.hardware_concurrency",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  Report.add("host.jit_available", static_cast<uint64_t>(HaveJit));
   bool AllIdentical = true;
-  double LegacyTotal = 0, ThreadedTotal = 0, NoStatsTotal = 0;
+  double LoopNativeSpeedup = 0;
+  double LegacyTotal = 0, ThreadedTotal = 0, NativeTotal = 0, NoStatsTotal = 0;
   uint64_t InsnTotal = 0;
   for (const Workload &W : Workloads) {
     Timed Legacy = timeEngine(W, vm::Engine::Legacy, /*DetailedStats=*/true);
     Timed Threaded = timeEngine(W, vm::Engine::Threaded, /*DetailedStats=*/true);
+    Timed Native;
+    if (HaveJit)
+      Native = timeEngine(W, vm::Engine::Native, /*DetailedStats=*/true);
     Timed NoStats = timeEngine(W, vm::Engine::Threaded, /*DetailedStats=*/false);
-    bool Identical = sameCounters(Legacy.Stats, Threaded.Stats);
+    bool Identical = sameCounters(Legacy.Stats, Threaded.Stats) &&
+                     (!HaveJit || sameCounters(Legacy.Stats, Native.Stats));
     AllIdentical = AllIdentical && Identical;
     // With detail off only the histogram and Movs go dark; everything
     // architectural must still match the instrumented run.
@@ -119,9 +158,11 @@ int printTable() {
                    NoStats.Stats.SpecialSearchSteps ==
                        Threaded.Stats.SpecialSearchSteps;
     uint64_t Insns = Legacy.Stats.Instructions;
-    printf("%-8s %14" PRIu64 " %14.2f %14.2f %8.2fx %14.2f%s\n", W.Name, Insns,
-           Legacy.BestNs / Insns, Threaded.BestNs / Insns,
-           Legacy.BestNs / Threaded.BestNs, NoStats.BestNs / Insns,
+    double NativeNsPerI = HaveJit ? Native.BestNs / Insns : 0;
+    double NativeOverThreaded = HaveJit ? Threaded.BestNs / Native.BestNs : 0;
+    printf("%-8s %14" PRIu64 " %12.2f %12.2f %12.2f %8.2fx %8.2fx%s\n", W.Name,
+           Insns, Legacy.BestNs / Insns, Threaded.BestNs / Insns, NativeNsPerI,
+           Legacy.BestNs / Threaded.BestNs, NativeOverThreaded,
            Identical ? "" : "  COUNTER MISMATCH");
     Report.add(std::string(W.Name) + ".instructions", Insns);
     Report.add(std::string(W.Name) + ".legacy_ns",
@@ -130,45 +171,81 @@ int printTable() {
                static_cast<uint64_t>(Threaded.BestNs));
     Report.add(std::string(W.Name) + ".threaded_nostats_ns",
                static_cast<uint64_t>(NoStats.BestNs));
+    Report.add(std::string(W.Name) + ".legacy_ips", ips(Legacy));
+    Report.add(std::string(W.Name) + ".threaded_ips", ips(Threaded));
+    Report.add(std::string(W.Name) + ".threaded_speedup_x100",
+               static_cast<uint64_t>(Legacy.BestNs / Threaded.BestNs * 100));
+    if (HaveJit) {
+      Report.add(std::string(W.Name) + ".native_ns",
+                 static_cast<uint64_t>(Native.BestNs));
+      Report.add(std::string(W.Name) + ".native_ips", ips(Native));
+      Report.add(std::string(W.Name) + ".native_speedup_x100",
+                 static_cast<uint64_t>(NativeOverThreaded * 100));
+    }
     Report.add(std::string(W.Name) + ".counters_identical", Identical);
+    if (std::string(W.Name) == "loop")
+      LoopNativeSpeedup = NativeOverThreaded;
     LegacyTotal += Legacy.BestNs;
     ThreadedTotal += Threaded.BestNs;
+    NativeTotal += Native.BestNs;
     NoStatsTotal += NoStats.BestNs;
     InsnTotal += Insns;
   }
   double Speedup = LegacyTotal / ThreadedTotal;
-  printf("overall: %.2fx threaded speedup over legacy "
-         "(%.2f -> %.2f ns/instruction; %.2f with stats detail off), "
+  double NativeSpeedup = HaveJit ? ThreadedTotal / NativeTotal : 0;
+  printf("overall: %.2fx threaded over legacy, %.2fx native over threaded "
+         "(%.2f -> %.2f -> %.2f ns/instruction; %.2f with stats detail off), "
          "counters %s\n",
-         Speedup, LegacyTotal / InsnTotal, ThreadedTotal / InsnTotal,
+         Speedup, NativeSpeedup, LegacyTotal / InsnTotal,
+         ThreadedTotal / InsnTotal, HaveJit ? NativeTotal / InsnTotal : 0.0,
          NoStatsTotal / InsnTotal, AllIdentical ? "identical" : "DIVERGED");
   Report.add("total.instructions", InsnTotal);
   Report.add("total.legacy_ns", static_cast<uint64_t>(LegacyTotal));
   Report.add("total.threaded_ns", static_cast<uint64_t>(ThreadedTotal));
   Report.add("total.threaded_nostats_ns", static_cast<uint64_t>(NoStatsTotal));
   Report.add("total.speedup_x100", static_cast<uint64_t>(Speedup * 100));
+  if (HaveJit) {
+    Report.add("total.native_ns", static_cast<uint64_t>(NativeTotal));
+    Report.add("total.native_speedup_x100",
+               static_cast<uint64_t>(NativeSpeedup * 100));
+  }
   Report.add("total.counters_identical", AllIdentical);
   Report.write();
   if (!AllIdentical) {
     fprintf(stderr, "FATAL: engines disagree on architectural counters\n");
     return 1;
   }
+  if (HaveJit && LoopNativeSpeedup < 3.0) {
+    fprintf(stderr,
+            "FATAL: native tier is only %.2fx over threaded on the "
+            "dispatch-bound loop kernel (expected >= 3x)\n",
+            LoopNativeSpeedup);
+    return 1;
+  }
   return 0;
 }
 
+// Each timing iteration gets a fresh stats window: the fuel budget is a
+// cap on Stats.Instructions, and the faster engines retire enough
+// instructions across google-benchmark's iteration count to exhaust it
+// mid-run otherwise.
 void BM_LegacyDispatch(benchmark::State &State) {
   Compiled P = compileOrDie(Workloads[0].Source);
   P.VM->setEngine(vm::Engine::Legacy);
-  for (auto _ : State)
+  for (auto _ : State) {
+    P.VM->resetStats();
     runOrDie(P, "kernel", {fx(50000)});
+  }
 }
 BENCHMARK(BM_LegacyDispatch);
 
 void BM_ThreadedDispatch(benchmark::State &State) {
   Compiled P = compileOrDie(Workloads[0].Source);
   P.VM->setEngine(vm::Engine::Threaded);
-  for (auto _ : State)
+  for (auto _ : State) {
+    P.VM->resetStats();
     runOrDie(P, "kernel", {fx(50000)});
+  }
 }
 BENCHMARK(BM_ThreadedDispatch);
 
@@ -176,10 +253,26 @@ void BM_ThreadedDispatchNoStats(benchmark::State &State) {
   Compiled P = compileOrDie(Workloads[0].Source);
   P.VM->setEngine(vm::Engine::Threaded);
   P.VM->setDetailedStats(false);
-  for (auto _ : State)
+  for (auto _ : State) {
+    P.VM->resetStats();
     runOrDie(P, "kernel", {fx(50000)});
+  }
 }
 BENCHMARK(BM_ThreadedDispatchNoStats);
+
+void BM_NativeDispatch(benchmark::State &State) {
+  if (!vm::jitAvailable()) {
+    State.SkipWithError("native tier unavailable on this host");
+    return;
+  }
+  Compiled P = compileOrDie(Workloads[0].Source);
+  P.VM->setEngine(vm::Engine::Native);
+  for (auto _ : State) {
+    P.VM->resetStats();
+    runOrDie(P, "kernel", {fx(50000)});
+  }
+}
+BENCHMARK(BM_NativeDispatch);
 
 } // namespace
 

@@ -38,6 +38,12 @@ struct CompilerOptions {
   /// CodegenOptions::Jobs. Output (program, listings, remark set, merged
   /// stats) is bit-identical for any job count.
   unsigned Jobs = 1;
+  /// Execution-engine preference ("legacy" / "threaded" / "native"),
+  /// carried by the shared flag table for --run consumers; empty = the
+  /// Machine default. Excluded from optionsFingerprint like Jobs: the
+  /// engine never changes compiled output, so cache entries stay shared
+  /// across engines (the service byte-identity test relies on this).
+  std::string Engine;
 };
 
 struct CompileOutcome {

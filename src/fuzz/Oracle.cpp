@@ -194,7 +194,7 @@ CheckResult fuzz::checkProgram(const GeneratedProgram &P,
       return;
     }
     std::shared_ptr<const vm::DecodedProgram> Decoded =
-        O.Engine == vm::Engine::Threaded ? vm::predecode(Out.Program) : nullptr;
+        O.Engine != vm::Engine::Legacy ? vm::predecode(Out.Program) : nullptr;
     bool Optimizes = Config.Opts.Optimize || Config.Opts.Cse;
     for (size_t I = 0; I < P.ArgGrid.size(); ++I) {
       Outcome Act = vmRun(Out.Program, M, P.Entry, P.ArgGrid[I], O.VmFuel,

@@ -1,0 +1,1389 @@
+//===- vm/Jit.cpp - x86-64 template JIT over the XInsn stream -------------===//
+//
+// Code layout of one compiled program:
+//
+//   [entry thunk]  [epilogue]  [gc stub]  [ok/err/halt stubs]
+//   [function 0: insn templates..., fall-off trailer, trap stubs]
+//   [function 1: ...] ...
+//
+// Calling convention of the generated code (SysV, callee-saved pins):
+//
+//   rbx = &Machine::Regs[0]      r13 = Machine*
+//   r12 = &Machine::Memory[0]    r14 = Stats.Instructions (live)
+//                                r15 = fuel limit
+//
+// The entry thunk loads the pins from the six C arguments and jumps to the
+// template of the resume point; every exit goes through the shared
+// epilogue, which writes the retired-instruction count back into
+// MachineStats and returns a JitStatus in eax. Trap stubs additionally
+// store the (function, decoded pc) of the boundary they represent so
+// Machine::trap reports the same location the threaded engine would.
+//
+// Equivalence contract: each template retires the same architectural
+// counter deltas and the same machine-state effects as the corresponding
+// runThreaded handler, and every trap is raised at the same instruction
+// boundary with the same message. States no compiled program can reach
+// (corrupted SP/FP making the *stack bookkeeping itself* fault) may leave
+// scratch registers or the shared mem()-Garbage cell differing — the
+// threaded engine's behavior there is itself degenerate — but all counters
+// and reachable state remain bit-identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Jit.h"
+
+#include "vm/Machine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define S1_JIT_AVAILABLE 1
+#include <sys/mman.h>
+#else
+#define S1_JIT_AVAILABLE 0
+#endif
+
+using namespace s1lisp;
+using namespace s1lisp::vm;
+using namespace s1lisp::s1;
+
+namespace s1lisp {
+namespace vm {
+
+bool jitAvailable() { return S1_JIT_AVAILABLE != 0; }
+
+JitProgram::~JitProgram() {
+#if S1_JIT_AVAILABLE
+  if (Base)
+    munmap(Base, MapLen);
+#endif
+}
+
+const void *JitProgram::addr(int Func, int Pc) const {
+  return FuncTable[static_cast<size_t>(Func)][Pc];
+}
+
+int JitProgram::invoke(uint64_t *Regs, uint64_t *Memory, Machine *M,
+                       uint64_t Instructions, uint64_t Fuel,
+                       const void *Start) const {
+  using Fn = int (*)(uint64_t *, uint64_t *, Machine *, uint64_t, uint64_t,
+                     const void *);
+  auto F = reinterpret_cast<Fn>(Base + EntryOff);
+  return F(Regs, Memory, M, Instructions, Fuel, Start);
+}
+
+namespace {
+
+double jitAsDouble(uint64_t W) {
+  double D;
+  std::memcpy(&D, &W, sizeof(D));
+  return D;
+}
+
+uint64_t jitFromDouble(double D) {
+  uint64_t W;
+  std::memcpy(&W, &D, sizeof(W));
+  return W;
+}
+
+bool jitCondHolds(Cond C, int64_t Sign) {
+  switch (C) {
+  case Cond::EQ:
+    return Sign == 0;
+  case Cond::NEQ:
+    return Sign != 0;
+  case Cond::LT:
+    return Sign < 0;
+  case Cond::GT:
+    return Sign > 0;
+  case Cond::LE:
+    return Sign <= 0;
+  case Cond::GE:
+    return Sign >= 0;
+  }
+  return false;
+}
+
+#if S1_JIT_AVAILABLE
+
+// x86-64 register numbers.
+enum : unsigned {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+// Condition codes (Jcc 0F 8x / CMOVcc 0F 4x).
+enum : uint8_t {
+  CC_B = 0x2,
+  CC_AE = 0x3,
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6,
+  CC_A = 0x7,
+  CC_S = 0x8,
+  CC_L = 0xC,
+  CC_GE = 0xD,
+  CC_LE = 0xE,
+  CC_G = 0xF,
+};
+
+uint8_t ccFor(Cond C) {
+  switch (C) {
+  case Cond::EQ:
+    return CC_E;
+  case Cond::NEQ:
+    return CC_NE;
+  case Cond::LT:
+    return CC_L;
+  case Cond::GT:
+    return CC_G;
+  case Cond::LE:
+    return CC_LE;
+  case Cond::GE:
+    return CC_GE;
+  }
+  return CC_E;
+}
+
+bool fitsI32(int64_t V) { return V >= INT32_MIN && V <= INT32_MAX; }
+
+/// Minimal x86-64 emitter: exactly the encodings the templates need.
+class Asm {
+public:
+  std::vector<uint8_t> B;
+
+  size_t pos() const { return B.size(); }
+  void u8(uint8_t V) { B.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void patch32(size_t At, int32_t V) {
+    for (int I = 0; I < 4; ++I)
+      B[At + I] = static_cast<uint8_t>(static_cast<uint32_t>(V) >> (8 * I));
+  }
+
+  void rex(bool W, unsigned Reg, unsigned Index, unsigned Base) {
+    uint8_t R = 0x40 | (W ? 8 : 0) | ((Reg >> 3) << 2) | ((Index >> 3) << 1) |
+                (Base >> 3);
+    if (R != 0x40)
+      u8(R);
+  }
+
+  /// op Reg, [Base + Index*2^Scale + Disp]; Index < 0 = none.
+  void opMem(bool W, std::initializer_list<uint8_t> Op, unsigned Reg,
+             unsigned Base, int Index, unsigned Scale, int32_t Disp) {
+    rex(W, Reg, Index < 0 ? 0 : static_cast<unsigned>(Index), Base);
+    for (uint8_t O : Op)
+      u8(O);
+    bool NeedSib = (Base & 7) == 4 || Index >= 0;
+    unsigned Mod;
+    if (Disp == 0 && (Base & 7) != 5)
+      Mod = 0;
+    else if (Disp >= -128 && Disp <= 127)
+      Mod = 1;
+    else
+      Mod = 2;
+    u8(static_cast<uint8_t>((Mod << 6) | ((Reg & 7) << 3) |
+                            (NeedSib ? 4 : (Base & 7))));
+    if (NeedSib)
+      u8(static_cast<uint8_t>((Scale << 6) |
+                              ((Index < 0 ? 4u : (Index & 7u)) << 3) |
+                              (Base & 7)));
+    if (Mod == 1)
+      u8(static_cast<uint8_t>(Disp));
+    else if (Mod == 2)
+      u32(static_cast<uint32_t>(Disp));
+  }
+
+  /// op Reg, Rm with mod=3 (register-direct).
+  void opRR(bool W, std::initializer_list<uint8_t> Op, unsigned Reg,
+            unsigned Rm) {
+    rex(W, Reg, 0, Rm);
+    for (uint8_t O : Op)
+      u8(O);
+    u8(static_cast<uint8_t>(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+  }
+
+  void loadQ(unsigned R, unsigned Base, int Index, unsigned Scale,
+             int32_t Disp) {
+    opMem(true, {0x8B}, R, Base, Index, Scale, Disp);
+  }
+  void storeQ(unsigned R, unsigned Base, int Index, unsigned Scale,
+              int32_t Disp) {
+    opMem(true, {0x89}, R, Base, Index, Scale, Disp);
+  }
+  /// 32-bit load: zero-extends into the full register (addrOf()).
+  void loadD(unsigned R, unsigned Base, int Index, unsigned Scale,
+             int32_t Disp) {
+    opMem(false, {0x8B}, R, Base, Index, Scale, Disp);
+  }
+  void lea(unsigned R, unsigned Base, int Index, unsigned Scale,
+           int32_t Disp) {
+    opMem(true, {0x8D}, R, Base, Index, Scale, Disp);
+  }
+  void movRR(unsigned D, unsigned S) { opRR(true, {0x8B}, D, S); }
+  /// mov r32, r32 — zero-extends (the addrOf() idiom).
+  void movRR32(unsigned D, unsigned S) { opRR(false, {0x8B}, D, S); }
+
+  void movRI(unsigned R, uint64_t V) {
+    if (V <= 0x7FFFFFFFull) { // mov r32, imm32 zero-extends
+      rex(false, 0, 0, R);
+      u8(static_cast<uint8_t>(0xB8 | (R & 7)));
+      u32(static_cast<uint32_t>(V));
+    } else if (static_cast<int64_t>(V) ==
+               static_cast<int32_t>(static_cast<uint32_t>(V))) {
+      rex(true, 0, 0, R); // mov r64, simm32
+      u8(0xC7);
+      u8(static_cast<uint8_t>(0xC0 | (R & 7)));
+      u32(static_cast<uint32_t>(V));
+    } else {
+      rex(true, 0, 0, R); // movabs
+      u8(static_cast<uint8_t>(0xB8 | (R & 7)));
+      u64(V);
+    }
+  }
+
+  /// 81/83 /Ext: add(0) or(1) and(4) sub(5) xor(6) cmp(7) reg, imm.
+  void aluRI(uint8_t Ext, unsigned R, int32_t Imm) {
+    rex(true, 0, 0, R);
+    if (Imm >= -128 && Imm <= 127) {
+      u8(0x83);
+      u8(static_cast<uint8_t>(0xC0 | (Ext << 3) | (R & 7)));
+      u8(static_cast<uint8_t>(Imm));
+    } else {
+      u8(0x81);
+      u8(static_cast<uint8_t>(0xC0 | (Ext << 3) | (R & 7)));
+      u32(static_cast<uint32_t>(Imm));
+    }
+  }
+  void addRI(unsigned R, int32_t I) { aluRI(0, R, I); }
+  void subRI(unsigned R, int32_t I) { aluRI(5, R, I); }
+  void cmpRI(unsigned R, int32_t I) { aluRI(7, R, I); }
+
+  /// Same, on a qword memory operand [Base+Disp].
+  void aluMemI(uint8_t Ext, unsigned Base, int32_t Disp, int32_t Imm) {
+    if (Imm >= -128 && Imm <= 127) {
+      opMem(true, {0x83}, Ext, Base, -1, 0, Disp);
+      u8(static_cast<uint8_t>(Imm));
+    } else {
+      opMem(true, {0x81}, Ext, Base, -1, 0, Disp);
+      u32(static_cast<uint32_t>(Imm));
+    }
+  }
+
+  void addRR(unsigned D, unsigned S) { opRR(true, {0x03}, D, S); }
+  void subRR(unsigned D, unsigned S) { opRR(true, {0x2B}, D, S); }
+  void cmpRR(unsigned A, unsigned Bb) { opRR(true, {0x3B}, A, Bb); }
+  void testRR(unsigned A, unsigned Bb) { opRR(true, {0x85}, A, Bb); }
+  void orRR(unsigned D, unsigned S) { opRR(true, {0x0B}, D, S); }
+  void xorRR32(unsigned D, unsigned S) { opRR(false, {0x33}, D, S); }
+  void negR(unsigned R) { opRR(true, {0xF7}, 3, R); }
+  void incR(unsigned R) { opRR(true, {0xFF}, 0, R); }
+  void movsxd(unsigned D, unsigned S) { opRR(true, {0x63}, D, S); }
+  void imulRR(unsigned D, unsigned S) { opRR(true, {0x0F, 0xAF}, D, S); }
+  void cmov(uint8_t CC, unsigned D, unsigned S) {
+    opRR(true, {0x0F, static_cast<uint8_t>(0x40 | CC)}, D, S);
+  }
+  void shlRI(unsigned R, uint8_t N) {
+    rex(true, 0, 0, R);
+    u8(0xC1);
+    u8(static_cast<uint8_t>(0xC0 | (4 << 3) | (R & 7)));
+    u8(N);
+  }
+  void shrRI(unsigned R, uint8_t N) {
+    rex(true, 0, 0, R);
+    u8(0xC1);
+    u8(static_cast<uint8_t>(0xC0 | (5 << 3) | (R & 7)));
+    u8(N);
+  }
+  void incMemQ(unsigned Base, int32_t Disp) {
+    opMem(true, {0xFF}, 0, Base, -1, 0, Disp);
+  }
+  /// cmp byte [Base+Disp], imm8.
+  void cmpByteMemI(unsigned Base, int32_t Disp, uint8_t Imm) {
+    opMem(false, {0x80}, 7, Base, -1, 0, Disp);
+    u8(Imm);
+  }
+  /// cmp Reg, qword [Base+Disp].
+  void cmpRM(unsigned R, unsigned Base, int32_t Disp) {
+    opMem(true, {0x3B}, R, Base, -1, 0, Disp);
+  }
+  /// mov dword [Base+Disp], imm32.
+  void storeDImm(unsigned Base, int32_t Disp, int32_t Imm) {
+    opMem(false, {0xC7}, 0, Base, -1, 0, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+  /// mov qword [Base+Disp], simm32.
+  void storeQImm(unsigned Base, int32_t Disp, int32_t Imm) {
+    opMem(true, {0xC7}, 0, Base, -1, 0, Disp);
+    u32(static_cast<uint32_t>(Imm));
+  }
+
+  void jmpReg(unsigned R) { opRR(false, {0xFF}, 4, R); }
+  void callReg(unsigned R) { opRR(false, {0xFF}, 2, R); }
+  void ret() { u8(0xC3); }
+  void pushR(unsigned R) {
+    rex(false, 0, 0, R);
+    u8(static_cast<uint8_t>(0x50 | (R & 7)));
+  }
+  void popR(unsigned R) {
+    rex(false, 0, 0, R);
+    u8(static_cast<uint8_t>(0x58 | (R & 7)));
+  }
+
+  /// Forward local jump; returns the rel32 position for bind().
+  size_t jccL(uint8_t CC) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | CC));
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  size_t jmpL() {
+    u8(0xE9);
+    size_t P = pos();
+    u32(0);
+    return P;
+  }
+  void bind(size_t P) { patch32(P, static_cast<int32_t>(pos() - (P + 4))); }
+
+  /// Jump/call to an already-emitted absolute buffer offset.
+  void jmpFixed(size_t TargetOff) {
+    u8(0xE9);
+    u32(static_cast<uint32_t>(
+        static_cast<int64_t>(TargetOff) - static_cast<int64_t>(pos() + 4)));
+  }
+  void jccFixed(uint8_t CC, size_t TargetOff) {
+    u8(0x0F);
+    u8(static_cast<uint8_t>(0x80 | CC));
+    u32(static_cast<uint32_t>(
+        static_cast<int64_t>(TargetOff) - static_cast<int64_t>(pos() + 4)));
+  }
+  void callFixed(size_t TargetOff) {
+    u8(0xE8);
+    u32(static_cast<uint32_t>(
+        static_cast<int64_t>(TargetOff) - static_cast<int64_t>(pos() + 4)));
+  }
+};
+
+#endif // S1_JIT_AVAILABLE
+
+} // namespace
+
+/// Friend bridge into Machine: member offsets baked into generated code
+/// plus the C++ helpers the templates call back into. (Machine is not
+/// standard-layout — it holds references — so offsets are computed from a
+/// live instance rather than offsetof.)
+struct JitAccess {
+  struct Offsets {
+    int32_t CurFunc, Pc, Halted, GcPending, CachedT;
+    int32_t Instr, Movs, Calls, TailCalls, Syscalls, SHW, PerOp0;
+  };
+
+  static int32_t off(const Machine &M, const void *Field) {
+    return static_cast<int32_t>(reinterpret_cast<const char *>(Field) -
+                                reinterpret_cast<const char *>(&M));
+  }
+
+  static Offsets offsets(const Machine &M) {
+    Offsets O;
+    O.CurFunc = off(M, &M.CurFunc);
+    O.Pc = off(M, &M.Pc);
+    O.Halted = off(M, &M.Halted);
+    O.GcPending = off(M, &M.GcPending);
+    O.CachedT = off(M, &M.CachedTWord);
+    O.Instr = off(M, &M.Stats.Instructions);
+    O.Movs = off(M, &M.Stats.Movs);
+    O.Calls = off(M, &M.Stats.Calls);
+    O.TailCalls = off(M, &M.Stats.TailCalls);
+    O.Syscalls = off(M, &M.Stats.Syscalls);
+    O.SHW = off(M, &M.Stats.StackHighWater);
+    O.PerOp0 = off(M, M.Stats.PerOpcode.data());
+    return O;
+  }
+
+  // ---- helpers called from generated code (SysV ABI) -------------------
+
+  static void gcShim(Machine *M) { M->collectGarbage(); }
+
+  static uint64_t allocShim(Machine *M, uint64_t T, uint64_t N) {
+    return M->allocate(static_cast<Tag>(T), N);
+  }
+
+  /// Full SYSCALL fallback. Counter and Pc bookkeeping mirror the threaded
+  /// handler: the template stored CurFunc/Pc(=next) before the call, Throw
+  /// may retarget both, and the continuation is resolved from wherever the
+  /// machine ended up. Returns nullptr when the syscall trapped (the
+  /// formatted message is left in Machine::NativeError).
+  static const void *syscallShim(Machine *M, const XInsn *I) {
+    ++M->Stats.Syscalls;
+    if (!M->doSyscall(static_cast<Syscall>(I->S1), I->S2, I->S3, I->Target,
+                      M->NativeError))
+      return nullptr;
+    return M->ActiveJit->addr(M->CurFunc, M->Pc);
+  }
+
+  /// Single-instruction executor for the cold opcodes — same semantics,
+  /// same fault behavior (Machine::xread/xwrite/mem) as the threaded
+  /// handlers. Returns 0 = fall through, 1 = branch taken, -1 = division
+  /// by zero, -2 = stack overflow.
+  static int64_t coldShim(Machine *M, const XInsn *I) {
+    Machine &Mc = *M;
+    switch (I->Op) {
+    case XOp::PopM: {
+      uint64_t V = Mc.pop();
+      Mc.xwrite(I->GA, V);
+      return 0;
+    }
+    case XOp::Alu2G:
+    case XOp::Alu3G: {
+      bool Three = I->Op == XOp::Alu3G;
+      int64_t A = static_cast<int64_t>(Mc.xread(Three ? I->GB : I->GA));
+      int64_t Bv = static_cast<int64_t>(Mc.xread(Three ? I->GX : I->GB));
+      int64_t R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::ADD:
+        R = A + Bv;
+        break;
+      case Opcode::SUB:
+        R = A - Bv;
+        break;
+      case Opcode::MULT:
+        R = A * Bv;
+        break;
+      default:
+        if (Bv == 0)
+          return -1;
+        R = A / Bv;
+        break;
+      }
+      Mc.xwrite(I->GA, static_cast<uint64_t>(R));
+      return 0;
+    }
+    case XOp::JmpzG: {
+      int64_t A = static_cast<int64_t>(Mc.xread(I->GA));
+      int64_t Bv = static_cast<int64_t>(Mc.xread(I->GB));
+      int64_t Sign = A < Bv ? -1 : (A > Bv ? 1 : 0);
+      return jitCondHolds(I->C, Sign) ? 1 : 0;
+    }
+    case XOp::FJmpzG: {
+      double A = jitAsDouble(Mc.xread(I->GA));
+      double Bv = jitAsDouble(Mc.xread(I->GB));
+      int64_t Sign = A < Bv ? -1 : (A > Bv ? 1 : 0);
+      bool Taken = (std::isnan(A) || std::isnan(Bv))
+                       ? I->C == Cond::NEQ
+                       : jitCondHolds(I->C, Sign);
+      return Taken ? 1 : 0;
+    }
+    case XOp::MovTag: {
+      uint64_t Addr = I->GB.M == XArg::Mode::Mem ? Mc.xea(I->GB.Mem)
+                                                 : addrOf(Mc.xread(I->GB));
+      Mc.xwrite(I->GA, makePointer(static_cast<Tag>(I->S1), Addr));
+      return 0;
+    }
+    case XOp::GetTag:
+      Mc.xwrite(I->GA, static_cast<uint64_t>(tagOf(Mc.xread(I->GB))));
+      return 0;
+    case XOp::Lea:
+      Mc.xwrite(I->GA, Mc.xea(I->GB.Mem));
+      return 0;
+    case XOp::FAlu2:
+    case XOp::FAlu3: {
+      bool Three = I->Op == XOp::FAlu3;
+      double A = jitAsDouble(Mc.xread(Three ? I->GB : I->GA));
+      double Bv = jitAsDouble(Mc.xread(Three ? I->GX : I->GB));
+      double R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::FADD:
+        R = A + Bv;
+        break;
+      case Opcode::FSUB:
+        R = A - Bv;
+        break;
+      case Opcode::FMULT:
+        R = A * Bv;
+        break;
+      case Opcode::FDIV:
+        R = A / Bv;
+        break;
+      case Opcode::FMAX:
+        R = std::max(A, Bv);
+        break;
+      default:
+        R = std::min(A, Bv);
+        break;
+      }
+      Mc.xwrite(I->GA, jitFromDouble(R));
+      return 0;
+    }
+    case XOp::FUnary: {
+      double X = jitAsDouble(Mc.xread(I->GB));
+      double R;
+      switch (static_cast<Opcode>(I->Sub)) {
+      case Opcode::FNEG:
+        R = -X;
+        break;
+      case Opcode::FABS:
+        R = std::fabs(X);
+        break;
+      case Opcode::FSQRT:
+        R = std::sqrt(X);
+        break;
+      case Opcode::FSIN:
+        R = std::sin(X * 2.0 * M_PI); // the S-1 trig unit takes cycles
+        break;
+      case Opcode::FCOS:
+        R = std::cos(X * 2.0 * M_PI);
+        break;
+      case Opcode::FEXP:
+        R = std::exp(X);
+        break;
+      default:
+        R = std::log(X);
+        break;
+      }
+      Mc.xwrite(I->GA, jitFromDouble(R));
+      return 0;
+    }
+    case XOp::FAtan: {
+      double Y = jitAsDouble(Mc.xread(I->GB));
+      double X = jitAsDouble(Mc.xread(I->GX));
+      Mc.xwrite(I->GA, jitFromDouble(std::atan2(Y, X)));
+      return 0;
+    }
+    case XOp::Itof:
+      Mc.xwrite(I->GA, jitFromDouble(static_cast<double>(
+                           static_cast<int64_t>(Mc.xread(I->GB)))));
+      return 0;
+    case XOp::Ftoi:
+      Mc.xwrite(I->GA,
+                static_cast<uint64_t>(
+                    static_cast<int64_t>(jitAsDouble(Mc.xread(I->GB)))));
+      return 0;
+    default:
+      return 0; // unreachable: hot ops never route here
+    }
+  }
+
+#if S1_JIT_AVAILABLE
+  static std::shared_ptr<const JitProgram>
+  compile(std::shared_ptr<const DecodedProgram> DP, const JitOptions &Opts,
+          Machine &Layout);
+#endif
+};
+
+#if S1_JIT_AVAILABLE
+
+std::shared_ptr<const JitProgram>
+JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
+                   const JitOptions &Opts, Machine &Layout) {
+  const Offsets MO = offsets(Layout);
+  const bool Detailed = Opts.DetailedStats;
+  const bool GcOn = Opts.GcEnabled;
+  const int32_t MW = static_cast<int32_t>(MemoryWords);
+  const int32_t StackLimit = static_cast<int32_t>(StackBase + StackWords);
+  const size_t NF = DP->Functions.size();
+
+  auto JP = std::make_shared<JitProgram>();
+  JP->DP = DP;
+  JP->DetailedOn = Detailed;
+  JP->GcOn = GcOn;
+  JP->Offs.resize(NF);
+  JP->AddrArrays.resize(NF);
+  // Sized before emission: the movabs of FuncTable.data() baked into RET /
+  // CALLPTR templates must stay valid.
+  JP->FuncTable.resize(NF);
+  const uint64_t FTData = reinterpret_cast<uint64_t>(JP->FuncTable.data());
+
+  Asm A;
+
+  // ---- entry thunk -----------------------------------------------------
+  // int entry(uint64_t *regs, uint64_t *mem, Machine *m, uint64_t instr,
+  //           uint64_t fuel, const void *start)
+  JP->EntryOff = A.pos();
+  A.pushR(RBP);
+  A.pushR(RBX);
+  A.pushR(R12);
+  A.pushR(R13);
+  A.pushR(R14);
+  A.pushR(R15);
+  A.subRI(4 /*rsp*/, 8); // align: template call sites sit at rsp%16==0
+  A.movRR(RBX, RDI);
+  A.movRR(R12, RSI);
+  A.movRR(R13, RDX);
+  A.movRR(R14, RCX);
+  A.movRR(R15, R8);
+  A.jmpReg(R9);
+
+  // ---- shared epilogue: status already in eax --------------------------
+  const size_t EpiOff = A.pos();
+  A.storeQ(R14, R13, -1, 0, MO.Instr);
+  A.addRI(4 /*rsp*/, 8);
+  A.popR(R15);
+  A.popR(R14);
+  A.popR(R13);
+  A.popR(R12);
+  A.popR(RBX);
+  A.popR(RBP);
+  A.ret();
+
+  // ---- shared GC stub (called from safepoints when GcPending) ----------
+  const size_t GcStubOff = A.pos();
+  A.subRI(4 /*rsp*/, 8);
+  A.storeQ(R14, R13, -1, 0, MO.Instr);
+  A.movRR(RDI, R13);
+  A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::gcShim));
+  A.callReg(RAX);
+  A.addRI(4 /*rsp*/, 8);
+  A.ret();
+
+  // ---- shared exit stubs ----------------------------------------------
+  const size_t OkStubOff = A.pos(); // RET popped the host sentinel
+  A.xorRR32(RAX, RAX);
+  A.jmpFixed(EpiOff);
+  const size_t SysErrStubOff = A.pos(); // doSyscall trapped
+  A.movRI(RAX, static_cast<uint64_t>(JitStatus::SyscallErr));
+  A.jmpFixed(EpiOff);
+  const size_t HaltDynStubOff = A.pos(); // halted with CurFunc/Pc already set
+  A.movRI(RAX, static_cast<uint64_t>(JitStatus::HaltedMem));
+  A.jmpFixed(EpiOff);
+
+  // ---- function bodies -------------------------------------------------
+  struct Fixup {
+    size_t At;
+    int Func;
+    int Idx;
+  };
+  std::vector<Fixup> Fixups; // rel32 to instruction Idx of Func
+
+  for (size_t F = 0; F < NF; ++F) {
+    const DecodedFunction &DF = DP->Functions[F];
+    const int Size = static_cast<int>(DF.Code.size());
+    JP->Offs[F].assign(static_cast<size_t>(Size) + 1, 0);
+
+    // Per-function trap stubs, deduplicated by (status, reported pc).
+    std::map<std::pair<int, int>, std::vector<size_t>> StubSites;
+    auto jccStub = [&](uint8_t CC, JitStatus St, int PcVal) {
+      A.u8(0x0F);
+      A.u8(static_cast<uint8_t>(0x80 | CC));
+      StubSites[{static_cast<int>(St), PcVal}].push_back(A.pos());
+      A.u32(0);
+    };
+    auto jmpStub = [&](JitStatus St, int PcVal) {
+      A.u8(0xE9);
+      StubSites[{static_cast<int>(St), PcVal}].push_back(A.pos());
+      A.u32(0);
+    };
+    auto jmpTo = [&](int Fn, int Idx) {
+      A.u8(0xE9);
+      Fixups.push_back({A.pos(), Fn, Idx});
+      A.u32(0);
+    };
+    auto jccTo = [&](uint8_t CC, int Fn, int Idx) {
+      A.u8(0x0F);
+      A.u8(static_cast<uint8_t>(0x80 | CC));
+      Fixups.push_back({A.pos(), Fn, Idx});
+      A.u32(0);
+    };
+
+    // addrOf(Regs[Base]) [+ Disp] into Dst.
+    auto emitEaS = [&](unsigned Dst, unsigned Tmp, const XMem &Mm) {
+      A.loadD(Dst, RBX, -1, 0, static_cast<int32_t>(Mm.Base) * 8);
+      if (Mm.Disp != 0) {
+        if (fitsI32(Mm.Disp))
+          A.lea(Dst, Dst, -1, 0, static_cast<int32_t>(Mm.Disp));
+        else {
+          A.movRI(Tmp, static_cast<uint64_t>(Mm.Disp));
+          A.addRR(Dst, Tmp);
+        }
+      }
+    };
+    // addrOf(Regs[Base]) + (Disp + (Regs[Index] << Scale)) into Dst.
+    auto emitEaX = [&](unsigned Dst, unsigned Tmp, unsigned Tmp2,
+                       const XMem &Mm) {
+      A.loadD(Dst, RBX, -1, 0, static_cast<int32_t>(Mm.Base) * 8);
+      A.loadQ(Tmp, RBX, -1, 0, static_cast<int32_t>(Mm.Index) * 8);
+      if (Mm.Scale)
+        A.shlRI(Tmp, Mm.Scale);
+      A.addRR(Dst, Tmp);
+      if (Mm.Disp != 0) {
+        if (fitsI32(Mm.Disp))
+          A.lea(Dst, Dst, -1, 0, static_cast<int32_t>(Mm.Disp));
+        else {
+          A.movRI(Tmp2, static_cast<uint64_t>(Mm.Disp));
+          A.addRR(Dst, Tmp2);
+        }
+      }
+    };
+    auto emitEa = [&](unsigned Dst, unsigned Tmp, unsigned Tmp2,
+                      const XMem &Mm) {
+      if (Mm.Index == 0xFF)
+        emitEaS(Dst, Tmp, Mm);
+      else
+        emitEaX(Dst, Tmp, Tmp2, Mm);
+    };
+    // mem() fault guard: word address in R must be < MemoryWords.
+    auto checkAddr = [&](unsigned R, int PcVal) {
+      A.cmpRI(R, MW);
+      jccStub(CC_AE, JitStatus::HaltedMem, PcVal);
+    };
+    // Regs[SP] update + StackHighWater, with the new SP in R (always
+    // maintained, exactly like Machine::push).
+    auto emitShw = [&](unsigned NewSp, unsigned Tmp) {
+      A.lea(Tmp, NewSp, -1, 0, -static_cast<int32_t>(StackBase));
+      A.cmpRM(Tmp, R13, MO.SHW);
+      size_t Skip = A.jccL(CC_BE);
+      A.storeQ(Tmp, R13, -1, 0, MO.SHW);
+      A.bind(Skip);
+    };
+    // Loads an XArg value into Dst (Reg/Const/Mem), faulting like xread.
+    auto emitXRead = [&](unsigned Dst, unsigned T1, unsigned T2, unsigned T3,
+                         const XArg &G, int PcVal) {
+      switch (G.M) {
+      case XArg::Mode::Reg:
+        A.loadQ(Dst, RBX, -1, 0, static_cast<int32_t>(G.R) * 8);
+        break;
+      case XArg::Mode::Const:
+        A.movRI(Dst, G.K);
+        break;
+      case XArg::Mode::Mem:
+        emitEa(T1, T2, T3, G.Mem);
+        checkAddr(T1, PcVal);
+        A.loadQ(Dst, R12, static_cast<int>(T1), 3, 0);
+        break;
+      case XArg::Mode::None:
+        A.movRI(Dst, 0);
+        break;
+      }
+    };
+
+    // The full SYSCALL fallback template; also the slow path behind the
+    // inline fixnum fast paths.
+    auto emitSyscallGeneric = [&](const XInsn &I, int ThisIdx) {
+      A.storeDImm(R13, MO.CurFunc, static_cast<int32_t>(F));
+      A.storeDImm(R13, MO.Pc, ThisIdx + 1);
+      A.storeQ(R14, R13, -1, 0, MO.Instr);
+      A.movRR(RDI, R13);
+      A.movRI(RSI, reinterpret_cast<uint64_t>(&I));
+      A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::syscallShim));
+      A.callReg(RAX);
+      A.testRR(RAX, RAX);
+      A.jccFixed(CC_E, SysErrStubOff);
+      A.cmpByteMemI(R13, MO.Halted, 0);
+      A.jccFixed(CC_NE, HaltDynStubOff);
+      A.jmpReg(RAX); // continuation resolved by the shim (Throw may move it)
+    };
+
+    for (int Idx = 0; Idx <= Size; ++Idx) {
+      JP->Offs[F][static_cast<size_t>(Idx)] = static_cast<uint32_t>(A.pos());
+
+      // -- safepoint: fuel, then pending GC — same boundary order as the
+      // threaded loop (a simultaneous fuel trap wins over a pending GC).
+      A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+      jccStub(CC_AE, JitStatus::Fuel, Idx);
+      if (GcOn) {
+        A.cmpByteMemI(R13, MO.GcPending, 0);
+        size_t Skip = A.jccL(CC_E);
+        A.callFixed(GcStubOff);
+        A.bind(Skip);
+      }
+      if (Idx == Size) {
+        // Fall-off trailer: control ran past the last real instruction.
+        jmpStub(JitStatus::PcRange, Size);
+        break;
+      }
+
+      const XInsn &I = DF.Code[static_cast<size_t>(Idx)];
+      const int Next = Idx + 1;
+
+      A.incR(R14); // ++Stats.Instructions
+      if (Detailed)
+        A.incMemQ(R13, MO.PerOp0 +
+                           8 * static_cast<int32_t>(
+                                   static_cast<size_t>(I.OrigOp)));
+
+      switch (I.Op) {
+      // ---- MOV family (inline, all twelve mode pairs) ------------------
+      case XOp::MovRR:
+      case XOp::MovRK:
+      case XOp::MovRM:
+      case XOp::MovRX:
+      case XOp::MovMR:
+      case XOp::MovMK:
+      case XOp::MovMM:
+      case XOp::MovMX:
+      case XOp::MovXR:
+      case XOp::MovXK:
+      case XOp::MovXM:
+      case XOp::MovXX: {
+        if (Detailed)
+          A.incMemQ(R13, MO.Movs);
+        // Source value into RCX (register/constant sources), or source EA
+        // into RAX then load.
+        auto loadSrc = [&] {
+          switch (I.Op) {
+          case XOp::MovRR:
+          case XOp::MovMR:
+          case XOp::MovXR:
+            A.loadQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
+            break;
+          case XOp::MovRK:
+          case XOp::MovMK:
+          case XOp::MovXK:
+            A.movRI(RCX, I.K);
+            break;
+          case XOp::MovRM:
+          case XOp::MovMM:
+          case XOp::MovXM:
+            emitEaS(RAX, RCX, I.MB);
+            checkAddr(RAX, Next);
+            A.loadQ(RCX, R12, RAX, 3, 0);
+            break;
+          default: // MovRX / MovMX / MovXX
+            emitEaX(RAX, RCX, RDX, I.MB);
+            checkAddr(RAX, Next);
+            A.loadQ(RCX, R12, RAX, 3, 0);
+            break;
+          }
+        };
+        loadSrc();
+        switch (I.Op) {
+        case XOp::MovRR:
+        case XOp::MovRK:
+        case XOp::MovRM:
+        case XOp::MovRX:
+          A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+          break;
+        case XOp::MovMR:
+        case XOp::MovMK:
+        case XOp::MovMM:
+        case XOp::MovMX:
+          emitEaS(RAX, RDX, I.MA);
+          checkAddr(RAX, Next);
+          A.storeQ(RCX, R12, RAX, 3, 0);
+          break;
+        default: // MovX* destinations
+          emitEaX(RAX, RDX, RSI, I.MA);
+          checkAddr(RAX, Next);
+          A.storeQ(RCX, R12, RAX, 3, 0);
+          break;
+        }
+        break;
+      }
+
+      // ---- stack traffic ----------------------------------------------
+      case XOp::PushR:
+      case XOp::PushK:
+      case XOp::PushM:
+      case XOp::PushX: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.lea(RCX, RAX, -1, 0, 1);
+        A.cmpRI(RCX, StackLimit);
+        jccStub(CC_AE, JitStatus::StackOv, Next);
+        switch (I.Op) {
+        case XOp::PushR:
+          A.loadQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
+          break;
+        case XOp::PushK:
+          A.movRI(RCX, I.K);
+          break;
+        case XOp::PushM:
+          emitEaS(RDX, RSI, I.MB);
+          checkAddr(RDX, Next);
+          A.loadQ(RCX, R12, RDX, 3, 0);
+          break;
+        default: // PushX
+          emitEaX(RDX, RSI, RDI, I.MB);
+          checkAddr(RDX, Next);
+          A.loadQ(RCX, R12, RDX, 3, 0);
+          break;
+        }
+        checkAddr(RAX, Next);
+        A.storeQ(RCX, R12, RAX, 3, 0);
+        A.incR(RAX);
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        emitShw(RAX, RCX);
+        break;
+      }
+
+      case XOp::PopR: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.subRI(RAX, 1);
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        checkAddr(RAX, Next);
+        A.loadQ(RCX, R12, RAX, 3, 0);
+        A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        break;
+      }
+
+      // ---- integer ALU register forms ---------------------------------
+      case XOp::AddRR:
+      case XOp::SubRR: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        A.opMem(true, {I.Op == XOp::AddRR ? uint8_t(0x03) : uint8_t(0x2B)},
+                RAX, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        break;
+      }
+      case XOp::AddRK:
+      case XOp::SubRK: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        int64_t K = static_cast<int64_t>(I.K);
+        if (fitsI32(K)) {
+          A.aluRI(I.Op == XOp::AddRK ? 0 : 5, RAX, static_cast<int32_t>(K));
+        } else {
+          A.movRI(RCX, I.K);
+          if (I.Op == XOp::AddRK)
+            A.addRR(RAX, RCX);
+          else
+            A.subRR(RAX, RCX);
+        }
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        break;
+      }
+
+      // ---- control ----------------------------------------------------
+      case XOp::Jmp:
+        jmpTo(static_cast<int>(F), I.Target);
+        break;
+
+      case XOp::JmpzRR: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        A.opMem(true, {0x3B}, RAX, RBX, -1, 0,
+                static_cast<int32_t>(I.B) * 8);
+        jccTo(ccFor(I.C), static_cast<int>(F), I.Target);
+        break;
+      }
+      case XOp::JmpzRK: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
+        int64_t K = static_cast<int64_t>(I.K);
+        if (fitsI32(K)) {
+          A.cmpRI(RAX, static_cast<int32_t>(K));
+        } else {
+          A.movRI(RCX, I.K);
+          A.cmpRR(RAX, RCX);
+        }
+        jccTo(ccFor(I.C), static_cast<int>(F), I.Target);
+        break;
+      }
+
+      case XOp::Call: {
+        A.incMemQ(R13, MO.Calls);
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.lea(RCX, RAX, -1, 0, 4);
+        A.cmpRI(RCX, StackLimit);
+        jccStub(CC_AE, JitStatus::StackOv, Next);
+        checkAddr(RAX, Next);
+        A.movRI(RCX, (static_cast<uint64_t>(F + 1) << 32) |
+                         static_cast<uint32_t>(Next));
+        A.storeQ(RCX, R12, RAX, 3, 0);
+        A.incR(RAX);
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        emitShw(RAX, RCX);
+        jmpTo(I.Target, 0);
+        break;
+      }
+
+      case XOp::CallPtr:
+      case XOp::TailCallPtr: {
+        bool IsTail = I.Op == XOp::TailCallPtr;
+        A.incMemQ(R13, IsTail ? MO.TailCalls : MO.Calls);
+        emitXRead(RAX, RAX, RCX, RDX, I.GA, Next); // Fn word
+        A.movRR(RCX, RAX);
+        A.shrRI(RCX, static_cast<uint8_t>(TagShift));
+        A.cmpRI(RCX, static_cast<int32_t>(Tag::Function));
+        jccStub(CC_NE, JitStatus::NotFunc, Next);
+        A.movRR32(RDX, RAX); // addrOf(Fn)
+        // Regs[1] = mem(addr + 1): the closure environment.
+        A.lea(RCX, RDX, -1, 0, 1);
+        checkAddr(RCX, Next);
+        A.loadQ(RSI, R12, RCX, 3, 0);
+        A.storeQ(RSI, RBX, -1, 0, 1 * 8);
+        // Callee function index from the function cell (addr < MW is
+        // implied by addr+1 < MW — addrOf is 32-bit, no wrap).
+        A.loadQ(R11, R12, RDX, 3, 0);
+        A.movRR32(R11, R11);
+        if (!IsTail) {
+          // push(makeRetWord(F, Next)) — no +4 headroom check, exactly
+          // like the threaded CALLPTR handler.
+          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          checkAddr(RAX, Next);
+          A.movRI(RCX, (static_cast<uint64_t>(F + 1) << 32) |
+                           static_cast<uint32_t>(Next));
+          A.storeQ(RCX, R12, RAX, 3, 0);
+          A.incR(RAX);
+          A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          emitShw(RAX, RCX);
+        } else {
+          // TailTransfer(K, callee) with the callee index live in r11.
+          int32_t K = static_cast<int32_t>(I.S2);
+          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
+          checkAddr(RAX, Next);
+          A.lea(RCX, RAX, -1, 0, 1);
+          checkAddr(RCX, Next);
+          A.loadQ(RDX, R12, RCX, 3, 0); // frame argc
+          A.cmpRI(RDX, K);
+          jccStub(CC_B, JitStatus::TailOv, Next);
+          A.loadQ(RSI, R12, RAX, 3, 0); // env slot = mem(FP+0)
+          A.storeQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::ENV) * 8);
+          A.lea(RCX, RAX, -1, 0, -1);
+          checkAddr(RCX, Next);
+          A.loadQ(RDI, R12, RCX, 3, 0); // old FP
+          if (K > 0) {
+            A.loadQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+            A.subRI(RSI, K);               // arg source base
+            A.lea(RCX, RAX, -1, 0, -2 - K); // arg destination base
+            A.movRI(R8, 0);
+            size_t LoopTop = A.pos();
+            A.cmpRI(R8, K);
+            size_t Done = A.jccL(CC_E);
+            A.lea(R9, RSI, R8, 0, 0);
+            checkAddr(R9, Next);
+            A.loadQ(R10, R12, R9, 3, 0);
+            A.lea(R9, RCX, R8, 0, 0);
+            checkAddr(R9, Next);
+            A.storeQ(R10, R12, R9, 3, 0);
+            A.addRI(R8, 1);
+            A.jmpFixed(LoopTop);
+            A.bind(Done);
+          }
+          A.lea(RDX, RAX, -1, 0, -1);
+          A.storeQ(RDX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
+          A.storeQImm(RBX, static_cast<int32_t>(s1::RTA) * 8, K);
+        }
+        // Indirect transfer to the callee's entry template.
+        A.movRI(RSI, FTData);
+        A.loadQ(RSI, RSI, R11, 3, 0);
+        A.loadQ(RSI, RSI, -1, 0, 0);
+        A.jmpReg(RSI);
+        break;
+      }
+
+      case XOp::TailCall: {
+        A.incMemQ(R13, MO.TailCalls);
+        int32_t K = static_cast<int32_t>(I.S2);
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
+        checkAddr(RAX, Next);
+        A.lea(RCX, RAX, -1, 0, 1);
+        checkAddr(RCX, Next);
+        A.loadQ(RDX, R12, RCX, 3, 0);
+        A.cmpRI(RDX, K);
+        jccStub(CC_B, JitStatus::TailOv, Next);
+        A.loadQ(RSI, R12, RAX, 3, 0);
+        A.storeQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::ENV) * 8);
+        A.lea(RCX, RAX, -1, 0, -1);
+        checkAddr(RCX, Next);
+        A.loadQ(RDI, R12, RCX, 3, 0);
+        if (K > 0) {
+          A.loadQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.subRI(RSI, K);
+          A.lea(RCX, RAX, -1, 0, -2 - K);
+          A.movRI(R8, 0);
+          size_t LoopTop = A.pos();
+          A.cmpRI(R8, K);
+          size_t Done = A.jccL(CC_E);
+          A.lea(R9, RSI, R8, 0, 0);
+          checkAddr(R9, Next);
+          A.loadQ(R10, R12, R9, 3, 0);
+          A.lea(R9, RCX, R8, 0, 0);
+          checkAddr(R9, Next);
+          A.storeQ(R10, R12, R9, 3, 0);
+          A.addRI(R8, 1);
+          A.jmpFixed(LoopTop);
+          A.bind(Done);
+        }
+        A.lea(RDX, RAX, -1, 0, -1);
+        A.storeQ(RDX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
+        A.storeQImm(RBX, static_cast<int32_t>(s1::RTA) * 8, K);
+        jmpTo(I.Target, 0);
+        break;
+      }
+
+      case XOp::Ret: {
+        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.subRI(RAX, 1);
+        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        checkAddr(RAX, Next);
+        A.loadQ(RCX, R12, RAX, 3, 0); // return word
+        A.testRR(RCX, RCX);
+        A.jccFixed(CC_E, OkStubOff); // host sentinel
+        A.movRR(RDX, RCX);
+        A.shrRI(RDX, 32);
+        A.subRI(RDX, 1);     // function index
+        A.movRR32(RCX, RCX); // pc half
+        A.movRI(RSI, FTData);
+        A.loadQ(RSI, RSI, RDX, 3, 0);
+        A.loadQ(RSI, RSI, RCX, 3, 0);
+        A.jmpReg(RSI);
+        break;
+      }
+
+      // ---- allocation --------------------------------------------------
+      case XOp::Alloc: {
+        A.storeQ(R14, R13, -1, 0, MO.Instr);
+        A.movRR(RDI, R13);
+        A.movRI(RSI, static_cast<uint64_t>(I.S1));
+        A.movRI(RDX, static_cast<uint64_t>(I.S2));
+        A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::allocShim));
+        A.callReg(RAX);
+        A.cmpByteMemI(R13, MO.Halted, 0);
+        jccStub(CC_NE, JitStatus::HeapExh, Next);
+        switch (I.GA.M) {
+        case XArg::Mode::Reg:
+          A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.GA.R) * 8);
+          break;
+        case XArg::Mode::Mem:
+          emitEa(RCX, RDX, RSI, I.GA.Mem);
+          checkAddr(RCX, Next);
+          A.storeQ(RAX, R12, RCX, 3, 0);
+          break;
+        default:
+          break; // xwrite drops Const/None destinations
+        }
+        break;
+      }
+
+      // ---- runtime services -------------------------------------------
+      case XOp::Syscall: {
+        Syscall S = static_cast<Syscall>(I.S1);
+        std::vector<size_t> Slow;
+        auto toSlow = [&](uint8_t CC) { Slow.push_back(A.jccL(CC)); };
+
+        if (S == Syscall::GenericAdd || S == Syscall::GenericSub ||
+            S == Syscall::GenericMul) {
+          // Fixnum fast path: peek both operands; any miss re-runs the
+          // whole syscall through the generic route (which pops itself).
+          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.cmpRI(RAX, 2);
+          toSlow(CC_B);
+          A.cmpRI(RAX, MW);
+          toSlow(CC_A);
+          A.loadQ(RCX, R12, RAX, 3, -16); // AW
+          A.loadQ(RDX, R12, RAX, 3, -8);  // BW
+          A.movRR(RSI, RCX);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          A.movRR(RSI, RDX);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          A.incMemQ(R13, MO.Syscalls);
+          // The threaded fast path pops before it traps on overflow.
+          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 2);
+          A.movsxd(RCX, RCX); // fixnumValue
+          A.movsxd(RDX, RDX);
+          if (S == Syscall::GenericAdd)
+            A.addRR(RCX, RDX);
+          else if (S == Syscall::GenericSub)
+            A.subRR(RCX, RDX);
+          else
+            A.imulRR(RCX, RDX);
+          A.movsxd(RSI, RCX); // 32-bit range check
+          A.cmpRR(RSI, RCX);
+          jccStub(CC_NE, JitStatus::FixOv, Next);
+          A.movRR32(RCX, RCX); // makeFixnum
+          A.movRI(RDX, 1ull << TagShift);
+          A.orRR(RCX, RDX);
+          A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          jmpTo(static_cast<int>(F), Next);
+        } else if (S == Syscall::GenericCompare) {
+          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.cmpRI(RAX, 2);
+          toSlow(CC_B);
+          A.cmpRI(RAX, MW);
+          toSlow(CC_A);
+          A.loadQ(RCX, R12, RAX, 3, -16);
+          A.loadQ(RDX, R12, RAX, 3, -8);
+          A.movRR(RSI, RCX);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          A.movRR(RSI, RDX);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          // trueWord() must already be memoized — a miss could allocate.
+          A.loadQ(RSI, R13, -1, 0, MO.CachedT);
+          A.testRR(RSI, RSI);
+          toSlow(CC_E);
+          A.incMemQ(R13, MO.Syscalls);
+          A.movsxd(RCX, RCX);
+          A.movsxd(RDX, RDX);
+          A.xorRR32(RDI, RDI); // NilWord
+          A.cmpRR(RCX, RDX);
+          A.cmov(ccFor(static_cast<Cond>(I.S2)), RDI, RSI);
+          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 2);
+          A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          jmpTo(static_cast<int>(F), Next);
+        } else if (S == Syscall::GenericUnary &&
+                   (static_cast<UnaryCode>(I.S2) == UnaryCode::Neg ||
+                    static_cast<UnaryCode>(I.S2) == UnaryCode::Abs ||
+                    static_cast<UnaryCode>(I.S2) == UnaryCode::Add1 ||
+                    static_cast<UnaryCode>(I.S2) == UnaryCode::Sub1)) {
+          UnaryCode UC = static_cast<UnaryCode>(I.S2);
+          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.cmpRI(RAX, 1);
+          toSlow(CC_B);
+          A.cmpRI(RAX, MW);
+          toSlow(CC_A);
+          A.loadQ(RCX, R12, RAX, 3, -8);
+          A.movRR(RSI, RCX);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          A.incMemQ(R13, MO.Syscalls);
+          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 1); // pop first
+          A.movsxd(RCX, RCX);
+          switch (UC) {
+          case UnaryCode::Neg:
+            A.negR(RCX);
+            break;
+          case UnaryCode::Abs: // V < 0 ? -V : V
+            A.movRR(RDX, RCX);
+            A.negR(RDX);
+            A.testRR(RCX, RCX);
+            A.cmov(CC_S, RCX, RDX);
+            break;
+          case UnaryCode::Add1:
+            A.addRI(RCX, 1);
+            break;
+          default: // Sub1
+            A.subRI(RCX, 1);
+            break;
+          }
+          A.movsxd(RSI, RCX);
+          A.cmpRR(RSI, RCX);
+          jccStub(CC_NE, JitStatus::FixOv, Next);
+          A.movRR32(RCX, RCX);
+          A.movRI(RDX, 1ull << TagShift);
+          A.orRR(RCX, RDX);
+          A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          jmpTo(static_cast<int>(F), Next);
+        }
+
+        for (size_t P : Slow)
+          A.bind(P);
+        emitSyscallGeneric(I, Idx);
+        break;
+      }
+
+      case XOp::Halt:
+        jmpStub(JitStatus::Halt, Next);
+        break;
+
+      // ---- cold opcodes: one call into the C++ executor ----------------
+      default: {
+        bool Branches = I.Op == XOp::JmpzG || I.Op == XOp::FJmpzG;
+        bool CanDiv0 = I.Op == XOp::Alu2G || I.Op == XOp::Alu3G;
+        A.storeQ(R14, R13, -1, 0, MO.Instr);
+        A.movRR(RDI, R13);
+        A.movRI(RSI, reinterpret_cast<uint64_t>(&I));
+        A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::coldShim));
+        A.callReg(RAX);
+        if (CanDiv0) {
+          A.cmpRI(RAX, -1);
+          jccStub(CC_E, JitStatus::Div0, Next);
+        }
+        if (Branches) {
+          A.cmpRI(RAX, 1);
+          size_t Fall = A.jccL(CC_NE);
+          // Taken: the threaded loop would trap at the *target* boundary
+          // if the operand reads faulted.
+          A.cmpByteMemI(R13, MO.Halted, 0);
+          jccStub(CC_NE, JitStatus::HaltedMem, I.Target);
+          jmpTo(static_cast<int>(F), I.Target);
+          A.bind(Fall);
+        }
+        A.cmpByteMemI(R13, MO.Halted, 0);
+        jccStub(CC_NE, JitStatus::HaltedMem, Next);
+        break;
+      }
+      }
+    }
+
+    // -- trap stubs for this function -------------------------------------
+    for (auto &[Key, Sites] : StubSites) {
+      for (size_t P : Sites)
+        A.bind(P);
+      A.storeDImm(R13, MO.CurFunc, static_cast<int32_t>(F));
+      A.storeDImm(R13, MO.Pc, Key.second);
+      A.movRI(RAX, static_cast<uint64_t>(Key.first));
+      A.jmpFixed(EpiOff);
+    }
+  }
+
+  // ---- resolve instruction-address fixups ------------------------------
+  for (const Fixup &Fx : Fixups) {
+    int64_t Rel =
+        static_cast<int64_t>(
+            JP->Offs[static_cast<size_t>(Fx.Func)][static_cast<size_t>(
+                Fx.Idx)]) -
+        static_cast<int64_t>(Fx.At + 4);
+    A.patch32(Fx.At, static_cast<int32_t>(Rel));
+  }
+
+  // ---- finalize: copy into a fresh RX mapping (W^X) --------------------
+  size_t Len = A.B.size();
+  void *Map = mmap(nullptr, Len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Map == MAP_FAILED)
+    return nullptr;
+  std::memcpy(Map, A.B.data(), Len);
+  if (mprotect(Map, Len, PROT_READ | PROT_EXEC) != 0) {
+    munmap(Map, Len);
+    return nullptr;
+  }
+  JP->Base = static_cast<uint8_t *>(Map);
+  JP->MapLen = Len;
+  for (size_t F = 0; F < NF; ++F) {
+    size_t N = JP->Offs[F].size();
+    JP->AddrArrays[F] = std::make_unique<const uint8_t *[]>(N);
+    for (size_t Idx = 0; Idx < N; ++Idx)
+      JP->AddrArrays[F][Idx] = JP->Base + JP->Offs[F][Idx];
+    JP->FuncTable[F] = JP->AddrArrays[F].get();
+  }
+  return JP;
+}
+
+#endif // S1_JIT_AVAILABLE
+
+std::shared_ptr<const JitProgram>
+compileJit(std::shared_ptr<const DecodedProgram> DP, const JitOptions &Opts,
+           Machine &Layout) {
+#if S1_JIT_AVAILABLE
+  return JitAccess::compile(std::move(DP), Opts, Layout);
+#else
+  (void)DP;
+  (void)Opts;
+  (void)Layout;
+  return nullptr;
+#endif
+}
+
+} // namespace vm
+} // namespace s1lisp

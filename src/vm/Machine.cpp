@@ -3,12 +3,14 @@
 #include "vm/Machine.h"
 
 #include "sexpr/Numbers.h"
+#include "vm/Jit.h"
 #include "sexpr/Printer.h"
 #include "stats/Stats.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 S1_STAT(VmInstructions, "vm.instructions", "instructions retired");
@@ -89,11 +91,20 @@ std::optional<Engine> vm::engineByName(std::string_view Name) {
     return Engine::Legacy;
   if (Name == "threaded")
     return Engine::Threaded;
+  if (Name == "native")
+    return Engine::Native;
   return std::nullopt;
 }
 
 const char *vm::engineName(Engine E) {
-  return E == Engine::Legacy ? "legacy" : "threaded";
+  switch (E) {
+  case Engine::Legacy:
+    return "legacy";
+  case Engine::Native:
+    return "native";
+  default:
+    return "threaded";
+  }
 }
 
 Machine::Machine(const Program &P, sexpr::SymbolTable &Syms,
@@ -460,9 +471,9 @@ bool Machine::trap(std::string &Error, const std::string &Msg) {
   Error = Msg;
   if (CurFunc >= 0 && CurFunc < static_cast<int>(P.Functions.size())) {
     int ShowPc = Pc;
-    // The threaded engine counts pcs in decoded units; report them in
-    // original assembly-listing units like the legacy engine does.
-    if (Eng == Engine::Threaded && Decoded) {
+    // The threaded and native engines count pcs in decoded units; report
+    // them in original assembly-listing units like the legacy engine does.
+    if (Eng != Engine::Legacy && Decoded) {
       const DecodedFunction &DF = Decoded->Functions[CurFunc];
       if (Pc > 0 && Pc <= static_cast<int>(DF.OrigPc.size()))
         ShowPc = DF.OrigPc[Pc - 1] + 1;
@@ -479,11 +490,71 @@ bool Machine::trap(std::string &Error, const std::string &Msg) {
 bool Machine::run(int FuncIndex, std::string &Error) {
   CurFunc = FuncIndex;
   Pc = 0;
+  if (Eng == Engine::Native) {
+    decodedProgram();
+    return runNative(Error);
+  }
   if (Eng == Engine::Threaded) {
     decodedProgram(); // build lazily if no shared decode was injected
     return DetailedStats ? runThreaded<true>(Error) : runThreaded<false>(Error);
   }
   return runLegacy(Error);
+}
+
+bool Machine::runNative(std::string &Error) {
+  if (!Jitted || !Jitted->matches(DetailedStats, gcEnabled()) ||
+      !Jitted->builtFrom(Decoded.get()))
+    Jitted = compileJit(Decoded, {DetailedStats, gcEnabled()}, *this);
+  if (!Jitted) {
+    static bool Warned = false;
+    if (!Warned) {
+      Warned = true;
+      std::fprintf(stderr,
+                   "s1lisp: warning: --engine=native is unavailable on this "
+                   "host (requires x86-64); falling back to the threaded "
+                   "engine\n");
+    }
+    return DetailedStats ? runThreaded<true>(Error) : runThreaded<false>(Error);
+  }
+
+  ActiveJit = Jitted.get();
+  int St = Jitted->invoke(Regs.data(), &Memory[0], this, Stats.Instructions,
+                          Fuel, Jitted->addr(CurFunc, Pc));
+  ActiveJit = nullptr;
+
+  switch (static_cast<JitStatus>(St)) {
+  case JitStatus::Ok:
+    CurFunc = -1; // back to host
+    Pc = 0;
+    return true;
+  case JitStatus::Fuel:
+    return trap(Error, "instruction fuel exhausted");
+  case JitStatus::HaltedMem:
+    return trap(Error,
+                "machine halted unexpectedly (memory fault or heap full)");
+  case JitStatus::StackOv:
+    return trap(Error, "stack overflow");
+  case JitStatus::Div0:
+    return trap(Error, rtErrorMessage(RtError::DivisionByZero));
+  case JitStatus::SyscallErr:
+    // doSyscall already formatted the trap (with location) and halted.
+    Error = std::move(NativeError);
+    NativeError.clear();
+    return false;
+  case JitStatus::Halt:
+    return trap(Error, "HALT executed");
+  case JitStatus::PcRange:
+    return trap(Error, "pc out of range");
+  case JitStatus::TailOv:
+    return trap(Error, "tail call passes more arguments than the frame holds");
+  case JitStatus::HeapExh:
+    return trap(Error, "heap exhausted");
+  case JitStatus::NotFunc:
+    return trap(Error, rtErrorMessage(RtError::NotAFunction));
+  case JitStatus::FixOv:
+    return trap(Error, "fixnum overflow (compiled fixnums are 32-bit)");
+  }
+  return trap(Error, "native engine returned an unknown status");
 }
 
 bool Machine::runLegacy(std::string &Error) {

@@ -108,11 +108,15 @@ struct MachineStats {
 enum class Engine : uint8_t {
   Legacy,   ///< interpretive switch over s1::Instruction
   Threaded, ///< pre-decoded fused handlers (computed goto / dense switch)
+  Native,   ///< template-JIT over the XInsn stream (x86-64 only; falls
+            ///< back to Threaded elsewhere, see vm/Jit.h)
 };
 
-/// "legacy" / "threaded" -> Engine; nullopt for anything else.
+/// "legacy" / "threaded" / "native" -> Engine; nullopt for anything else.
 std::optional<Engine> engineByName(std::string_view Name);
 const char *engineName(Engine E);
+
+class JitProgram;
 
 /// The simulator. One instance owns one address space; reusable across
 /// many calls into the same program.
@@ -208,6 +212,7 @@ private:
   bool runLegacy(std::string &Error);
   bool step(std::string &Error);
   template <bool Detailed> bool runThreaded(std::string &Error);
+  bool runNative(std::string &Error);
   uint64_t &mem(uint64_t Addr);
   uint64_t effectiveAddress(const s1::Operand &O);
   uint64_t read(const s1::Operand &O);
@@ -268,6 +273,13 @@ private:
   Engine Eng = Engine::Threaded;
   bool DetailedStats = true;
   std::shared_ptr<const DecodedProgram> Decoded;
+
+  // Native tier state (vm/Jit.h). The generated code reaches back into
+  // the Machine through JitAccess, which needs the private members above.
+  friend struct JitAccess;
+  std::shared_ptr<const JitProgram> Jitted;
+  const JitProgram *ActiveJit = nullptr;
+  std::string NativeError; ///< syscall trap text staged by the JIT shim
 
   /// Live heap blocks by base address (only maintained when gcEnabled()):
   /// the tag decides which words are traced, interior pointers resolve by

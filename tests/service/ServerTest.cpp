@@ -122,6 +122,40 @@ TEST(Server, CompilerOptionsChangeTheMemoKey) {
   EXPECT_EQ(Resp.getOr("memo-misses"), "2");
 }
 
+// The per-request engine choice rides the options field through the
+// shared driver flag table. An engine is an execution preference, not a
+// compilation input: it is excluded from the memo fingerprint, so every
+// engine shares cache entries and is served byte-identical compile
+// output (listing included) and the same run value.
+TEST(Server, EngineRowsShareCacheAndServeIdenticalBytes) {
+  Server Srv({});
+  Message Base = compileReq(ExptSrc);
+  Base.set("listing", "1");
+
+  Message Cold = Srv.handle(Base);
+  ASSERT_EQ(Cold.getOr("ok"), "1");
+  ASSERT_EQ(Cold.getOr("memo-misses"), "2");
+  ASSERT_EQ(Cold.getOr("value"), "1024");
+
+  for (const char *Eng :
+       {"--engine=legacy", "--engine=threaded", "--engine=native"}) {
+    Message Req = compileReq(ExptSrc);
+    Req.set("listing", "1");
+    Req.set("options", Eng);
+    Message Resp = Srv.handle(Req);
+    ASSERT_EQ(Resp.getOr("ok"), "1") << Eng;
+    // Same fingerprint as the engine-less cold request: pure cache hits.
+    EXPECT_EQ(Resp.getOr("memo-hits"), "2") << Eng;
+    EXPECT_EQ(Resp.getOr("memo-misses"), "0") << Eng;
+    EXPECT_EQ(Resp.getOr("listing"), Cold.getOr("listing")) << Eng;
+    EXPECT_EQ(Resp.getOr("value"), Cold.getOr("value")) << Eng;
+  }
+
+  Message BadEngineOpt = compileReq(ExptSrc);
+  BadEngineOpt.set("options", "--engine=abacus");
+  EXPECT_EQ(Srv.handle(BadEngineOpt).getOr("ok"), "0");
+}
+
 TEST(Server, ErrorPaths) {
   Server Srv({});
 

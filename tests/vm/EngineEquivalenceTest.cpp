@@ -1,13 +1,16 @@
 //===- tests/vm/EngineEquivalenceTest.cpp ---------------------------------===//
 //
-// The two dispatch engines — the legacy per-step switch and the
-// pre-decoded threaded loop — must be observably indistinguishable: same
-// printed values, same error classes, and bit-identical MachineStats
-// (including the per-opcode histogram, which is why the legacy engine may
-// not retire LABEL pseudo-ops). A block of fuzz seeds drives both engines
-// over each program's argument grid, and targeted cases pin down the
-// spots where the engines are easiest to get wrong: traps, special-
-// variable lookup caching, and detailed-stats gating.
+// The three dispatch engines — the legacy per-step switch, the pre-decoded
+// threaded loop, and the native template-JIT — must be observably
+// indistinguishable: same printed values, same error classes, and
+// bit-identical MachineStats (including the per-opcode histogram, which is
+// why the legacy engine may not retire LABEL pseudo-ops). A block of fuzz
+// seeds drives every engine over each program's argument grid, and
+// targeted cases pin down the spots where the engines are easiest to get
+// wrong: traps, special-variable lookup caching, detailed-stats gating,
+// and collections forced mid-run. On hosts without the JIT
+// (vm::jitAvailable() false) the native rows are skipped; Machine itself
+// falls back to the threaded loop there.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +18,7 @@
 #include "fuzz/Generator.h"
 #include "fuzz/Oracle.h"
 #include "sexpr/Printer.h"
+#include "vm/Jit.h"
 #include "vm/Machine.h"
 
 #include "gtest/gtest.h"
@@ -25,6 +29,14 @@ using namespace s1lisp;
 using sexpr::Value;
 
 namespace {
+
+/// Legacy + threaded, plus native when this host can JIT.
+std::vector<vm::Engine> enginesUnderTest() {
+  std::vector<vm::Engine> Engines = {vm::Engine::Legacy, vm::Engine::Threaded};
+  if (vm::jitAvailable())
+    Engines.push_back(vm::Engine::Native);
+  return Engines;
+}
 
 struct EngineRun {
   bool Ok = false;
@@ -49,11 +61,13 @@ EngineRun runOn(const s1::Program &P, ir::Module &M, const std::string &Entry,
   return Out;
 }
 
-std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T) {
+std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T,
+                      const char *LName, const char *TName) {
   std::ostringstream Out;
   auto Cmp = [&](const char *Name, uint64_t A, uint64_t B) {
     if (A != B)
-      Out << "  " << Name << ": legacy " << A << " vs threaded " << B << "\n";
+      Out << "  " << Name << ": " << LName << " " << A << " vs " << TName
+          << " " << B << "\n";
   };
   Cmp("Instructions", L.Instructions, T.Instructions);
   Cmp("Movs", L.Movs, T.Movs);
@@ -65,20 +79,20 @@ std::string diffStats(const vm::MachineStats &L, const vm::MachineStats &T) {
   Cmp("StackHighWater", L.StackHighWater, T.StackHighWater);
   Cmp("SpecialSearches", L.SpecialSearches, T.SpecialSearches);
   Cmp("SpecialSearchSteps", L.SpecialSearchSteps, T.SpecialSearchSteps);
-  // Collections happen at an instruction boundary both engines share, so
+  // Collections happen at an instruction boundary all engines share, so
   // even the GC counters are bit-identical. (Pause *timing* lives outside
   // MachineStats precisely so this comparison stays exact.)
   Cmp("GcRuns", L.GcRuns, T.GcRuns);
   Cmp("GcWordsReclaimed", L.GcWordsReclaimed, T.GcWordsReclaimed);
   for (size_t I = 0; I < L.PerOpcode.size(); ++I)
     if (L.PerOpcode[I] != T.PerOpcode[I])
-      Out << "  PerOpcode[" << I << "]: legacy " << L.PerOpcode[I]
-          << " vs threaded " << T.PerOpcode[I] << "\n";
+      Out << "  PerOpcode[" << I << "]: " << LName << " " << L.PerOpcode[I]
+          << " vs " << TName << " " << T.PerOpcode[I] << "\n";
   return Out.str();
 }
 
-/// Compiles and runs one grid point on both engines, asserting
-/// observational equivalence.
+/// Compiles and runs one grid point on every engine, asserting
+/// observational equivalence against the legacy baseline.
 void expectEquivalent(const std::string &Source, const std::string &Entry,
                       const std::vector<Value> &Args,
                       const driver::CompilerOptions &Opts = {},
@@ -88,19 +102,26 @@ void expectEquivalent(const std::string &Source, const std::string &Entry,
   ASSERT_TRUE(Out.Ok) << Out.Error;
   EngineRun L = runOn(Out.Program, M, Entry, Args, vm::Engine::Legacy,
                       /*DetailedStats=*/true, GcEvery);
-  EngineRun T = runOn(Out.Program, M, Entry, Args, vm::Engine::Threaded,
-                      /*DetailedStats=*/true, GcEvery);
-  ASSERT_EQ(L.Ok, T.Ok) << "legacy: " << L.Text << "\nthreaded: " << T.Text;
-  if (L.Ok)
-    EXPECT_EQ(L.Text, T.Text);
-  else
-    EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
-        << "legacy: " << L.Text << "\nthreaded: " << T.Text;
-  EXPECT_EQ(diffStats(L.Stats, T.Stats), "");
+  for (vm::Engine Eng : enginesUnderTest()) {
+    if (Eng == vm::Engine::Legacy)
+      continue;
+    const char *Name = vm::engineName(Eng);
+    EngineRun T = runOn(Out.Program, M, Entry, Args, Eng,
+                        /*DetailedStats=*/true, GcEvery);
+    ASSERT_EQ(L.Ok, T.Ok) << "legacy: " << L.Text << "\n"
+                          << Name << ": " << T.Text;
+    if (L.Ok)
+      EXPECT_EQ(L.Text, T.Text) << "engine " << Name;
+    else
+      EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+          << "legacy: " << L.Text << "\n"
+          << Name << ": " << T.Text;
+    EXPECT_EQ(diffStats(L.Stats, T.Stats, "legacy", Name), "");
+  }
 }
 
 //===----------------------------------------------------------------------===//
-// Fuzzed tier: 200 seeded programs, every grid point on both engines.
+// Fuzzed tier: 200 seeded programs, every grid point on every engine.
 //===----------------------------------------------------------------------===//
 
 constexpr unsigned BatchSize = 25;
@@ -108,6 +129,7 @@ constexpr unsigned BatchSize = 25;
 class EngineEquivalence : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(EngineEquivalence, FuzzSeedsAgree) {
+  std::vector<vm::Engine> Engines = enginesUnderTest();
   for (unsigned Seed = GetParam(); Seed < GetParam() + BatchSize; ++Seed) {
     fuzz::Generator G(Seed, {});
     fuzz::GeneratedProgram P = G.generate();
@@ -117,21 +139,26 @@ TEST_P(EngineEquivalence, FuzzSeedsAgree) {
     for (size_t Row = 0; Row < P.ArgGrid.size(); ++Row) {
       EngineRun L =
           runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], vm::Engine::Legacy);
-      EngineRun T =
-          runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], vm::Engine::Threaded);
-      ASSERT_EQ(L.Ok, T.Ok) << "seed " << Seed << " row " << Row
-                            << "\n  legacy:   " << L.Text
-                            << "\n  threaded: " << T.Text << "\n"
-                            << P.Source;
-      if (L.Ok)
-        EXPECT_EQ(L.Text, T.Text) << "seed " << Seed << " row " << Row;
-      else
-        EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
-            << "seed " << Seed << " row " << Row << "\n  legacy:   " << L.Text
-            << "\n  threaded: " << T.Text;
-      EXPECT_EQ(diffStats(L.Stats, T.Stats), "")
-          << "seed " << Seed << " row " << Row << "\n"
-          << P.Source;
+      for (vm::Engine Eng : Engines) {
+        if (Eng == vm::Engine::Legacy)
+          continue;
+        const char *Name = vm::engineName(Eng);
+        EngineRun T = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], Eng);
+        ASSERT_EQ(L.Ok, T.Ok)
+            << "seed " << Seed << " row " << Row << "\n  legacy: " << L.Text
+            << "\n  " << Name << ": " << T.Text << "\n"
+            << P.Source;
+        if (L.Ok)
+          EXPECT_EQ(L.Text, T.Text)
+              << "seed " << Seed << " row " << Row << " engine " << Name;
+        else
+          EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+              << "seed " << Seed << " row " << Row << "\n  legacy: " << L.Text
+              << "\n  " << Name << ": " << T.Text;
+        EXPECT_EQ(diffStats(L.Stats, T.Stats, "legacy", Name), "")
+            << "seed " << Seed << " row " << Row << "\n"
+            << P.Source;
+      }
     }
   }
 }
@@ -141,14 +168,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
 
 //===----------------------------------------------------------------------===//
 // GC-forced tier: the same equivalence with the word-heap collector
-// running mid-program. Collections fire at an instruction boundary both
-// engines share, so values, error classes, and every counter — including
-// GcRuns and GcWordsReclaimed — must stay bit-identical.
+// running mid-program. Collections fire at an instruction boundary all
+// engines share (the JIT emits a GcPending safepoint check before every
+// instruction when a schedule is set), so values, error classes, and
+// every counter — including GcRuns and GcWordsReclaimed — must stay
+// bit-identical.
 //===----------------------------------------------------------------------===//
 
 class EngineEquivalenceGc : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(EngineEquivalenceGc, FuzzSeedsAgreeUnderForcedCollections) {
+  std::vector<vm::Engine> Engines = enginesUnderTest();
   for (unsigned Seed = GetParam(); Seed < GetParam() + BatchSize; ++Seed) {
     fuzz::Generator G(Seed, {});
     fuzz::GeneratedProgram P = G.generate();
@@ -159,22 +189,31 @@ TEST_P(EngineEquivalenceGc, FuzzSeedsAgreeUnderForcedCollections) {
       for (size_t Row = 0; Row < P.ArgGrid.size(); ++Row) {
         EngineRun L = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row],
                             vm::Engine::Legacy, true, GcEvery);
-        EngineRun T = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row],
-                            vm::Engine::Threaded, true, GcEvery);
-        ASSERT_EQ(L.Ok, T.Ok)
-            << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
-            << "\n  legacy:   " << L.Text << "\n  threaded: " << T.Text << "\n"
-            << P.Source;
-        if (L.Ok)
-          EXPECT_EQ(L.Text, T.Text)
-              << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery;
-        else
-          EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+        for (vm::Engine Eng : Engines) {
+          if (Eng == vm::Engine::Legacy)
+            continue;
+          const char *Name = vm::engineName(Eng);
+          EngineRun T = runOn(Out.Program, M, P.Entry, P.ArgGrid[Row], Eng,
+                              true, GcEvery);
+          ASSERT_EQ(L.Ok, T.Ok)
               << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
-              << "\n  legacy:   " << L.Text << "\n  threaded: " << T.Text;
-        EXPECT_EQ(diffStats(L.Stats, T.Stats), "")
-            << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
-            << "\n" << P.Source;
+              << "\n  legacy: " << L.Text << "\n  " << Name << ": " << T.Text
+              << "\n"
+              << P.Source;
+          if (L.Ok)
+            EXPECT_EQ(L.Text, T.Text) << "seed " << Seed << " row " << Row
+                                      << " gc-every=" << GcEvery << " engine "
+                                      << Name;
+          else
+            EXPECT_EQ(fuzz::classifyError(L.Text), fuzz::classifyError(T.Text))
+                << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
+                << "\n  legacy: " << L.Text << "\n  " << Name << ": "
+                << T.Text;
+          EXPECT_EQ(diffStats(L.Stats, T.Stats, "legacy", Name), "")
+              << "seed " << Seed << " row " << Row << " gc-every=" << GcEvery
+              << "\n"
+              << P.Source;
+        }
       }
     }
   }
@@ -224,6 +263,14 @@ TEST(EngineEquivalenceFixed, TrapsAgree) {
                    {Value::fixnum(3)});
 }
 
+TEST(EngineEquivalenceFixed, FixnumOverflowTrapsAgree) {
+  // Exercises the JIT's inline fixnum fast paths right at their overflow
+  // exits (the 32-bit compiled-fixnum range check).
+  expectEquivalent("(defun ovf (n) (* n n))", "ovf", {Value::fixnum(70000)});
+  expectEquivalent("(defun inc (n) (1+ n))", "inc",
+                   {Value::fixnum(2147483647)});
+}
+
 TEST(EngineEquivalenceFixed, UnoptimizedCodeAgrees) {
   driver::CompilerOptions NoOpt;
   NoOpt.Optimize = false;
@@ -235,7 +282,7 @@ TEST(EngineEquivalenceFixed, UnoptimizedCodeAgrees) {
 
 TEST(EngineEquivalenceFixed, ListChurnWithCollectionEveryAllocation) {
   // A list-heavy loop whose intermediate lists die every iteration: the
-  // collector has real garbage to reclaim mid-run, and both engines must
+  // collector has real garbage to reclaim mid-run, and all engines must
   // reclaim the same words at the same points.
   expectEquivalent("(defun churn (n)"
                    "  (let ((s 0)) (dotimes (i n)"
@@ -251,7 +298,7 @@ TEST(EngineEquivalenceFixed, CollectionsActuallyRanAndReclaimed) {
          "  (let ((s 0)) (dotimes (i n)"
          "    (setq s (+ s (length (reverse (list i i i)))))) s))");
   ASSERT_TRUE(Out.Ok) << Out.Error;
-  for (vm::Engine Eng : {vm::Engine::Legacy, vm::Engine::Threaded}) {
+  for (vm::Engine Eng : enginesUnderTest()) {
     EngineRun R = runOn(Out.Program, M, "churn", {Value::fixnum(300)}, Eng,
                         true, /*GcEvery=*/8);
     ASSERT_TRUE(R.Ok) << R.Text;
@@ -267,7 +314,7 @@ TEST(EngineEquivalenceFixed, DisabledDetailGatesOnlyDetailCounters) {
   ir::Module M;
   driver::CompileOutcome Out = driver::compileSource(M, Source, {});
   ASSERT_TRUE(Out.Ok) << Out.Error;
-  for (vm::Engine Eng : {vm::Engine::Legacy, vm::Engine::Threaded}) {
+  for (vm::Engine Eng : enginesUnderTest()) {
     EngineRun On = runOn(Out.Program, M, "fib", {Value::fixnum(12)}, Eng,
                          /*DetailedStats=*/true);
     EngineRun Off = runOn(Out.Program, M, "fib", {Value::fixnum(12)}, Eng,
@@ -284,6 +331,17 @@ TEST(EngineEquivalenceFixed, DisabledDetailGatesOnlyDetailCounters) {
       OffHistogram += C;
     EXPECT_EQ(OffHistogram, 0u);
   }
+}
+
+TEST(EngineEquivalenceFixed, NativeReportsAvailability) {
+  // On x86-64 hosts the JIT must be present; elsewhere compileJit returns
+  // null and Machine::runNative falls back to the threaded loop (tested
+  // implicitly: the suites above still pass with Engine::Native).
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+  EXPECT_TRUE(vm::jitAvailable());
+#else
+  EXPECT_FALSE(vm::jitAvailable());
+#endif
 }
 
 } // namespace

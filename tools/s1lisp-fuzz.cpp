@@ -56,7 +56,9 @@ const char *UsageText =
     "  --jobs=N            worker threads fanning out over the ablation\n"
     "                      matrix (default 1 = serial)\n"
     "  --engine=E          simulator dispatch engine for the compiled side:\n"
-    "                      \"threaded\" (default) or \"legacy\"\n"
+    "                      \"threaded\" (default), \"native\" (template JIT;\n"
+    "                      x86-64 only, falls back to threaded elsewhere)\n"
+    "                      or \"legacy\"\n"
     "  --gc-every=N        force both sides to collect their runtime heaps\n"
     "                      every N allocations (0 = never, the default);\n"
     "                      interpreter runs re-verify the heap after each\n"
@@ -153,8 +155,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       auto E = vm::engineByName(A + 9);
       if (!E) {
         fprintf(stderr,
-                "s1lisp-fuzz: unknown engine '%s' (expected legacy or "
-                "threaded)\n",
+                "s1lisp-fuzz: unknown engine '%s' (expected legacy, threaded, "
+                "or native)\n",
                 A + 9);
         return false;
       }

@@ -42,7 +42,9 @@ const char *UsageText =
     "  --interp[=ENTRY]    evaluate ENTRY with the tree-walking interpreter\n"
     "                      instead (the semantic oracle)\n"
     "  --engine=E          simulator dispatch engine: \"threaded\" (pre-decoded\n"
-    "                      direct-threaded loop, default) or \"legacy\" (the\n"
+    "                      direct-threaded loop, default), \"native\" (template\n"
+    "                      JIT over the pre-decoded stream; x86-64 only, falls\n"
+    "                      back to threaded elsewhere) or \"legacy\" (the\n"
     "                      original per-step switch)\n"
     "  --listing           print the generated assembly (Table 4 style)\n"
     "  --server=SOCKET     submit the compile to a running s1lispd at the\n"
@@ -139,11 +141,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       auto E = vm::engineByName(A + 9);
       if (!E) {
         fprintf(stderr,
-                "s1lispc: unknown engine '%s' (expected legacy or threaded)\n",
+                "s1lispc: unknown engine '%s' (expected legacy, threaded, or "
+                "native)\n",
                 A + 9);
         return false;
       }
       O.Engine = *E;
+      // Also route through the shared flag table so --server forwards the
+      // engine exactly like every other compiler flag.
+      if (driver::applyCompilerFlag(A, O.Compiler))
+        O.CompilerFlags.push_back(A);
     } else if (startsWith(A, "--server=")) {
       O.Server = A + 9;
       if (O.Server.empty()) {
