@@ -11,8 +11,11 @@
 // what the disabled-stats hot loop costs relative to the instrumented one.
 //
 // The "loop" kernel is the dispatch-bound gate: on x86-64 the native tier
-// must beat the threaded loop by at least 3x on it or the binary exits
-// nonzero. On hosts without the JIT the native rows are skipped loudly.
+// must beat the threaded loop by at least 5x on it or the binary exits
+// nonzero (the block compiler's safepoint batching and virtual operand
+// stack are what clear that bar; the one-template-per-XInsn translator
+// managed ~4x). On hosts without the JIT the native rows are skipped
+// loudly.
 //
 // Methodology (see EXPERIMENTS.md): per workload and engine, one warm-up
 // call, then the minimum of five timed calls; ns/instruction divides that
@@ -128,7 +131,7 @@ int printTable() {
   tableHeader("VM dispatch: legacy switch vs threaded loop vs native JIT");
   if (!HaveJit)
     printf("NOTE: native tier unavailable on %s: native rows skipped, "
-           "the 3x gate does not apply\n",
+           "the 5x gate does not apply\n",
            hostArch());
   printf("%-8s %14s %12s %12s %12s %9s %9s\n", "kernel", "instructions",
          "legacy ns/i", "thread ns/i", "native ns/i", "t/l", "n/t");
@@ -215,11 +218,43 @@ int printTable() {
     fprintf(stderr, "FATAL: engines disagree on architectural counters\n");
     return 1;
   }
-  if (HaveJit && LoopNativeSpeedup < 3.0) {
+  if (HaveJit && LoopNativeSpeedup < 5.0) {
     fprintf(stderr,
             "FATAL: native tier is only %.2fx over threaded on the "
-            "dispatch-bound loop kernel (expected >= 3x)\n",
+            "dispatch-bound loop kernel (expected >= 5x)\n",
             LoopNativeSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
+/// The google-benchmark rows below reset stats every iteration to dodge
+/// the fuel cap, which also discards the counters that would prove the
+/// engines timed the same work. So the cross-engine agreement is
+/// asserted here ONCE per run, on exactly the workload the timing loops
+/// replay: if any engine retires a different instruction stream for it,
+/// the binary fails before a single timing row is reported, and the
+/// per-iteration resets can't silently compare different workloads.
+int verifyTimedWorkloadAgreement() {
+  const char *Src = Workloads[0].Source;
+  std::vector<sexpr::Value> Args = {fx(50000)};
+  Compiled Legacy = compileOrDie(Src);
+  Legacy.VM->setEngine(vm::Engine::Legacy);
+  runOrDie(Legacy, "kernel", Args);
+  Compiled Threaded = compileOrDie(Src);
+  Threaded.VM->setEngine(vm::Engine::Threaded);
+  runOrDie(Threaded, "kernel", Args);
+  bool Agree = sameCounters(Legacy.VM->stats(), Threaded.VM->stats());
+  if (vm::jitAvailable()) {
+    Compiled Native = compileOrDie(Src);
+    Native.VM->setEngine(vm::Engine::Native);
+    runOrDie(Native, "kernel", Args);
+    Agree = Agree && sameCounters(Legacy.VM->stats(), Native.VM->stats());
+  }
+  if (!Agree) {
+    fprintf(stderr, "FATAL: engines disagree on the retired instruction "
+                    "stream of the timed kernel; the BM_* rows would "
+                    "compare different workloads\n");
     return 1;
   }
   return 0;
@@ -228,7 +263,9 @@ int printTable() {
 // Each timing iteration gets a fresh stats window: the fuel budget is a
 // cap on Stats.Instructions, and the faster engines retire enough
 // instructions across google-benchmark's iteration count to exhaust it
-// mid-run otherwise.
+// mid-run otherwise. Cross-engine counter agreement for this kernel is
+// asserted once per run by verifyTimedWorkloadAgreement(), not per
+// iteration.
 void BM_LegacyDispatch(benchmark::State &State) {
   Compiled P = compileOrDie(Workloads[0].Source);
   P.VM->setEngine(vm::Engine::Legacy);
@@ -278,6 +315,7 @@ BENCHMARK(BM_NativeDispatch);
 
 int main(int argc, char **argv) {
   int Status = printTable();
+  Status |= verifyTimedWorkloadAgreement();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return Status;

@@ -1,39 +1,90 @@
-//===- vm/Jit.cpp - x86-64 template JIT over the XInsn stream -------------===//
+//===- vm/Jit.cpp - x86-64 block compiler over the XInsn stream -----------===//
+//
+// Two-pass native tier. Pass 1 is Predecode's leader sweep: every decoded
+// index that starts a basic block (function entry, branch/catch target,
+// fall-through after any control transfer or allocation) is flagged in
+// DecodedFunction::Leaders. Pass 2 compiles each block into two bodies:
+//
+//   [block entry]    one batched safepoint — the fuel check for the first
+//                    boundary, the pending-GC check, then a block-fit test
+//                    (r14 + N <= fuel limit) that bulk-retires all N
+//                    instructions up front and falls into the batched body;
+//   [batched body]   instruction templates with no per-instruction
+//                    safepoints; trap stubs subtract the not-yet-retired
+//                    tail (r14 -= adj) so every trap reports the exact
+//                    instruction count the threaded engine would;
+//   [unbatched body] the fallback lane taken when fewer than N
+//                    instructions of fuel remain: per-boundary fuel
+//                    checks, so exhaustion lands mid-block at precisely
+//                    the right instruction with the right counters.
+//
+// Pending GC is checked only at block entries: GcPending and Halted can
+// only be raised by allocation and syscalls, and Predecode makes the
+// successor of every such instruction a leader, so the check sits at the
+// same boundary where the threaded engine would perform the collection.
+//
+// A write-through virtual operand stack keeps the top of the VM stack in
+// host registers (r8-r11, up to four deep) across instruction boundaries
+// inside a block. Pushed words are still stored to Memory eagerly —
+// memory stays bit-identical to the threaded engine's at every point, so
+// the conservative GC and aliased reads observe the same words — but
+// Regs[SP] stores, StackHighWater updates and pop reloads are deferred
+// until the segment materializes: at block exits, C++ shim calls, any
+// SP-touching instruction, or a memory-destination store (which could
+// alias a virtual slot). rbp caches the deferred Regs[SP] base while a
+// segment is live. Trap stubs carry the deferred (sp delta, peak) pair
+// and reconstruct the exact architectural state before exiting, so trap
+// messages and MachineStats stay byte-identical to the threaded engine.
+//
+// The GenericCompare / GenericNumPred fixnum fast paths can consume their
+// operands straight from the virtual stack, and when the following
+// instruction is `JmpzRK RV, 0, EQ|NEQ` (the boolean-branch pattern the
+// compiler emits) the boolean feeds one test+jcc directly — compare and
+// branch retire as a fused pair without a second dispatch. Cons gets an
+// inline bump-allocation fast path in non-GC mode, falling back to the
+// generic syscall on heap exhaustion; in GC mode it calls a dedicated
+// C++ allocator shim (exact-size free-list reuse and GC accounting
+// cannot be inlined) so the allocation schedule stays deterministic.
 //
 // Code layout of one compiled program:
 //
 //   [entry thunk]  [epilogue]  [gc stub]  [ok/err/halt stubs]
-//   [function 0: insn templates..., fall-off trailer, trap stubs]
+//   [function 0: blocks..., fall-off trailer, trap stubs]
 //   [function 1: ...] ...
 //
 // Calling convention of the generated code (SysV, callee-saved pins):
 //
 //   rbx = &Machine::Regs[0]      r13 = Machine*
 //   r12 = &Machine::Memory[0]    r14 = Stats.Instructions (live)
+//   rbp = cached Regs[SP] while a virtual-stack segment is live
 //                                r15 = fuel limit
 //
-// The entry thunk loads the pins from the six C arguments and jumps to the
-// template of the resume point; every exit goes through the shared
-// epilogue, which writes the retired-instruction count back into
-// MachineStats and returns a JitStatus in eax. Trap stubs additionally
-// store the (function, decoded pc) of the boundary they represent so
-// Machine::trap reports the same location the threaded engine would.
+// The entry thunk loads the pins from the six C arguments and jumps to
+// the block entry of the resume point (every externally enterable pc is a
+// leader by construction); every exit goes through the shared epilogue,
+// which writes the retired-instruction count back into MachineStats and
+// returns a JitStatus in eax. Trap stubs additionally store the
+// (function, decoded pc) of the boundary they represent so Machine::trap
+// reports the same location the threaded engine would.
 //
-// Equivalence contract: each template retires the same architectural
-// counter deltas and the same machine-state effects as the corresponding
-// runThreaded handler, and every trap is raised at the same instruction
-// boundary with the same message. States no compiled program can reach
-// (corrupted SP/FP making the *stack bookkeeping itself* fault) may leave
-// scratch registers or the shared mem()-Garbage cell differing — the
-// threaded engine's behavior there is itself degenerate — but all counters
-// and reachable state remain bit-identical.
+// Equivalence contract: each block retires the same architectural counter
+// deltas and the same machine-state effects as the corresponding sequence
+// of runThreaded handlers, and every trap is raised at the same
+// instruction boundary with the same message. States no compiled program
+// can reach (corrupted SP/FP making the *stack bookkeeping itself* fault)
+// may leave scratch registers or the shared mem()-Garbage cell differing —
+// the threaded engine's behavior there is itself degenerate — but all
+// counters and reachable state remain bit-identical.
 //
 //===----------------------------------------------------------------------===//
 
 #include "vm/Jit.h"
 
+#include "stats/Stats.h"
 #include "vm/Machine.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -77,6 +128,27 @@ int JitProgram::invoke(uint64_t *Regs, uint64_t *Memory, Machine *M,
 }
 
 namespace {
+
+#if S1_JIT_AVAILABLE
+// Compile-time observability: shape of the block structure the compiler
+// produced. Counted once per compilation (the unbatched body is emitted
+// exactly once per block, so per-site counters hook there).
+S1_STAT(JitStatBlocks, "jit.blocks", "basic blocks compiled");
+S1_STAT(JitStatBlockInsns, "jit.block.insns",
+        "instructions covered by compiled blocks");
+S1_STAT(JitStatBlockInsnsMax, "jit.block.insns.max",
+        "largest compiled block (instructions)");
+S1_STAT(JitStatBlocks1, "jit.block.size1", "blocks of 1 instruction");
+S1_STAT(JitStatBlocks2, "jit.block.size2to3", "blocks of 2-3 instructions");
+S1_STAT(JitStatBlocks4, "jit.block.size4to7", "blocks of 4-7 instructions");
+S1_STAT(JitStatBlocks8, "jit.block.size8plus", "blocks of 8+ instructions");
+S1_STAT(JitStatFused, "jit.fused.cmpbranch",
+        "compare+branch pairs fused into one test+jcc");
+S1_STAT(JitStatElided, "jit.safepoints.elided",
+        "per-instruction safepoints batched into block entries");
+S1_STAT(JitStatConsSites, "jit.cons.inline.sites",
+        "cons sites compiled with the inline bump-allocation fast path");
+#endif
 
 double jitAsDouble(uint64_t W) {
   double D;
@@ -163,6 +235,24 @@ uint8_t ccFor(Cond C) {
 }
 
 bool fitsI32(int64_t V) { return V >= INT32_MIN && V <= INT32_MAX; }
+
+/// True when the instruction's template always transfers control itself
+/// (so the block body must not emit a fall-through jump after it).
+bool endsControl(XOp Op) {
+  switch (Op) {
+  case XOp::Jmp:
+  case XOp::Call:
+  case XOp::CallPtr:
+  case XOp::TailCall:
+  case XOp::TailCallPtr:
+  case XOp::Ret:
+  case XOp::Halt:
+  case XOp::Syscall:
+    return true;
+  default:
+    return false;
+  }
+}
 
 /// Minimal x86-64 emitter: exactly the encodings the templates need.
 class Asm {
@@ -318,6 +408,13 @@ public:
     u8(static_cast<uint8_t>(0xC0 | (5 << 3) | (R & 7)));
     u8(N);
   }
+  void btsRI(unsigned R, uint8_t Bit) { // bts r64, imm8
+    rex(true, 0, 0, R);
+    u8(0x0F);
+    u8(0xBA);
+    u8(static_cast<uint8_t>(0xC0 | (5 << 3) | (R & 7)));
+    u8(Bit);
+  }
   void incMemQ(unsigned Base, int32_t Disp) {
     opMem(true, {0xFF}, 0, Base, -1, 0, Disp);
   }
@@ -398,8 +495,9 @@ public:
 /// live instance rather than offsetof.)
 struct JitAccess {
   struct Offsets {
-    int32_t CurFunc, Pc, Halted, GcPending, CachedT;
+    int32_t CurFunc, Pc, Halted, GcPending, CachedT, HeapTop;
     int32_t Instr, Movs, Calls, TailCalls, Syscalls, SHW, PerOp0;
+    int32_t HeapObjects, HeapWords, ConsHits, ConsMisses;
   };
 
   static int32_t off(const Machine &M, const void *Field) {
@@ -414,6 +512,7 @@ struct JitAccess {
     O.Halted = off(M, &M.Halted);
     O.GcPending = off(M, &M.GcPending);
     O.CachedT = off(M, &M.CachedTWord);
+    O.HeapTop = off(M, &M.HeapTop);
     O.Instr = off(M, &M.Stats.Instructions);
     O.Movs = off(M, &M.Stats.Movs);
     O.Calls = off(M, &M.Stats.Calls);
@@ -421,6 +520,10 @@ struct JitAccess {
     O.Syscalls = off(M, &M.Stats.Syscalls);
     O.SHW = off(M, &M.Stats.StackHighWater);
     O.PerOp0 = off(M, M.Stats.PerOpcode.data());
+    O.HeapObjects = off(M, &M.Stats.HeapObjects);
+    O.HeapWords = off(M, &M.Stats.HeapWordsUsed);
+    O.ConsHits = off(M, &M.JitConsHits);
+    O.ConsMisses = off(M, &M.JitConsMisses);
     return O;
   }
 
@@ -430,6 +533,17 @@ struct JitAccess {
 
   static uint64_t allocShim(Machine *M, uint64_t T, uint64_t N) {
     return M->allocate(static_cast<Tag>(T), N);
+  }
+
+  /// Cons allocator for the GC-enabled fast path: exact-size free-list
+  /// reuse and the GC trigger accounting live in Machine::allocate and
+  /// cannot be inlined without changing the allocation schedule. The
+  /// template has already popped the operands and counted the syscall.
+  static uint64_t consShim(Machine *M, uint64_t Car, uint64_t Cdr) {
+    uint64_t W = M->allocate(Tag::Cons, 2);
+    M->mem(addrOf(W)) = Car;
+    M->mem(addrOf(W) + 1) = Cdr;
+    return W;
   }
 
   /// Full SYSCALL fallback. Counter and Pc bookkeeping mirror the threaded
@@ -448,7 +562,7 @@ struct JitAccess {
   /// Single-instruction executor for the cold opcodes — same semantics,
   /// same fault behavior (Machine::xread/xwrite/mem) as the threaded
   /// handlers. Returns 0 = fall through, 1 = branch taken, -1 = division
-  /// by zero, -2 = stack overflow.
+  /// by zero.
   static int64_t coldShim(Machine *M, const XInsn *I) {
     Machine &Mc = *M;
     switch (I->Op) {
@@ -604,7 +718,11 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
   const bool GcOn = Opts.GcEnabled;
   const int32_t MW = static_cast<int32_t>(MemoryWords);
   const int32_t StackLimit = static_cast<int32_t>(StackBase + StackWords);
+  const int32_t HeapEnd = static_cast<int32_t>(HeapBase + HeapWords);
+  const int32_t SpOff = static_cast<int32_t>(s1::SP) * 8;
   const size_t NF = DP->Functions.size();
+  // The virtual operand stack's register file, top of stack last.
+  static constexpr unsigned VRegs[4] = {R8, R9, R10, R11};
 
   auto JP = std::make_shared<JitProgram>();
   JP->DP = DP;
@@ -649,7 +767,7 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
   A.popR(RBP);
   A.ret();
 
-  // ---- shared GC stub (called from safepoints when GcPending) ----------
+  // ---- shared GC stub (called from block entries when GcPending) -------
   const size_t GcStubOff = A.pos();
   A.subRI(4 /*rsp*/, 8);
   A.storeQ(R14, R13, -1, 0, MO.Instr);
@@ -676,24 +794,70 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
     int Func;
     int Idx;
   };
-  std::vector<Fixup> Fixups; // rel32 to instruction Idx of Func
+  std::vector<Fixup> Fixups; // rel32 to block entry Idx of Func
+
+  /// Compile-time view of the virtual operand stack inside one block
+  /// body. Depth entries live in VRegs[0..Depth-1] (and, write-through,
+  /// in Memory at [SP_base .. SP_base+Depth)); Peak is the deferred
+  /// StackHighWater high-water mark; SpCached says rbp == Regs[SP]
+  /// (the segment base — Regs[SP] itself is not yet bumped).
+  struct VCtx {
+    bool Batched = false;
+    bool BulkOps = false; // PerOpcode bumped wholesale at block entry
+    int End = 0;   // one past the block's last instruction
+    int Extra = 0; // fused-branch precharge riding on the bulk retire
+    int Depth = 0;
+    int Peak = 0;
+    bool SpCached = false;
+  };
+
+  // Pseudo-status for the combined push guard: the stub discriminates a
+  // plain stack overflow from the Sp == 2^64-1 wrap that the threaded
+  // engine lets through its overflow check only to fault in mem().
+  constexpr JitStatus PushColdStatus = static_cast<JitStatus>(1000);
 
   for (size_t F = 0; F < NF; ++F) {
     const DecodedFunction &DF = DP->Functions[F];
     const int Size = static_cast<int>(DF.Code.size());
     JP->Offs[F].assign(static_cast<size_t>(Size) + 1, 0);
 
-    // Per-function trap stubs, deduplicated by (status, reported pc).
-    std::map<std::pair<int, int>, std::vector<size_t>> StubSites;
-    auto jccStub = [&](uint8_t CC, JitStatus St, int PcVal) {
+    // Per-function trap stubs, deduplicated by the full reconstruction
+    // tuple: {status, reported pc, r14 adjustment, deferred sp delta,
+    // deferred stack peak}. The stub rolls the bulk-retired instruction
+    // count back to the trap boundary and materializes the virtual
+    // stack's deferred Regs[SP]/StackHighWater updates before exiting,
+    // so trapped state is bit-identical to the threaded engine's.
+    // The second key element is the trap boundary's unexecuted tail of
+    // the block (sorted original opcodes): when the batched lane bumped
+    // PerOpcode wholesale at block entry, the stub must subtract the
+    // tail's bumps back out to present threaded-exact histograms.
+    using StubKey = std::pair<std::array<int32_t, 5>, std::vector<int32_t>>;
+    std::map<StubKey, std::vector<size_t>> StubSites;
+    auto tailOps = [&](const VCtx &C, int Idx) {
+      std::vector<int32_t> T;
+      if (C.Batched && C.BulkOps)
+        for (int J = Idx + 1; J < C.End; ++J)
+          T.push_back(static_cast<int32_t>(
+              static_cast<size_t>(DF.Code[static_cast<size_t>(J)].OrigOp)));
+      std::sort(T.begin(), T.end());
+      return T;
+    };
+    auto jccStubC = [&](uint8_t CC, JitStatus St, int PcVal, const VCtx &C,
+                        int Idx) {
       A.u8(0x0F);
       A.u8(static_cast<uint8_t>(0x80 | CC));
-      StubSites[{static_cast<int>(St), PcVal}].push_back(A.pos());
+      int Adj = C.Batched ? C.End - Idx - 1 + C.Extra : 0;
+      StubSites[{{static_cast<int32_t>(St), PcVal, Adj, C.Depth, C.Peak},
+                 tailOps(C, Idx)}]
+          .push_back(A.pos());
       A.u32(0);
     };
-    auto jmpStub = [&](JitStatus St, int PcVal) {
+    auto jmpStubC = [&](JitStatus St, int PcVal, const VCtx &C, int Idx) {
       A.u8(0xE9);
-      StubSites[{static_cast<int>(St), PcVal}].push_back(A.pos());
+      int Adj = C.Batched ? C.End - Idx - 1 + C.Extra : 0;
+      StubSites[{{static_cast<int32_t>(St), PcVal, Adj, C.Depth, C.Peak},
+                 tailOps(C, Idx)}]
+          .push_back(A.pos());
       A.u32(0);
     };
     auto jmpTo = [&](int Fn, int Idx) {
@@ -745,12 +909,13 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         emitEaX(Dst, Tmp, Tmp2, Mm);
     };
     // mem() fault guard: word address in R must be < MemoryWords.
-    auto checkAddr = [&](unsigned R, int PcVal) {
+    auto checkAddrC = [&](unsigned R, int PcVal, const VCtx &C, int Idx) {
       A.cmpRI(R, MW);
-      jccStub(CC_AE, JitStatus::HaltedMem, PcVal);
+      jccStubC(CC_AE, JitStatus::HaltedMem, PcVal, C, Idx);
     };
     // Regs[SP] update + StackHighWater, with the new SP in R (always
-    // maintained, exactly like Machine::push).
+    // maintained, exactly like Machine::push). Used by the materialized
+    // call templates.
     auto emitShw = [&](unsigned NewSp, unsigned Tmp) {
       A.lea(Tmp, NewSp, -1, 0, -static_cast<int32_t>(StackBase));
       A.cmpRM(Tmp, R13, MO.SHW);
@@ -758,9 +923,43 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       A.storeQ(Tmp, R13, -1, 0, MO.SHW);
       A.bind(Skip);
     };
+
+    // ---- virtual-stack bookkeeping (clobbers rax/rcx only) -------------
+    auto ensureSpBase = [&](VCtx &C) {
+      if (!C.SpCached) {
+        A.loadQ(RBP, RBX, -1, 0, SpOff);
+        C.SpCached = true;
+      }
+    };
+    // Flush the deferred StackHighWater update without moving Regs[SP].
+    auto syncShw = [&](VCtx &C) {
+      if (C.Peak == 0)
+        return;
+      ensureSpBase(C);
+      A.lea(RCX, RBP, -1, 0, C.Peak - static_cast<int32_t>(StackBase));
+      A.cmpRM(RCX, R13, MO.SHW);
+      size_t Skip = A.jccL(CC_BE);
+      A.storeQ(RCX, R13, -1, 0, MO.SHW);
+      A.bind(Skip);
+      C.Peak = 0;
+    };
+    // Materialize: commit the deferred Regs[SP] bump and StackHighWater,
+    // then forget the segment. Values are already in Memory
+    // (write-through), so this is pure bookkeeping.
+    auto mat = [&](VCtx &C) {
+      if (C.Depth > 0) {
+        ensureSpBase(C);
+        A.lea(RAX, RBP, -1, 0, C.Depth);
+        A.storeQ(RAX, RBX, -1, 0, SpOff);
+      }
+      syncShw(C);
+      C.Depth = 0;
+      C.SpCached = false;
+    };
+
     // Loads an XArg value into Dst (Reg/Const/Mem), faulting like xread.
     auto emitXRead = [&](unsigned Dst, unsigned T1, unsigned T2, unsigned T3,
-                         const XArg &G, int PcVal) {
+                         const XArg &G, int PcVal, const VCtx &C, int Idx) {
       switch (G.M) {
       case XArg::Mode::Reg:
         A.loadQ(Dst, RBX, -1, 0, static_cast<int32_t>(G.R) * 8);
@@ -770,7 +969,7 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         break;
       case XArg::Mode::Mem:
         emitEa(T1, T2, T3, G.Mem);
-        checkAddr(T1, PcVal);
+        checkAddrC(T1, PcVal, C, Idx);
         A.loadQ(Dst, R12, static_cast<int>(T1), 3, 0);
         break;
       case XArg::Mode::None:
@@ -780,7 +979,7 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
     };
 
     // The full SYSCALL fallback template; also the slow path behind the
-    // inline fixnum fast paths.
+    // inline fixnum fast paths. Callers materialize first.
     auto emitSyscallGeneric = [&](const XInsn &I, int ThisIdx) {
       A.storeDImm(R13, MO.CurFunc, static_cast<int32_t>(F));
       A.storeDImm(R13, MO.Pc, ThisIdx + 1);
@@ -796,30 +995,62 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       A.jmpReg(RAX); // continuation resolved by the shim (Throw may move it)
     };
 
-    for (int Idx = 0; Idx <= Size; ++Idx) {
-      JP->Offs[F][static_cast<size_t>(Idx)] = static_cast<uint32_t>(A.pos());
+    const int Fi = static_cast<int>(F);
+    auto memUsesSp = [](const XMem &Mm) {
+      return Mm.Base == static_cast<uint8_t>(s1::SP) ||
+             (Mm.Index != 0xFF && Mm.Index == static_cast<uint8_t>(s1::SP));
+    };
 
-      // -- safepoint: fuel, then pending GC — same boundary order as the
-      // threaded loop (a simultaneous fuel trap wins over a pending GC).
-      A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
-      jccStub(CC_AE, JitStatus::Fuel, Idx);
-      if (GcOn) {
-        A.cmpByteMemI(R13, MO.GcPending, 0);
-        size_t Skip = A.jccL(CC_E);
-        A.callFixed(GcStubOff);
-        A.bind(Skip);
-      }
-      if (Idx == Size) {
-        // Fall-off trailer: control ran past the last real instruction.
-        jmpStub(JitStatus::PcRange, Size);
-        break;
-      }
+    // Compare/NumPred fast paths can fuse with a following boolean branch:
+    // the compiler's test pattern is always `JmpzRK RV, 0, EQ|NEQ` right
+    // after the predicate syscall (which ends the block, so the branch is
+    // a one-instruction block of its own).
+    auto fusedBranch = [&](int Idx) -> const XInsn * {
+      int Nx = Idx + 1;
+      if (Nx >= Size)
+        return nullptr;
+      const XInsn &Br = DF.Code[static_cast<size_t>(Nx)];
+      if (Br.Op != XOp::JmpzRK || Br.A != static_cast<uint8_t>(s1::RV) ||
+          Br.K != 0 || (Br.C != Cond::EQ && Br.C != Cond::NEQ))
+        return nullptr;
+      return &Br;
+    };
 
+    // Retire a fused branch inline. On entry the boolean RV word is live
+    // in rdi, the virtual stack is materialized, and the branch's block
+    // boundary is due: check fuel there (nothing on the fast path can
+    // raise Halted or GcPending, so those boundary checks are vacuous),
+    // retire the branch, and dispatch on the boolean directly. The
+    // standalone branch block is still emitted for other predecessors and
+    // for the slow path, which resumes at the branch's own entry.
+    auto emitBoolTail = [&](int Idx, const XInsn &Br, VCtx &C) {
+      int Nx = Idx + 1;
+      if (C.Batched && C.Extra > 0) {
+        // Precharged lane: the block's fit test already proved fuel for
+        // the branch and bulk-retired it, so the boundary is free.
+      } else {
+        A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+        jccStubC(CC_AE, JitStatus::Fuel, Nx, C, Idx);
+        A.incR(R14);
+      }
+      if (Detailed)
+        A.incMemQ(R13, MO.PerOp0 +
+                           8 * static_cast<int32_t>(
+                                   static_cast<size_t>(Br.OrigOp)));
+      A.testRR(RDI, RDI);
+      // JmpzRK RV,0: EQ takes when the boolean is NilWord (false).
+      jccTo(Br.C == Cond::EQ ? CC_E : CC_NE, Fi, Br.Target);
+      jmpTo(Fi, Nx + 1);
+    };
+
+    // One instruction template, emitted inside a block body. `C` carries
+    // the virtual-stack state; instruction retirement (r14) is the block
+    // loop's job. Per-site compile statistics hook the unbatched body,
+    // which is emitted exactly once per block.
+    auto emitInsn = [&](int Idx, VCtx &C) {
       const XInsn &I = DF.Code[static_cast<size_t>(Idx)];
       const int Next = Idx + 1;
-
-      A.incR(R14); // ++Stats.Instructions
-      if (Detailed)
+      if (Detailed && !C.BulkOps)
         A.incMemQ(R13, MO.PerOp0 +
                            8 * static_cast<int32_t>(
                                    static_cast<size_t>(I.OrigOp)));
@@ -838,6 +1069,17 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       case XOp::MovXK:
       case XOp::MovXM:
       case XOp::MovXX: {
+        bool RegDst = I.Op == XOp::MovRR || I.Op == XOp::MovRK ||
+                      I.Op == XOp::MovRM || I.Op == XOp::MovRX;
+        // A live virtual segment defers Regs[SP]: materialize when the
+        // instruction reads SP (stale in memory), writes SP (invalidates
+        // the cached base), or stores to memory (could overwrite a
+        // virtual slot's write-through copy, making the register stale).
+        bool SrcSp =
+            (I.Op == XOp::MovRR && I.B == static_cast<uint8_t>(s1::SP)) ||
+            ((I.Op == XOp::MovRM || I.Op == XOp::MovRX) && memUsesSp(I.MB));
+        if (!RegDst || I.A == static_cast<uint8_t>(s1::SP) || SrcSp)
+          mat(C);
         if (Detailed)
           A.incMemQ(R13, MO.Movs);
         // Source value into RCX (register/constant sources), or source EA
@@ -858,12 +1100,12 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           case XOp::MovMM:
           case XOp::MovXM:
             emitEaS(RAX, RCX, I.MB);
-            checkAddr(RAX, Next);
+            checkAddrC(RAX, Next, C, Idx);
             A.loadQ(RCX, R12, RAX, 3, 0);
             break;
           default: // MovRX / MovMX / MovXX
             emitEaX(RAX, RCX, RDX, I.MB);
-            checkAddr(RAX, Next);
+            checkAddrC(RAX, Next, C, Idx);
             A.loadQ(RCX, R12, RAX, 3, 0);
             break;
           }
@@ -881,12 +1123,12 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         case XOp::MovMM:
         case XOp::MovMX:
           emitEaS(RAX, RDX, I.MA);
-          checkAddr(RAX, Next);
+          checkAddrC(RAX, Next, C, Idx);
           A.storeQ(RCX, R12, RAX, 3, 0);
           break;
         default: // MovX* destinations
           emitEaX(RAX, RDX, RSI, I.MA);
-          checkAddr(RAX, Next);
+          checkAddrC(RAX, Next, C, Idx);
           A.storeQ(RCX, R12, RAX, 3, 0);
           break;
         }
@@ -898,41 +1140,89 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       case XOp::PushK:
       case XOp::PushM:
       case XOp::PushX: {
-        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-        A.lea(RCX, RAX, -1, 0, 1);
-        A.cmpRI(RCX, StackLimit);
-        jccStub(CC_AE, JitStatus::StackOv, Next);
+        // Virtual push: bound-check first (threaded traps before reading
+        // the value), value into the next virtual register with its
+        // write-through store, Regs[SP]/StackHighWater deferred.
+        bool SrcSp =
+            (I.Op == XOp::PushR && I.B == static_cast<uint8_t>(s1::SP)) ||
+            ((I.Op == XOp::PushM || I.Op == XOp::PushX) && memUsesSp(I.MB));
+        if (SrcSp)
+          mat(C);
+        if (C.Depth == 4)
+          mat(C); // register file full: commit and start a new segment
+        ensureSpBase(C);
+        unsigned V = VRegs[C.Depth];
+        const bool Combined = StackLimit <= MW;
+        if (Combined) {
+          // One combined guard on the segment base: slots below
+          // StackLimit-1 are in bounds (StackLimit <= MemoryWords), so a
+          // single compare covers both the overflow check and the store
+          // fault, and the store indexes off rbp directly. The cold stub
+          // reconstructs the slot (rbp is still live there) and
+          // separates overflow from the Sp = 2^64-1 wrap, which the
+          // threaded engine lets through its overflow check only to
+          // fault in mem() — status and boundary match either way. A
+          // wrapping rbp + Depth is unreachable for Depth > 0: the
+          // segment's earlier pushes trap first.
+          A.cmpRI(RBP, StackLimit - 1 - C.Depth);
+          jccStubC(CC_AE, PushColdStatus, Next, C, Idx);
+        } else {
+          A.lea(RCX, RBP, -1, 0, C.Depth + 1);
+          A.cmpRI(RCX, StackLimit);
+          jccStubC(CC_AE, JitStatus::StackOv, Next, C, Idx);
+        }
         switch (I.Op) {
         case XOp::PushR:
-          A.loadQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
+          A.loadQ(V, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
           break;
         case XOp::PushK:
-          A.movRI(RCX, I.K);
+          A.movRI(V, I.K);
           break;
         case XOp::PushM:
           emitEaS(RDX, RSI, I.MB);
-          checkAddr(RDX, Next);
-          A.loadQ(RCX, R12, RDX, 3, 0);
+          checkAddrC(RDX, Next, C, Idx);
+          A.loadQ(V, R12, RDX, 3, 0);
           break;
         default: // PushX
           emitEaX(RDX, RSI, RDI, I.MB);
-          checkAddr(RDX, Next);
-          A.loadQ(RCX, R12, RDX, 3, 0);
+          checkAddrC(RDX, Next, C, Idx);
+          A.loadQ(V, R12, RDX, 3, 0);
           break;
         }
-        checkAddr(RAX, Next);
-        A.storeQ(RCX, R12, RAX, 3, 0);
-        A.incR(RAX);
-        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-        emitShw(RAX, RCX);
+        if (Combined) {
+          A.storeQ(V, R12, RBP, 3, C.Depth * 8);
+        } else {
+          // Degenerate layout (memory smaller than the stack region):
+          // keep the separate store guard so a wrapped SP faults.
+          A.lea(RAX, RBP, -1, 0, C.Depth);
+          A.cmpRI(RAX, MW);
+          jccStubC(CC_AE, JitStatus::HaltedMem, Next, C, Idx);
+          A.storeQ(V, R12, RAX, 3, 0);
+        }
+        C.Depth += 1;
+        C.Peak = std::max(C.Peak, C.Depth);
         break;
       }
 
       case XOp::PopR: {
-        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        if (I.A == static_cast<uint8_t>(s1::SP))
+          mat(C); // popping into SP rewrites the deferred base itself
+        if (C.Depth > 0) {
+          // Virtual pop: the value is still live in a host register.
+          A.storeQ(VRegs[C.Depth - 1], RBX, -1, 0,
+                   static_cast<int32_t>(I.A) * 8);
+          C.Depth -= 1;
+          break;
+        }
+        // Popping below the segment base: settle the deferred high-water
+        // mark, then run the classic template against memory SP (which is
+        // architecturally correct — the deferred delta is zero).
+        syncShw(C);
+        C.SpCached = false;
+        A.loadQ(RAX, RBX, -1, 0, SpOff);
         A.subRI(RAX, 1);
-        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-        checkAddr(RAX, Next);
+        A.storeQ(RAX, RBX, -1, 0, SpOff);
+        checkAddrC(RAX, Next, C, Idx);
         A.loadQ(RCX, R12, RAX, 3, 0);
         A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
         break;
@@ -941,6 +1231,9 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       // ---- integer ALU register forms ---------------------------------
       case XOp::AddRR:
       case XOp::SubRR: {
+        if (I.A == static_cast<uint8_t>(s1::SP) ||
+            I.B == static_cast<uint8_t>(s1::SP))
+          mat(C);
         A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
         A.opMem(true, {I.Op == XOp::AddRR ? uint8_t(0x03) : uint8_t(0x2B)},
                 RAX, RBX, -1, 0, static_cast<int32_t>(I.B) * 8);
@@ -949,6 +1242,8 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       }
       case XOp::AddRK:
       case XOp::SubRK: {
+        if (I.A == static_cast<uint8_t>(s1::SP))
+          mat(C);
         A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
         int64_t K = static_cast<int64_t>(I.K);
         if (fitsI32(K)) {
@@ -964,19 +1259,22 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         break;
       }
 
-      // ---- control ----------------------------------------------------
+      // ---- control (always block terminators: materialize first) ------
       case XOp::Jmp:
-        jmpTo(static_cast<int>(F), I.Target);
+        mat(C);
+        jmpTo(Fi, I.Target);
         break;
 
       case XOp::JmpzRR: {
+        mat(C);
         A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
         A.opMem(true, {0x3B}, RAX, RBX, -1, 0,
                 static_cast<int32_t>(I.B) * 8);
-        jccTo(ccFor(I.C), static_cast<int>(F), I.Target);
+        jccTo(ccFor(I.C), Fi, I.Target);
         break;
       }
       case XOp::JmpzRK: {
+        mat(C);
         A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.A) * 8);
         int64_t K = static_cast<int64_t>(I.K);
         if (fitsI32(K)) {
@@ -985,22 +1283,23 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           A.movRI(RCX, I.K);
           A.cmpRR(RAX, RCX);
         }
-        jccTo(ccFor(I.C), static_cast<int>(F), I.Target);
+        jccTo(ccFor(I.C), Fi, I.Target);
         break;
       }
 
       case XOp::Call: {
+        mat(C);
         A.incMemQ(R13, MO.Calls);
-        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.loadQ(RAX, RBX, -1, 0, SpOff);
         A.lea(RCX, RAX, -1, 0, 4);
         A.cmpRI(RCX, StackLimit);
-        jccStub(CC_AE, JitStatus::StackOv, Next);
-        checkAddr(RAX, Next);
+        jccStubC(CC_AE, JitStatus::StackOv, Next, C, Idx);
+        checkAddrC(RAX, Next, C, Idx);
         A.movRI(RCX, (static_cast<uint64_t>(F + 1) << 32) |
                          static_cast<uint32_t>(Next));
         A.storeQ(RCX, R12, RAX, 3, 0);
         A.incR(RAX);
-        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.storeQ(RAX, RBX, -1, 0, SpOff);
         emitShw(RAX, RCX);
         jmpTo(I.Target, 0);
         break;
@@ -1008,17 +1307,18 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
 
       case XOp::CallPtr:
       case XOp::TailCallPtr: {
+        mat(C);
         bool IsTail = I.Op == XOp::TailCallPtr;
         A.incMemQ(R13, IsTail ? MO.TailCalls : MO.Calls);
-        emitXRead(RAX, RAX, RCX, RDX, I.GA, Next); // Fn word
+        emitXRead(RAX, RAX, RCX, RDX, I.GA, Next, C, Idx); // Fn word
         A.movRR(RCX, RAX);
         A.shrRI(RCX, static_cast<uint8_t>(TagShift));
         A.cmpRI(RCX, static_cast<int32_t>(Tag::Function));
-        jccStub(CC_NE, JitStatus::NotFunc, Next);
+        jccStubC(CC_NE, JitStatus::NotFunc, Next, C, Idx);
         A.movRR32(RDX, RAX); // addrOf(Fn)
         // Regs[1] = mem(addr + 1): the closure environment.
         A.lea(RCX, RDX, -1, 0, 1);
-        checkAddr(RCX, Next);
+        checkAddrC(RCX, Next, C, Idx);
         A.loadQ(RSI, R12, RCX, 3, 0);
         A.storeQ(RSI, RBX, -1, 0, 1 * 8);
         // Callee function index from the function cell (addr < MW is
@@ -1028,49 +1328,49 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         if (!IsTail) {
           // push(makeRetWord(F, Next)) — no +4 headroom check, exactly
           // like the threaded CALLPTR handler.
-          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-          checkAddr(RAX, Next);
+          A.loadQ(RAX, RBX, -1, 0, SpOff);
+          checkAddrC(RAX, Next, C, Idx);
           A.movRI(RCX, (static_cast<uint64_t>(F + 1) << 32) |
                            static_cast<uint32_t>(Next));
           A.storeQ(RCX, R12, RAX, 3, 0);
           A.incR(RAX);
-          A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.storeQ(RAX, RBX, -1, 0, SpOff);
           emitShw(RAX, RCX);
         } else {
           // TailTransfer(K, callee) with the callee index live in r11.
           int32_t K = static_cast<int32_t>(I.S2);
           A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
-          checkAddr(RAX, Next);
+          checkAddrC(RAX, Next, C, Idx);
           A.lea(RCX, RAX, -1, 0, 1);
-          checkAddr(RCX, Next);
+          checkAddrC(RCX, Next, C, Idx);
           A.loadQ(RDX, R12, RCX, 3, 0); // frame argc
           A.cmpRI(RDX, K);
-          jccStub(CC_B, JitStatus::TailOv, Next);
+          jccStubC(CC_B, JitStatus::TailOv, Next, C, Idx);
           A.loadQ(RSI, R12, RAX, 3, 0); // env slot = mem(FP+0)
           A.storeQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::ENV) * 8);
           A.lea(RCX, RAX, -1, 0, -1);
-          checkAddr(RCX, Next);
+          checkAddrC(RCX, Next, C, Idx);
           A.loadQ(RDI, R12, RCX, 3, 0); // old FP
           if (K > 0) {
-            A.loadQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-            A.subRI(RSI, K);               // arg source base
+            A.loadQ(RSI, RBX, -1, 0, SpOff);
+            A.subRI(RSI, K);                // arg source base
             A.lea(RCX, RAX, -1, 0, -2 - K); // arg destination base
             A.movRI(R8, 0);
             size_t LoopTop = A.pos();
             A.cmpRI(R8, K);
             size_t Done = A.jccL(CC_E);
             A.lea(R9, RSI, R8, 0, 0);
-            checkAddr(R9, Next);
+            checkAddrC(R9, Next, C, Idx);
             A.loadQ(R10, R12, R9, 3, 0);
             A.lea(R9, RCX, R8, 0, 0);
-            checkAddr(R9, Next);
+            checkAddrC(R9, Next, C, Idx);
             A.storeQ(R10, R12, R9, 3, 0);
             A.addRI(R8, 1);
             A.jmpFixed(LoopTop);
             A.bind(Done);
           }
           A.lea(RDX, RAX, -1, 0, -1);
-          A.storeQ(RDX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.storeQ(RDX, RBX, -1, 0, SpOff);
           A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
           A.storeQImm(RBX, static_cast<int32_t>(s1::RTA) * 8, K);
         }
@@ -1083,22 +1383,23 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       }
 
       case XOp::TailCall: {
+        mat(C);
         A.incMemQ(R13, MO.TailCalls);
         int32_t K = static_cast<int32_t>(I.S2);
         A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
-        checkAddr(RAX, Next);
+        checkAddrC(RAX, Next, C, Idx);
         A.lea(RCX, RAX, -1, 0, 1);
-        checkAddr(RCX, Next);
+        checkAddrC(RCX, Next, C, Idx);
         A.loadQ(RDX, R12, RCX, 3, 0);
         A.cmpRI(RDX, K);
-        jccStub(CC_B, JitStatus::TailOv, Next);
+        jccStubC(CC_B, JitStatus::TailOv, Next, C, Idx);
         A.loadQ(RSI, R12, RAX, 3, 0);
         A.storeQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::ENV) * 8);
         A.lea(RCX, RAX, -1, 0, -1);
-        checkAddr(RCX, Next);
+        checkAddrC(RCX, Next, C, Idx);
         A.loadQ(RDI, R12, RCX, 3, 0);
         if (K > 0) {
-          A.loadQ(RSI, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+          A.loadQ(RSI, RBX, -1, 0, SpOff);
           A.subRI(RSI, K);
           A.lea(RCX, RAX, -1, 0, -2 - K);
           A.movRI(R8, 0);
@@ -1106,17 +1407,17 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           A.cmpRI(R8, K);
           size_t Done = A.jccL(CC_E);
           A.lea(R9, RSI, R8, 0, 0);
-          checkAddr(R9, Next);
+          checkAddrC(R9, Next, C, Idx);
           A.loadQ(R10, R12, R9, 3, 0);
           A.lea(R9, RCX, R8, 0, 0);
-          checkAddr(R9, Next);
+          checkAddrC(R9, Next, C, Idx);
           A.storeQ(R10, R12, R9, 3, 0);
           A.addRI(R8, 1);
           A.jmpFixed(LoopTop);
           A.bind(Done);
         }
         A.lea(RDX, RAX, -1, 0, -1);
-        A.storeQ(RDX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        A.storeQ(RDX, RBX, -1, 0, SpOff);
         A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::FP) * 8);
         A.storeQImm(RBX, static_cast<int32_t>(s1::RTA) * 8, K);
         jmpTo(I.Target, 0);
@@ -1124,10 +1425,11 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
       }
 
       case XOp::Ret: {
-        A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
+        mat(C);
+        A.loadQ(RAX, RBX, -1, 0, SpOff);
         A.subRI(RAX, 1);
-        A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-        checkAddr(RAX, Next);
+        A.storeQ(RAX, RBX, -1, 0, SpOff);
+        checkAddrC(RAX, Next, C, Idx);
         A.loadQ(RCX, R12, RAX, 3, 0); // return word
         A.testRR(RCX, RCX);
         A.jccFixed(CC_E, OkStubOff); // host sentinel
@@ -1144,6 +1446,7 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
 
       // ---- allocation --------------------------------------------------
       case XOp::Alloc: {
+        mat(C);
         A.storeQ(R14, R13, -1, 0, MO.Instr);
         A.movRR(RDI, R13);
         A.movRI(RSI, static_cast<uint64_t>(I.S1));
@@ -1151,14 +1454,14 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::allocShim));
         A.callReg(RAX);
         A.cmpByteMemI(R13, MO.Halted, 0);
-        jccStub(CC_NE, JitStatus::HeapExh, Next);
+        jccStubC(CC_NE, JitStatus::HeapExh, Next, C, Idx);
         switch (I.GA.M) {
         case XArg::Mode::Reg:
           A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(I.GA.R) * 8);
           break;
         case XArg::Mode::Mem:
           emitEa(RCX, RDX, RSI, I.GA.Mem);
-          checkAddr(RCX, Next);
+          checkAddrC(RCX, Next, C, Idx);
           A.storeQ(RAX, R12, RCX, 3, 0);
           break;
         default:
@@ -1173,30 +1476,72 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
         std::vector<size_t> Slow;
         auto toSlow = [&](uint8_t CC) { Slow.push_back(A.jccL(CC)); };
 
+        // Mat-first-keep-copies: record which virtual registers hold the
+        // operands, then materialize. mat() clobbers only rax/rcx, so the
+        // copies stay live, every tag-check bail reaches the generic
+        // route with fully synced state (identical to the memory-path
+        // bails), and the pops below are plain Regs[SP] decrements.
+        //
+        // Pop elision: when the virtual segment holds exactly the
+        // operands the fast path pops, the deferred Regs[SP] bump
+        // cancels against the pop — memory already holds the post-pop
+        // SP, so only the high-water mark needs flushing and the
+        // Regs[SP] round-trip disappears. Bails to the generic route
+        // re-materialize the pre-pop SP at the Slow label below.
+        const int D0 = C.Depth;
+        int NPops = 0;
+        if (S == Syscall::GenericAdd || S == Syscall::GenericSub ||
+            S == Syscall::GenericMul || S == Syscall::GenericCompare ||
+            S == Syscall::Cons)
+          NPops = 2;
+        else if ((S == Syscall::GenericNumPred &&
+                  static_cast<PredCode>(I.S2) >= PredCode::Zerop &&
+                  static_cast<PredCode>(I.S2) <= PredCode::Minusp) ||
+                 (S == Syscall::GenericUnary &&
+                  (static_cast<UnaryCode>(I.S2) == UnaryCode::Neg ||
+                   static_cast<UnaryCode>(I.S2) == UnaryCode::Abs ||
+                   static_cast<UnaryCode>(I.S2) == UnaryCode::Add1 ||
+                   static_cast<UnaryCode>(I.S2) == UnaryCode::Sub1)))
+          NPops = 1;
+        const bool Popped = NPops > 0 && D0 == NPops;
+        if (Popped) {
+          syncShw(C);
+          C.Depth = 0; // rbp stays cached: it already equals Regs[SP]
+        } else {
+          mat(C);
+        }
+
         if (S == Syscall::GenericAdd || S == Syscall::GenericSub ||
             S == Syscall::GenericMul) {
-          // Fixnum fast path: peek both operands; any miss re-runs the
-          // whole syscall through the generic route (which pops itself).
-          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-          A.cmpRI(RAX, 2);
-          toSlow(CC_B);
-          A.cmpRI(RAX, MW);
-          toSlow(CC_A);
-          A.loadQ(RCX, R12, RAX, 3, -16); // AW
-          A.loadQ(RDX, R12, RAX, 3, -8);  // BW
-          A.movRR(RSI, RCX);
+          unsigned VA = RCX, VB = RDX;
+          if (D0 >= 2) {
+            // Both operands are still in virtual registers; the segment's
+            // own bound checks proved 2 <= SP <= MemoryWords.
+            VA = VRegs[D0 - 2];
+            VB = VRegs[D0 - 1];
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 2);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RCX, R12, RAX, 3, -16); // AW
+            A.loadQ(RDX, R12, RAX, 3, -8);  // BW
+          }
+          A.movRR(RSI, VA);
           A.shrRI(RSI, static_cast<uint8_t>(TagShift));
           A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
           toSlow(CC_NE);
-          A.movRR(RSI, RDX);
+          A.movRR(RSI, VB);
           A.shrRI(RSI, static_cast<uint8_t>(TagShift));
           A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
           toSlow(CC_NE);
           A.incMemQ(R13, MO.Syscalls);
           // The threaded fast path pops before it traps on overflow.
-          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 2);
-          A.movsxd(RCX, RCX); // fixnumValue
-          A.movsxd(RDX, RDX);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 2);
+          A.movsxd(RCX, VA); // fixnumValue
+          A.movsxd(RDX, VB);
           if (S == Syscall::GenericAdd)
             A.addRR(RCX, RDX);
           else if (S == Syscall::GenericSub)
@@ -1205,25 +1550,33 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
             A.imulRR(RCX, RDX);
           A.movsxd(RSI, RCX); // 32-bit range check
           A.cmpRR(RSI, RCX);
-          jccStub(CC_NE, JitStatus::FixOv, Next);
-          A.movRR32(RCX, RCX); // makeFixnum
-          A.movRI(RDX, 1ull << TagShift);
-          A.orRR(RCX, RDX);
+          jccStubC(CC_NE, JitStatus::FixOv, Next, C, Idx);
+          A.movRR32(RCX, RCX); // makeFixnum: zero-extend, set the tag bit
+          A.btsRI(RCX, static_cast<uint8_t>(TagShift));
           A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
-          jmpTo(static_cast<int>(F), Next);
+          jmpTo(Fi, Next);
         } else if (S == Syscall::GenericCompare) {
-          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-          A.cmpRI(RAX, 2);
-          toSlow(CC_B);
-          A.cmpRI(RAX, MW);
-          toSlow(CC_A);
-          A.loadQ(RCX, R12, RAX, 3, -16);
-          A.loadQ(RDX, R12, RAX, 3, -8);
-          A.movRR(RSI, RCX);
+          const XInsn *Br = fusedBranch(Idx);
+          if (Br && !C.Batched)
+            ++JitStatFused;
+          unsigned VA = RCX, VB = RDX;
+          if (D0 >= 2) {
+            VA = VRegs[D0 - 2];
+            VB = VRegs[D0 - 1];
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 2);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RCX, R12, RAX, 3, -16);
+            A.loadQ(RDX, R12, RAX, 3, -8);
+          }
+          A.movRR(RSI, VA);
           A.shrRI(RSI, static_cast<uint8_t>(TagShift));
           A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
           toSlow(CC_NE);
-          A.movRR(RSI, RDX);
+          A.movRR(RSI, VB);
           A.shrRI(RSI, static_cast<uint8_t>(TagShift));
           A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
           toSlow(CC_NE);
@@ -1232,33 +1585,103 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           A.testRR(RSI, RSI);
           toSlow(CC_E);
           A.incMemQ(R13, MO.Syscalls);
-          A.movsxd(RCX, RCX);
-          A.movsxd(RDX, RDX);
+          A.movsxd(RCX, VA);
+          A.movsxd(RDX, VB);
           A.xorRR32(RDI, RDI); // NilWord
           A.cmpRR(RCX, RDX);
           A.cmov(ccFor(static_cast<Cond>(I.S2)), RDI, RSI);
-          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 2);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 2);
           A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
-          jmpTo(static_cast<int>(F), Next);
+          if (Br)
+            emitBoolTail(Idx, *Br, C);
+          else
+            jmpTo(Fi, Next);
+        } else if (S == Syscall::GenericNumPred &&
+                   static_cast<PredCode>(I.S2) >= PredCode::Zerop &&
+                   static_cast<PredCode>(I.S2) <= PredCode::Minusp) {
+          PredCode PC = static_cast<PredCode>(I.S2);
+          const XInsn *Br = fusedBranch(Idx);
+          if (Br && !C.Batched)
+            ++JitStatFused;
+          unsigned VB = RDX;
+          if (D0 >= 1) {
+            VB = VRegs[D0 - 1];
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 1);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RDX, R12, RAX, 3, -8);
+          }
+          A.movRR(RSI, VB);
+          A.shrRI(RSI, static_cast<uint8_t>(TagShift));
+          A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
+          toSlow(CC_NE);
+          A.loadQ(RSI, R13, -1, 0, MO.CachedT);
+          A.testRR(RSI, RSI);
+          toSlow(CC_E);
+          A.incMemQ(R13, MO.Syscalls);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 1);
+          A.movsxd(RDX, VB);   // fixnumValue
+          A.xorRR32(RDI, RDI); // NilWord — before the flag-setting test
+          uint8_t CC = CC_E;
+          switch (PC) {
+          case PredCode::Zerop:
+            A.testRR(RDX, RDX);
+            CC = CC_E;
+            break;
+          case PredCode::Oddp:
+            // V & 1 != 0 <=> V % 2 != 0, negatives included (two's compl).
+            A.aluRI(4, RDX, 1);
+            CC = CC_NE;
+            break;
+          case PredCode::Evenp:
+            A.aluRI(4, RDX, 1);
+            CC = CC_E;
+            break;
+          case PredCode::Plusp:
+            A.cmpRI(RDX, 0);
+            CC = CC_G;
+            break;
+          default: // Minusp
+            A.cmpRI(RDX, 0);
+            CC = CC_L;
+            break;
+          }
+          A.cmov(CC, RDI, RSI);
+          A.storeQ(RDI, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          if (Br)
+            emitBoolTail(Idx, *Br, C);
+          else
+            jmpTo(Fi, Next);
         } else if (S == Syscall::GenericUnary &&
                    (static_cast<UnaryCode>(I.S2) == UnaryCode::Neg ||
                     static_cast<UnaryCode>(I.S2) == UnaryCode::Abs ||
                     static_cast<UnaryCode>(I.S2) == UnaryCode::Add1 ||
                     static_cast<UnaryCode>(I.S2) == UnaryCode::Sub1)) {
           UnaryCode UC = static_cast<UnaryCode>(I.S2);
-          A.loadQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::SP) * 8);
-          A.cmpRI(RAX, 1);
-          toSlow(CC_B);
-          A.cmpRI(RAX, MW);
-          toSlow(CC_A);
-          A.loadQ(RCX, R12, RAX, 3, -8);
-          A.movRR(RSI, RCX);
+          unsigned VB = RCX;
+          if (D0 >= 1) {
+            VB = VRegs[D0 - 1];
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 1);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RCX, R12, RAX, 3, -8);
+          }
+          A.movRR(RSI, VB);
           A.shrRI(RSI, static_cast<uint8_t>(TagShift));
           A.cmpRI(RSI, static_cast<int32_t>(Tag::Fixnum));
           toSlow(CC_NE);
           A.incMemQ(R13, MO.Syscalls);
-          A.aluMemI(5, RBX, static_cast<int32_t>(s1::SP) * 8, 1); // pop first
-          A.movsxd(RCX, RCX);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 1); // pop first
+          A.movsxd(RCX, VB);
           switch (UC) {
           case UnaryCode::Neg:
             A.negR(RCX);
@@ -1278,36 +1701,128 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           }
           A.movsxd(RSI, RCX);
           A.cmpRR(RSI, RCX);
-          jccStub(CC_NE, JitStatus::FixOv, Next);
-          A.movRR32(RCX, RCX);
-          A.movRI(RDX, 1ull << TagShift);
-          A.orRR(RCX, RDX);
+          jccStubC(CC_NE, JitStatus::FixOv, Next, C, Idx);
+          A.movRR32(RCX, RCX); // makeFixnum: zero-extend, set the tag bit
+          A.btsRI(RCX, static_cast<uint8_t>(TagShift));
           A.storeQ(RCX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
-          jmpTo(static_cast<int>(F), Next);
+          jmpTo(Fi, Next);
+        } else if (S == Syscall::Cons && !GcOn) {
+          // Inline bump allocation. Every bail (operand range, heap
+          // exhaustion) happens before any mutation, so the generic route
+          // re-runs the whole syscall — including the halt-on-exhaustion
+          // protocol — exactly like the threaded engine.
+          if (!C.Batched)
+            ++JitStatConsSites;
+          unsigned VCar = RSI, VCdr = RDX;
+          if (D0 >= 2) {
+            VCar = VRegs[D0 - 2]; // threaded pops Cdr first, then Car
+            VCdr = VRegs[D0 - 1];
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 2);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RSI, R12, RAX, 3, -16); // Car
+            A.loadQ(RDX, R12, RAX, 3, -8);  // Cdr
+          }
+          A.loadQ(RAX, R13, -1, 0, MO.HeapTop);
+          A.lea(RCX, RAX, -1, 0, 2);
+          A.cmpRI(RCX, HeapEnd);
+          toSlow(CC_A); // exhausted: the C++ allocator halts the machine
+          A.storeQ(RCX, R13, -1, 0, MO.HeapTop);
+          A.incMemQ(R13, MO.HeapObjects);
+          A.aluMemI(0, R13, MO.HeapWords, 2);
+          A.incMemQ(R13, MO.Syscalls);
+          A.incMemQ(R13, MO.ConsHits);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 2);
+          // HeapTop < HeapEnd <= MemoryWords: the stores cannot fault.
+          A.storeQ(VCar, R12, RAX, 3, 0);
+          A.storeQ(VCdr, R12, RAX, 3, 8);
+          A.movRI(RDI, static_cast<uint64_t>(Tag::Cons) << TagShift);
+          A.orRR(RAX, RDI); // makePointer(Cons, addr)
+          A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          jmpTo(Fi, Next);
+        } else if (S == Syscall::Cons && GcOn) {
+          // GC mode: free-list reuse and the collection-trigger accounting
+          // live in Machine::allocate, so call a dedicated shim — still
+          // skipping the full syscall dispatch. Operand pops happen before
+          // the call, matching the threaded handler's order.
+          unsigned VCar = RSI, VCdr = RDX;
+          if (D0 >= 2) {
+            A.movRR(RSI, VRegs[D0 - 2]);
+            A.movRR(RDX, VRegs[D0 - 1]);
+          } else {
+            A.loadQ(RAX, RBX, -1, 0, SpOff);
+            A.cmpRI(RAX, 2);
+            toSlow(CC_B);
+            A.cmpRI(RAX, MW);
+            toSlow(CC_A);
+            A.loadQ(RSI, R12, RAX, 3, -16); // Car
+            A.loadQ(RDX, R12, RAX, 3, -8);  // Cdr
+          }
+          (void)VCar;
+          (void)VCdr;
+          A.incMemQ(R13, MO.Syscalls);
+          A.incMemQ(R13, MO.ConsMisses);
+          if (!Popped)
+            A.aluMemI(5, RBX, SpOff, 2);
+          A.storeQ(R14, R13, -1, 0, MO.Instr);
+          A.movRR(RDI, R13);
+          A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::consShim));
+          A.callReg(RAX);
+          A.storeQ(RAX, RBX, -1, 0, static_cast<int32_t>(s1::RV) * 8);
+          // Heap exhaustion halts inside allocate; the threaded engine
+          // observes it at the next boundary.
+          A.cmpByteMemI(R13, MO.Halted, 0);
+          jccStubC(CC_NE, JitStatus::HaltedMem, Next, C, Idx);
+          jmpTo(Fi, Next);
         }
 
         for (size_t P : Slow)
           A.bind(P);
+        if (Popped) {
+          // The elided pop means memory holds the post-pop SP; the
+          // generic route re-runs the whole syscall and must see the
+          // operands still pushed.
+          A.lea(RAX, RBP, -1, 0, D0);
+          A.storeQ(RAX, RBX, -1, 0, SpOff);
+        }
+        if (C.Batched && C.Extra > 0)
+          A.subRI(R14, C.Extra); // un-retire the unexecuted fused branch
+        if (S == Syscall::Cons)
+          A.incMemQ(R13, MO.ConsMisses);
         emitSyscallGeneric(I, Idx);
         break;
       }
 
       case XOp::Halt:
-        jmpStub(JitStatus::Halt, Next);
+        mat(C);
+        jmpStubC(JitStatus::Halt, Next, C, Idx);
         break;
 
       // ---- cold opcodes: one call into the C++ executor ----------------
       default: {
         bool Branches = I.Op == XOp::JmpzG || I.Op == XOp::FJmpzG;
         bool CanDiv0 = I.Op == XOp::Alu2G || I.Op == XOp::Alu3G;
-        A.storeQ(R14, R13, -1, 0, MO.Instr);
+        mat(C);
+        // Mid-block in the batched body, r14 has pre-retired the whole
+        // block; expose the exact per-boundary count to the C++ side.
+        int Adj = C.Batched ? C.End - Idx - 1 + C.Extra : 0;
+        if (Adj > 0) {
+          A.lea(RAX, R14, -1, 0, -Adj);
+          A.storeQ(RAX, R13, -1, 0, MO.Instr);
+        } else {
+          A.storeQ(R14, R13, -1, 0, MO.Instr);
+        }
         A.movRR(RDI, R13);
         A.movRI(RSI, reinterpret_cast<uint64_t>(&I));
         A.movRI(RAX, reinterpret_cast<uint64_t>(&JitAccess::coldShim));
         A.callReg(RAX);
         if (CanDiv0) {
           A.cmpRI(RAX, -1);
-          jccStub(CC_E, JitStatus::Div0, Next);
+          jccStubC(CC_E, JitStatus::Div0, Next, C, Idx);
         }
         if (Branches) {
           A.cmpRI(RAX, 1);
@@ -1315,25 +1830,220 @@ JitAccess::compile(std::shared_ptr<const DecodedProgram> DP,
           // Taken: the threaded loop would trap at the *target* boundary
           // if the operand reads faulted.
           A.cmpByteMemI(R13, MO.Halted, 0);
-          jccStub(CC_NE, JitStatus::HaltedMem, I.Target);
-          jmpTo(static_cast<int>(F), I.Target);
+          jccStubC(CC_NE, JitStatus::HaltedMem, I.Target, C, Idx);
+          jmpTo(Fi, I.Target);
           A.bind(Fall);
         }
         A.cmpByteMemI(R13, MO.Halted, 0);
-        jccStub(CC_NE, JitStatus::HaltedMem, Next);
+        jccStubC(CC_NE, JitStatus::HaltedMem, Next, C, Idx);
         break;
       }
       }
+    };
+
+    // ---- block loop ----------------------------------------------------
+    // Every externally enterable pc is a leader (Predecode's invariant),
+    // so only block entries need the full boundary protocol. Non-leader
+    // boundaries get entry points in the unbatched body, which keeps the
+    // virtual stack materialized at every boundary precisely so a resume
+    // after a mid-block trap can land there with plain architectural
+    // state.
+    // Does the block's terminating instruction retire a fused boolean
+    // branch on its fast path? Must mirror the emitInsn fast-path
+    // conditions exactly — the batched lane precharges the branch's
+    // retirement into the block fit test.
+    auto blockFusesTail = [&](int Idx) {
+      const XInsn &I = DF.Code[static_cast<size_t>(Idx)];
+      if (I.Op != XOp::Syscall || !fusedBranch(Idx))
+        return false;
+      Syscall S = static_cast<Syscall>(I.S1);
+      return S == Syscall::GenericCompare ||
+             (S == Syscall::GenericNumPred &&
+              static_cast<PredCode>(I.S2) >= PredCode::Zerop &&
+              static_cast<PredCode>(I.S2) <= PredCode::Minusp);
+    };
+
+    int L = 0;
+    for (;;) {
+      JP->Offs[F][static_cast<size_t>(L)] = static_cast<uint32_t>(A.pos());
+      VCtx Entry; // blocks begin with the virtual stack empty
+
+      if (L == Size) {
+        // Fall-off trailer: control ran past the last real instruction.
+        // Boundary safepoint first, same order as the threaded loop.
+        A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+        jccStubC(CC_AE, JitStatus::Fuel, L, Entry, L);
+        if (GcOn) {
+          A.cmpByteMemI(R13, MO.GcPending, 0);
+          size_t Skip = A.jccL(CC_E);
+          A.callFixed(GcStubOff);
+          A.bind(Skip);
+        }
+        jmpStubC(JitStatus::PcRange, Size, Entry, L);
+        break;
+      }
+
+      int E = L + 1;
+      while (E < Size && !DF.Leaders[static_cast<size_t>(E)])
+        ++E;
+      const int N = E - L;
+      const bool Ends = endsControl(DF.Code[static_cast<size_t>(E - 1)].Op);
+      const bool Fused = blockFusesTail(E - 1);
+      const int Charge = N + (Fused ? 1 : 0);
+      // The explicit entry fuel check folds into the batched fit test
+      // when nothing sits between them: a non-fitting block falls to the
+      // unbatched lane, whose first boundary check traps with the same
+      // pc and count. With a GC schedule the pending-collection check
+      // must run between fuel check and fit test (fuel trap wins over a
+      // pending GC), so the explicit form stays.
+      const bool MergedEntry = N >= 2 && !GcOn;
+      if (!MergedEntry) {
+        A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+        jccStubC(CC_AE, JitStatus::Fuel, L, Entry, L);
+        if (GcOn) {
+          A.cmpByteMemI(R13, MO.GcPending, 0);
+          size_t Skip = A.jccL(CC_E);
+          A.callFixed(GcStubOff);
+          A.bind(Skip);
+        }
+      }
+
+      ++JitStatBlocks;
+      JitStatBlockInsns += static_cast<uint64_t>(N);
+      JitStatBlockInsnsMax.updateMax(static_cast<uint64_t>(N));
+      if (N == 1)
+        ++JitStatBlocks1;
+      else if (N <= 3)
+        ++JitStatBlocks2;
+      else if (N <= 7)
+        ++JitStatBlocks4;
+      else
+        ++JitStatBlocks8;
+
+      if (N >= 2) {
+        JitStatElided += static_cast<uint64_t>(Charge - 1);
+        // Batched lane: bulk-retire the whole block (plus a fused
+        // branch, if the tail has one) when it fits in the remaining
+        // fuel — threaded runs all of it iff count + Charge <= limit.
+        A.addRI(R14, Charge);
+        A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+        size_t ToUnb = A.jccL(CC_A);
+        VCtx BC;
+        BC.Batched = true;
+        BC.End = E;
+        BC.Extra = Fused ? 1 : 0;
+        if (Detailed) {
+          // Bulk PerOpcode: one add per distinct opcode replaces N
+          // per-boundary bumps; trap stubs subtract the unexecuted tail
+          // back out. A fused branch is NOT included — emitBoolTail
+          // bumps it, and the generic slow route retires it at the
+          // branch's own block.
+          BC.BulkOps = true;
+          std::map<int32_t, int32_t> OpCounts;
+          for (int J = L; J < E; ++J)
+            ++OpCounts[static_cast<int32_t>(static_cast<size_t>(
+                DF.Code[static_cast<size_t>(J)].OrigOp))];
+          for (const auto &[Op, Cnt] : OpCounts) {
+            const int32_t Off = MO.PerOp0 + 8 * Op;
+            if (Cnt == 1)
+              A.incMemQ(R13, Off);
+            else
+              A.aluMemI(0, R13, Off, Cnt);
+          }
+        }
+        for (int J = L; J < E; ++J)
+          emitInsn(J, BC);
+        if (!Ends) {
+          mat(BC);
+          jmpTo(Fi, E);
+        }
+        A.bind(ToUnb);
+        A.subRI(R14, Charge); // roll back the failed bulk charge
+      }
+
+      // Unbatched lane: taken only when fuel runs out inside the block
+      // (or for single-instruction blocks). Materializes at every
+      // boundary so each one is a valid external entry point and fuel
+      // exhaustion lands with exact counters and stack state.
+      VCtx UC;
+      UC.End = E;
+      for (int J = L; J < E; ++J) {
+        if (J > L) {
+          mat(UC);
+          JP->Offs[F][static_cast<size_t>(J)] =
+              static_cast<uint32_t>(A.pos());
+        }
+        if (J > L || MergedEntry) {
+          A.opRR(true, {0x3B}, R14, R15); // cmp r14, r15
+          jccStubC(CC_AE, JitStatus::Fuel, J, UC, J);
+        }
+        A.incR(R14); // ++Stats.Instructions
+        emitInsn(J, UC);
+      }
+      if (!Ends) {
+        mat(UC);
+        jmpTo(Fi, E);
+      }
+
+      L = E;
     }
 
-    // -- trap stubs for this function -------------------------------------
+    // -- trap stubs for this function: roll back the bulk-retired tail,
+    // settle the deferred stack state, then report ----------------------
     for (auto &[Key, Sites] : StubSites) {
       for (size_t P : Sites)
         A.bind(P);
-      A.storeDImm(R13, MO.CurFunc, static_cast<int32_t>(F));
-      A.storeDImm(R13, MO.Pc, Key.second);
-      A.movRI(RAX, static_cast<uint64_t>(Key.first));
-      A.jmpFixed(EpiOff);
+      const int32_t St = Key.first[0], PcVal = Key.first[1],
+                    Adj = Key.first[2], SpD = Key.first[3],
+                    Peak = Key.first[4];
+      const std::vector<int32_t> &Tail = Key.second;
+      auto settleAndReport = [&](JitStatus Status) {
+        if (Adj > 0)
+          A.subRI(R14, Adj);
+        // Un-bump the bulk PerOpcode adds for the unexecuted tail.
+        for (size_t T = 0; T < Tail.size();) {
+          size_t U = T;
+          while (U < Tail.size() && Tail[U] == Tail[T])
+            ++U;
+          A.aluMemI(5, R13, MO.PerOp0 + 8 * Tail[T],
+                    static_cast<int32_t>(U - T));
+          T = U;
+        }
+        if (SpD > 0 || Peak > 0) {
+          // Memory still holds the segment base (the bump was deferred).
+          A.loadQ(RAX, RBX, -1, 0, SpOff);
+          if (Peak > 0) {
+            A.lea(RCX, RAX, -1, 0, Peak - static_cast<int32_t>(StackBase));
+            A.cmpRM(RCX, R13, MO.SHW);
+            size_t Skip = A.jccL(CC_BE);
+            A.storeQ(RCX, R13, -1, 0, MO.SHW);
+            A.bind(Skip);
+          }
+          if (SpD > 0) {
+            A.lea(RAX, RAX, -1, 0, SpD);
+            A.storeQ(RAX, RBX, -1, 0, SpOff);
+          }
+        }
+        A.storeDImm(R13, MO.CurFunc, static_cast<int32_t>(F));
+        A.storeDImm(R13, MO.Pc, PcVal);
+        A.movRI(RAX, static_cast<uint64_t>(Status));
+        A.jmpFixed(EpiOff);
+      };
+      if (St == static_cast<int32_t>(PushColdStatus)) {
+        // Combined push guard: reconstruct the faulting Sp slot (rbp
+        // still caches the segment base at every guard site; SpD is the
+        // segment depth). The exact value 2^64-1 means the threaded
+        // overflow check wrapped and the push faulted in mem() instead;
+        // everything else is overflow.
+        A.lea(RAX, RBP, -1, 0, SpD);
+        A.cmpRI(RAX, -1);
+        size_t Hm = A.jccL(CC_E);
+        settleAndReport(JitStatus::StackOv);
+        A.bind(Hm);
+        settleAndReport(JitStatus::HaltedMem);
+      } else {
+        settleAndReport(static_cast<JitStatus>(St));
+      }
     }
   }
 

@@ -1,23 +1,35 @@
-//===- vm/Jit.h - Native execution tier (template JIT) ----------*- C++ -*-===//
+//===- vm/Jit.h - Native execution tier (block compiler) --------*- C++ -*-===//
 ///
 /// \file
 /// Translates a pre-decoded program (vm/Predecode.h) into executable
-/// x86-64: one machine-code template per XInsn, stitched into a contiguous
-/// W^X buffer with direct rel32 jumps for every resolved branch target.
-/// Hot handlers (MOV/PUSH/POP/ALU/JMPZ/CALL/RET/tail calls and the fixnum
-/// fast paths of the generic-arithmetic syscalls) are emitted inline; cold
+/// x86-64 by compiling whole basic blocks (Predecode's Leaders metadata)
+/// into a contiguous W^X buffer with direct rel32 jumps for every resolved
+/// branch target. Hot handlers (MOV/PUSH/POP/ALU/JMPZ/CALL/RET/tail calls
+/// and the fixnum fast paths of the generic-arithmetic/compare/predicate
+/// syscalls, plus an inline bump-allocating CONS) are emitted inline; cold
 /// handlers and the full runtime-service layer fall back to calls into the
 /// existing C++ implementations, so there is exactly one copy of the
 /// semantics that matters.
 ///
-/// Every template begins with an instruction-boundary safepoint that
-/// reproduces the threaded loop's trap ordering bit-exactly: fuel first,
-/// then the pending-GC check (compiled out when no GC schedule is set —
-/// GcPending can only be raised by the allocator), then the retired-
-/// instruction count and, in detailed-stats builds, the PerOpcode
-/// histogram. The threaded engine therefore remains a differential oracle
-/// for the native tier: values, error classes, and every architectural
-/// MachineStats counter must match bit-identically.
+/// Block-scoped optimizations (details atop vm/Jit.cpp):
+///
+///  * safepoint batching — the per-instruction fuel/GC/counter work is
+///    hoisted into one bulk check at block entry; an unbatched fallback
+///    body and exact-state trap stubs keep every trap message, pc, and
+///    MachineStats counter byte-identical to the threaded engine;
+///  * a write-through virtual operand stack — the top of the VM stack
+///    rides in host registers across instruction boundaries, with
+///    Regs[SP]/StackHighWater updates deferred to block exits and shims;
+///  * compare+branch fusion — GenericCompare/GenericNumPred feeding
+///    `JmpzRK RV,0` retire as a single test+jcc pair.
+///
+/// Boundary safepoints reproduce the threaded loop's trap ordering
+/// bit-exactly: fuel first, then the pending-GC check (compiled out when
+/// no GC schedule is set — GcPending can only be raised by the allocator,
+/// and allocating instructions always terminate a block). The threaded
+/// engine therefore remains a differential oracle for the native tier:
+/// values, error classes, and every architectural MachineStats counter
+/// must match bit-identically.
 ///
 /// Buffer lifecycle: code is emitted into ordinary memory, then copied
 /// into a fresh anonymous mmap that is made PROT_READ|PROT_EXEC (never

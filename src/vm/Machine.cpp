@@ -29,6 +29,10 @@ S1_STAT(VmGcRuns, "vm.gc.runs", "word-heap collections");
 S1_STAT(VmGcWordsReclaimed, "vm.gc.words.reclaimed",
         "heap words reclaimed by the collector");
 S1_STAT(VmGcPauseNs, "vm.gc.pause.ns", "total collection pause nanoseconds");
+S1_STAT(VmJitConsHits, "jit.cons.fast.hits",
+        "cons cells bump-allocated by the native tier's inline fast path");
+S1_STAT(VmJitConsMisses, "jit.cons.fast.misses",
+        "cons allocations that fell back to the C++ allocator");
 
 // Computed-goto dispatch needs the GNU labels-as-values extension; fall
 // back to a dense switch elsewhere or when disabled via CMake.
@@ -420,6 +424,8 @@ void Machine::publishStats() const {
   VmGcRuns += Stats.GcRuns;
   VmGcWordsReclaimed += Stats.GcWordsReclaimed;
   VmGcPauseNs += GcPauseNs;
+  VmJitConsHits += JitConsHits;
+  VmJitConsMisses += JitConsMisses;
 }
 
 Machine::RunResult Machine::call(const std::string &Name,

@@ -260,6 +260,13 @@ private:
   uint64_t HeapTop = HeapBase;
   uint64_t SpecTop = SpecBase; ///< next free pair slot in the binding stack
 
+  /// Native-tier cons fast-path telemetry, bumped from generated code
+  /// (vm/Jit.cpp). Deliberately not part of MachineStats: the inline
+  /// bump-allocation path only exists in the native engine, so these may
+  /// differ across engines while MachineStats stays bit-identical.
+  uint64_t JitConsHits = 0;
+  uint64_t JitConsMisses = 0;
+
   std::vector<CatchFrame> Catches;
   std::unordered_map<const sexpr::Symbol *, uint64_t> SymbolAddr;
   std::unordered_map<uint64_t, const sexpr::Symbol *> AddrSymbol;

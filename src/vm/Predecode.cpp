@@ -331,6 +331,44 @@ std::shared_ptr<const DecodedProgram> vm::predecode(const s1::Program &P) {
         DF.Code.push_back(decodeOne(F, F.Code[Pc], DF.PcMap));
         DF.OrigPc.push_back(static_cast<int32_t>(Pc));
       }
+    // Pass 3: basic-block leaders. Branch/catch targets are already
+    // decoded indices, so this is a single linear sweep. Alloc ends a
+    // block because it can raise GcPending/Halted, which the threaded
+    // engine observes at the next instruction boundary — making the
+    // successor a leader keeps those checks at block entries only.
+    DF.Leaders.assign(DF.Code.size() + 1, 0);
+    DF.Leaders[0] = 1;
+    for (size_t I = 0; I < DF.Code.size(); ++I) {
+      const XInsn &D = DF.Code[I];
+      switch (D.Op) {
+      case XOp::Jmp:
+      case XOp::JmpzRR:
+      case XOp::JmpzRK:
+      case XOp::JmpzG:
+      case XOp::FJmpzG:
+        if (D.Target >= 0)
+          DF.Leaders[static_cast<size_t>(D.Target)] = 1;
+        DF.Leaders[I + 1] = 1;
+        break;
+      case XOp::Syscall:
+        // PushCatch resolves its handler label into Target.
+        if (D.Target >= 0)
+          DF.Leaders[static_cast<size_t>(D.Target)] = 1;
+        DF.Leaders[I + 1] = 1;
+        break;
+      case XOp::Call:
+      case XOp::CallPtr:
+      case XOp::TailCall:
+      case XOp::TailCallPtr:
+      case XOp::Ret:
+      case XOp::Halt:
+      case XOp::Alloc:
+        DF.Leaders[I + 1] = 1;
+        break;
+      default:
+        break;
+      }
+    }
     DP->Functions.push_back(std::move(DF));
   }
   return DP;

@@ -108,6 +108,17 @@ struct DecodedFunction {
   /// Decoded index -> original instruction index, for trap messages that
   /// report pcs in assembly-listing units.
   std::vector<int32_t> OrigPc;
+  /// Basic-block leader flags, one per decoded instruction plus one for
+  /// the fall-off trailer slot. Leaders[I] is set when decoded index I
+  /// starts a basic block: function entry, branch or catch-handler
+  /// target, or the fall-through successor of any control transfer
+  /// (branch, call, tail call, return, syscall) or allocation. Every pc a
+  /// host can enter from outside straight-line code — run() start pcs,
+  /// return words, syscall continuations, catch handlers — is a leader by
+  /// construction, which is what lets the block-compiling native tier
+  /// batch safepoints inside a block. Computed once at decode time so the
+  /// compiler and any block-scoped analysis agree on boundaries.
+  std::vector<uint8_t> Leaders;
 };
 
 /// A whole program in decoded form. Immutable; share freely.
